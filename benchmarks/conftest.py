@@ -1,0 +1,36 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one of the paper's tables or figures and
+writes a human-readable report under ``benchmarks/reports/`` so the
+paper-vs-measured comparison in EXPERIMENTS.md can be refreshed from a
+single run.
+
+Scale knob: ``REPRO_BENCH_SCALE`` (default 0.5) multiplies iteration
+counts; raise it for tighter confidence intervals.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+REPORT_DIR = Path(__file__).parent / "reports"
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> Path:
+    REPORT_DIR.mkdir(exist_ok=True)
+    return REPORT_DIR
+
+
+@pytest.fixture(scope="session")
+def write_report(report_dir):
+    def _write(name: str, lines) -> Path:
+        path = report_dir / f"{name}.txt"
+        path.write_text("\n".join(str(line) for line in lines) + "\n")
+        return path
+    return _write

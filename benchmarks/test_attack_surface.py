@@ -1,0 +1,28 @@
+"""Attack-surface comparison (section 3.2's VulSAN discussion).
+
+Not a numbered table in the paper, but the quantitative form of its
+security argument: on legacy Linux every setuid binary is an ungated
+input channel into root-authority code; on Protego there are none —
+only kernel-gated delegation transitions remain.
+"""
+
+from repro.analysis.attack_surface import compare_systems
+
+
+def test_attack_surface_comparison(benchmark, write_report):
+    comparison = benchmark.pedantic(compare_systems, rounds=1, iterations=1)
+    linux, protego = comparison["linux"], comparison["protego"]
+    lines = [
+        "Attack surface — privilege-escalation channels (VulSAN-style)",
+        f"legacy Linux: {linux['ungated_channels_to_root']} ungated "
+        f"setuid channels into root; {linux['escalation_paths']} "
+        f"escalation path(s)",
+        "  binaries: " + ", ".join(linux["ungated_binaries"]),
+        f"Protego: {protego['ungated_channels_to_root']} ungated channels; "
+        f"{protego['gated_transitions']} kernel-gated delegation "
+        f"transitions; {protego['escalation_paths']} escalation path(s)",
+    ]
+    write_report("attack_surface", lines)
+    assert linux["ungated_channels_to_root"] >= 20
+    assert protego["ungated_channels_to_root"] == 0
+    assert protego["escalation_paths"] == 0

@@ -1,0 +1,24 @@
+"""Section 3.2's capability statistics, recomputed over the simulator."""
+
+from repro.analysis.capability_study import study_summary
+
+
+def test_capability_concentration(benchmark, write_report):
+    summary = benchmark(study_summary)
+    lines = [
+        "Capability study (section 3.2)",
+        f"capabilities: {summary['capability_count']} "
+        f"(paper {summary['paper_capability_count']})",
+        f"CAP_SYS_ADMIN share of check sites: {summary['sys_admin_share']:.0%} "
+        f"(paper: over {summary['paper_sys_admin_share']:.0%} of all kernel "
+        f"checks)",
+        "check sites per capability:",
+    ]
+    for name, count in summary["per_capability"].items():
+        lines.append(f"  {name:24s} {count}")
+    for task, n in summary["many_to_many"]:
+        lines.append(f"many-to-many: {task} needs {n} capabilities")
+    write_report("capability_study", lines)
+    top = next(iter(summary["per_capability"]))
+    assert top == "CAP_SYS_ADMIN"
+    assert summary["capability_count"] == 36

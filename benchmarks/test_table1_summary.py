@@ -1,0 +1,39 @@
+"""Table 1: the headline summary, aggregated from the other studies.
+
+Depends on the CVE replay (exploits row), the LoC accounting
+(deprivileged-lines row), the popcon study (coverage row) and a quick
+overhead probe (the <= 7.4% row).
+"""
+
+from benchmarks.conftest import bench_scale
+from repro.analysis.tcb import CHANGED_SYSCALLS, table1_summary
+from repro.workloads.lmbench import run_test
+
+
+def test_table1_summary(benchmark, write_report):
+    # A quick probe of the most Protego-affected microbench rows gives
+    # the "performance overheads" line.
+    probes = [run_test(name, scale=bench_scale() / 2, batches=3)
+              for name in ("setuid", "bind", "mount/umnt")]
+    max_overhead = max(p.overhead_percent for p in probes)
+    summary = benchmark.pedantic(
+        lambda: table1_summary(max_overhead_percent=max_overhead),
+        rounds=1, iterations=1)
+    lines = [
+        "Table 1 — summary of results (measured vs paper)",
+        f"net lines deprivileged:  {summary['net_lines_deprivileged']} "
+        f"(paper {summary['paper_net_lines_deprivileged']})",
+        f"systems able to drop setuid: {summary['coverage_percent']}% "
+        f"(paper 89.5%)",
+        f"historical exploits deprivileged: {summary['exploits_deprivileged']} "
+        f"(paper {summary['paper_exploits_deprivileged']})",
+        f"max probed overhead: {summary['max_overhead_percent']:.2f}% "
+        f"(paper <= {summary['paper_max_overhead_percent']}%)",
+        f"system calls changed: {summary['syscalls_changed']} "
+        f"(paper {summary['paper_syscalls_changed']}): "
+        + ", ".join(CHANGED_SYSCALLS),
+    ]
+    write_report("table1_summary", lines)
+    assert summary["exploits_deprivileged"] == "40/40"
+    assert summary["syscalls_changed"] == 8
+    assert summary["net_lines_deprivileged"] > 0

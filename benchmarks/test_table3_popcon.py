@@ -1,0 +1,36 @@
+"""Table 3: setuid installation statistics.
+
+Regenerates the weighted-average column from the per-distribution
+percentages and reporter counts and checks it against the paper's
+printed values.
+"""
+
+from repro.analysis.popcon import (
+    PAPER_COVERAGE_PERCENT,
+    coverage_summary,
+    table3,
+    weighted_average_matches_paper,
+)
+
+
+def test_table3_weighted_averages(benchmark, write_report):
+    rows = benchmark(table3)
+    assert len(rows) == 20
+    assert weighted_average_matches_paper()
+    header = f"{'package':20s} {'ubuntu':>8s} {'debian':>8s} {'wavg':>8s} {'paper':>8s}"
+    lines = ["Table 3 — % of systems installing setuid packages", header]
+    for row in rows:
+        lines.append(
+            f"{row['package']:20s} {row['ubuntu_percent']:8.2f} "
+            f"{row['debian_percent']:8.2f} {row['weighted_average']:8.2f} "
+            f"{row['paper_weighted_average']:8.2f}"
+        )
+    summary = coverage_summary()
+    lines.append("")
+    lines.append(f"coverage: paper={summary['paper_coverage_percent']}% "
+                 f"upper-bound-from-marginals={summary['upper_bound_from_marginals']}%")
+    write_report("table3_popcon", lines)
+    # The headline ordering claims.
+    assert rows[0]["package"] == "mount"
+    assert rows[0]["weighted_average"] > 99.9
+    assert summary["upper_bound_from_marginals"] >= PAPER_COVERAGE_PERCENT

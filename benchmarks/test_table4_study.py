@@ -1,0 +1,19 @@
+"""Table 4: the setuid policy study matrix.
+
+Each row's "our approach" column is executed against a freshly
+provisioned Protego system; the bench times the full 9-row sweep.
+"""
+
+from repro.analysis.study import PT_CHOWN_NOTE, TABLE4_ROWS, run_all_demos
+
+
+def test_table4_policy_demos(benchmark, write_report):
+    results = benchmark.pedantic(run_all_demos, rounds=1, iterations=1)
+    assert len(results) == len(TABLE4_ROWS) == 9
+    lines = ["Table 4 — policy study, per-row kernel enforcement demos"]
+    for row in results:
+        status = "ENFORCED" if row["enforced"] else "FAILED"
+        lines.append(f"{status:9s} {row['interface']:28s} {row['used_by']}")
+    lines.append(f"(note)    {PT_CHOWN_NOTE}")
+    write_report("table4_study", lines)
+    assert all(row["enforced"] for row in results)

@@ -1,0 +1,44 @@
+"""Table 6: historical vulnerabilities.
+
+Validates the dataset totals (618 CVEs, 40 escalations) and replays
+all 40 escalation exploits on both systems: every one must escalate on
+legacy Linux and be deprivileged on Protego (the paper's 40/40).
+"""
+
+from repro.analysis.cves import (
+    EXPLOIT_REPLAYS,
+    dataset_totals,
+    escalation_summary,
+    table6,
+)
+
+
+def test_table6_dataset(benchmark):
+    totals = benchmark(dataset_totals)
+    assert totals["total_cves"] == totals["paper_total_cves"] == 618
+    assert totals["escalation_cves"] == totals["paper_escalation_cves"] == 40
+    assert len(EXPLOIT_REPLAYS) == 40
+
+
+def test_table6_exploit_replay(benchmark, write_report):
+    summary = benchmark.pedantic(escalation_summary, rounds=1, iterations=1)
+    lines = ["Table 6 — exploit replays (euid at hijack: linux vs protego)"]
+    for row in table6():
+        lines.append(f"{row['utilities']:24s} total={row['total_cves'] or '-':>4} "
+                     f"escalations={row['privilege_escalations']}")
+    lines.append("")
+    for detail in summary["details"]:
+        lines.append(
+            f"CVE-{detail['cve']:9s} {detail['binary']:36s} "
+            f"linux euid={detail['linux_euid_at_hijack']} "
+            f"protego euid={detail['protego_euid_at_hijack']}"
+            + (f"  [{detail['note']}]" if detail["note"] else "")
+        )
+    lines.append("")
+    lines.append(f"escalated on Linux: {summary['escalated_on_linux']}/40 "
+                 f"(paper 40/40)")
+    lines.append(f"deprivileged on Protego: {summary['deprivileged_on_protego']}/40 "
+                 f"(paper 40/40)")
+    write_report("table6_cves", lines)
+    assert summary["escalated_on_linux"] == 40
+    assert summary["deprivileged_on_protego"] == 40

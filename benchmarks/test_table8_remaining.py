@@ -1,0 +1,25 @@
+"""Table 8: interfaces used by the remaining setuid packages."""
+
+from repro.analysis.remaining import summary, table8
+
+
+def test_table8_interface_groups(benchmark, write_report):
+    rows = benchmark(table8)
+    totals = summary()
+    lines = ["Table 8 — remaining setuid binaries by interface"]
+    for row in rows:
+        flag = "addressed" if row["addressed"] else "future-work"
+        lines.append(f"{row['interface']:28s} {row['binaries']:>3} [{flag}] "
+                     f"{row['mechanism']}")
+    lines.append("")
+    lines.append(f"addressed by existing abstractions: "
+                 f"{totals['addressed_by_existing_abstractions']} (paper 77)")
+    lines.append(f"requiring future work: "
+                 f"{totals['requiring_future_work']} (paper 14)")
+    for item in totals["future_work_breakdown"]:
+        lines.append(f"  - {item['category']}: {item['binaries']} ({item['note']})")
+    write_report("table8_remaining", lines)
+    assert sum(r["binaries"] for r in rows) == totals["remaining_binaries"] == 91
+    assert totals["addressed_by_existing_abstractions"] == 77
+    assert totals["requiring_future_work"] == 14
+    assert sum(i["binaries"] for i in totals["future_work_breakdown"]) == 14

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Privileged ports as allocated objects (paper section 4.1.3).
+
+On Protego, /etc/bind maps each port below 1024 to one application
+instance — a (binary path, user id) pair. The mail server runs
+unprivileged from the start, and *nobody else* — not even a root
+process in a different binary — can squat on its port.
+
+Run:  python examples/mail_port_policy.py
+"""
+
+from repro.core import System, SystemMode
+from repro.kernel.errno import SyscallError
+from repro.kernel.net.socket import AddressFamily, SocketType
+
+
+def main() -> None:
+    system = System(SystemMode.PROTEGO)
+    kernel = system.kernel
+
+    print("== /etc/bind, as digested into the kernel ==")
+    proc = kernel.read_file(kernel.init, "/proc/protego/binds").decode()
+    for line in proc.strip().splitlines():
+        print(f"  | {line}")
+
+    print("\n== exim starts as its unprivileged service account ==")
+    exim_user = system.userdb.lookup_user("Debian-exim")
+    exim = kernel.user_task(exim_user.uid, exim_user.gid,
+                            system.userdb.gids_for("Debian-exim"),
+                            comm="exim4")
+    status = kernel.sys_execve(exim, "/usr/sbin/exim4", ["exim4", "--listen"])
+    print(f"  exit={status} -> {exim.stdout[0]}")
+
+    print("\n== mail flows ==")
+    program = system.programs["/usr/sbin/exim4"]
+    for n in range(3):
+        program.deliver(kernel, exim, f"sender{n}@example.org", "alice",
+                        f"message body {n}")
+    spool = kernel.read_file(kernel.init, "/var/mail/alice").decode()
+    print(f"  /var/mail/alice now holds {spool.count('From:')} messages")
+
+    print("\n== imposters are refused, root included ==")
+    attempts = [
+        ("alice running the real exim binary", "alice", "/usr/sbin/exim4"),
+        ("the exim user running a trojan", "Debian-exim", "/home/bob/trojan"),
+    ]
+    for label, username, exe in attempts:
+        user = system.userdb.lookup_user(username)
+        task = kernel.user_task(user.uid, user.gid)
+        task.exe_path = exe
+        sock = kernel.sys_socket(task, AddressFamily.AF_INET, SocketType.STREAM)
+        try:
+            kernel.sys_bind(task, sock, "0.0.0.0", 25)
+            print(f"  {label}: BOUND (unexpected!)")
+        except SyscallError as err:
+            print(f"  {label}: {err.errno_value.name}")
+    root = system.root_session()
+    root.exe_path = "/usr/sbin/apache2"  # a *root* web server gone rogue
+    sock = kernel.sys_socket(root, AddressFamily.AF_INET, SocketType.STREAM)
+    try:
+        kernel.sys_bind(root, sock, "0.0.0.0", 25)
+        print("  root apache2 squatting on 25: BOUND (unexpected!)")
+    except SyscallError as err:
+        print(f"  root apache2 squatting on 25: {err.errno_value.name} "
+              f"(each port maps to exactly one application instance)")
+
+
+if __name__ == "__main__":
+    main()

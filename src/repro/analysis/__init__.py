@@ -1,0 +1,15 @@
+"""The paper's measurement studies, as data and executable analyses.
+
+* :mod:`repro.analysis.popcon` — the Debian/Ubuntu popularity-contest
+  survey (Table 3) and the 89.5% coverage claim;
+* :mod:`repro.analysis.study` — the setuid policy study matrix
+  (Table 4) with executable per-row demonstrations;
+* :mod:`repro.analysis.tcb` — trusted-computing-base accounting
+  (Tables 1 and 2);
+* :mod:`repro.analysis.cves` — the historical-vulnerability study and
+  exploit replay (Table 6);
+* :mod:`repro.analysis.coverage` — functional-test coverage of the
+  command-line utilities (Table 7);
+* :mod:`repro.analysis.remaining` — the remaining-packages interface
+  survey (Table 8).
+"""

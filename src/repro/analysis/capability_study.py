@@ -1,0 +1,96 @@
+"""The capability-granularity study (paper section 3.2).
+
+The paper's quantitative points about why Linux capabilities cannot
+express least privilege for ordinary users:
+
+* Linux fragments root into ~36 coarse capabilities;
+* developers default to CAP_SYS_ADMIN — over 38% of all capability
+  checks in the kernel require it ("the new root");
+* the mapping of capabilities to privileged tasks is many-to-many:
+  setting the video mode takes 4 capabilities, changing a password 6.
+
+This module carries the paper's reported statistics and *recomputes*
+the same statistic over the simulator's own kernel: every capability
+check site in the syscall layer and the Protego hook paths is scanned
+and tallied, demonstrating the same concentration on CAP_SYS_ADMIN.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+import repro
+from repro.kernel.capabilities import (
+    Capability,
+    PASSWORD_CHANGE_CAPS,
+    VIDEO_MODE_CAPS,
+)
+
+REPRO_ROOT = Path(repro.__file__).parent
+
+#: Paper: share of all kernel capability checks demanding CAP_SYS_ADMIN.
+PAPER_SYS_ADMIN_CHECK_SHARE = 0.38
+
+#: Paper: total capabilities Linux divides root into.
+PAPER_CAPABILITY_COUNT = 36
+
+#: Paper: LSM hook count in Linux 3.13.5 (section 3.2).
+PAPER_LSM_HOOK_COUNT_3_13 = 184
+
+#: The kernel-side files whose capability checks we scan (the
+#: simulator's equivalent of the kernel tree).
+KERNEL_FILES = (
+    "kernel/syscalls.py",
+    "kernel/vfs.py",
+    "core/protego.py",
+    "userspace/iptables.py",
+)
+
+_CHECK_PATTERN = re.compile(
+    r"(?:require_capable|capable|has_cap)\(\s*[^,)]*,?\s*"
+    r"(?:Capability\.)?(CAP_[A-Z_]+)"
+)
+
+
+def scan_capability_checks() -> Dict[Capability, int]:
+    """Count capability-check sites per capability in the simulator."""
+    counts: Dict[Capability, int] = {}
+    for rel in KERNEL_FILES:
+        text = (REPRO_ROOT / rel).read_text()
+        for match in _CHECK_PATTERN.finditer(text):
+            cap = Capability[match.group(1)]
+            counts[cap] = counts.get(cap, 0) + 1
+    return counts
+
+
+def sys_admin_share(counts: Dict[Capability, int] = None) -> float:
+    counts = counts if counts is not None else scan_capability_checks()
+    total = sum(counts.values())
+    if total == 0:
+        return 0.0
+    return counts.get(Capability.CAP_SYS_ADMIN, 0) / total
+
+
+def many_to_many_examples() -> List[Tuple[str, int]]:
+    """The paper's examples of tasks needing several capabilities."""
+    return [
+        ("set the video mode (X server)", len(VIDEO_MODE_CAPS)),
+        ("change a password", len(PASSWORD_CHANGE_CAPS)),
+    ]
+
+
+def study_summary() -> dict:
+    counts = scan_capability_checks()
+    return {
+        "capability_count": len(Capability),
+        "paper_capability_count": PAPER_CAPABILITY_COUNT,
+        "check_sites_scanned": sum(counts.values()),
+        "distinct_capabilities_checked": len(counts),
+        "sys_admin_share": round(sys_admin_share(counts), 3),
+        "paper_sys_admin_share": PAPER_SYS_ADMIN_CHECK_SHARE,
+        "per_capability": {cap.name: n for cap, n in
+                           sorted(counts.items(), key=lambda kv: -kv[1])},
+        "many_to_many": many_to_many_examples(),
+    }

@@ -1,0 +1,179 @@
+"""Distribution hardening efforts (paper sections 3.1 and 5.2).
+
+The pre-Protego techniques distributions used to prune setuid-to-root
+binaries, with the paper's accounting of their progress and limits:
+
+* Ubuntu eliminated roughly 30 setuid-to-root packages since 2008
+  (section 3.1);
+* yet added 21 *new* setuid-to-root binaries based on new code over
+  the three years before the paper (section 5.2) — the treadmill
+  Protego aims to end;
+* the three techniques (consolidation, file-system permissions,
+  capabilities) each retire some binaries but cannot enforce least
+  privilege on the remainder.
+
+Each technique row carries an executable demonstration against the
+simulator, including the technique's characteristic *failure* (what
+it cannot express), mirroring the section's conclusion: "These
+techniques are insufficient to enforce least privilege on all
+categories of current setuid-root binaries."
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List
+
+from repro.core import System, SystemMode
+from repro.kernel.capabilities import Capability, CapabilitySet
+from repro.kernel.errno import SyscallError
+
+UBUNTU_PACKAGES_ELIMINATED_SINCE_2008 = 30
+UBUNTU_NEW_SETUID_BINARIES_IN_3_YEARS = 21
+
+
+@dataclasses.dataclass(frozen=True)
+class HardeningTechnique:
+    """One row of section 3.1's technique list."""
+
+    name: str
+    description: str
+    example: str
+    limitation: str
+    demo: Callable[[], Dict[str, bool]]
+
+
+def _demo_consolidation() -> Dict[str, bool]:
+    """Consolidation: many mail packages share one setuid helper
+    (sensible-mda). Fewer trusted binaries — but the one that remains
+    still runs as root."""
+    system = System(SystemMode.LINUX)
+    alice = system.session_for("alice")
+    seen = {}
+
+    def payload(kernel, task):
+        seen["euid"] = task.cred.euid
+
+    program = system.programs["/usr/sbin/sensible-mda"]
+    program.exploit = payload
+    status, _ = system.run(alice, "/usr/sbin/sensible-mda",
+                           ["sensible-mda", "a@x", "alice", "hello"])
+    program.exploit = None
+    return {
+        "delivery_works": status == 0,
+        "helper_still_runs_as_root": seen.get("euid") == 0,
+    }
+
+
+def _demo_file_permissions() -> Dict[str, bool]:
+    """File-system permissions: a spool writable by a dedicated group
+    replaces root (the at/lpr pattern). Works for file access — but
+    cannot express anything about system calls."""
+    system = System(SystemMode.LINUX)
+    kernel = system.kernel
+    init = kernel.init
+    # The hardened layout: /var/spool/jobs owned by group 'spool'.
+    kernel.sys_mkdir(init, "/var/spool/jobs", 0o2775)
+    kernel.sys_chown(init, "/var/spool/jobs", 0, 70)
+    writer = kernel.user_task(1000, 1000, [70])   # alice, in the group
+    outsider = kernel.user_task(1001, 1001)
+    results = {}
+    try:
+        kernel.write_file(writer, "/var/spool/jobs/job1", b"at job")
+        results["group_member_writes_spool"] = True
+    except SyscallError:
+        results["group_member_writes_spool"] = False
+    try:
+        kernel.write_file(outsider, "/var/spool/jobs/job2", b"x")
+        results["outsider_blocked"] = False
+    except SyscallError:
+        results["outsider_blocked"] = True
+    # The limitation: group membership cannot authorize a mount.
+    try:
+        kernel.sys_mount(writer, "/dev/cdrom", "/cdrom")
+        results["cannot_express_syscall_policy"] = False
+    except SyscallError:
+        results["cannot_express_syscall_policy"] = True
+    return results
+
+
+def _demo_capabilities() -> Dict[str, bool]:
+    """setcap: ping keeps only CAP_NET_RAW. A compromise no longer
+    yields root — but CAP_NET_RAW is still coarser than ping's safe
+    functionality (it can spoof TCP)."""
+    system = System(SystemMode.LINUX)
+    root = system.root_session()
+    system.kernel.sys_chmod(root, "/bin/ping", 0o755)
+    system.kernel.sys_setcap(root, "/bin/ping",
+                             CapabilitySet([Capability.CAP_NET_RAW]))
+    alice = system.session_for("alice")
+    status, _ = system.run(alice, "/bin/ping", ["ping", "-c", "1", "8.8.8.8"])
+    results = {"ping_works_without_setuid": status == 0}
+
+    outcome = {}
+
+    def payload(kernel, task):
+        outcome["has_net_raw"] = task.cred.has_cap(Capability.CAP_NET_RAW)
+        outcome["has_sys_admin"] = task.cred.has_cap(Capability.CAP_SYS_ADMIN)
+
+    program = system.programs["/bin/ping"]
+    program.exploit = payload
+    system.run(alice, "/bin/ping", ["ping", "-c", "1", "8.8.8.8"])
+    program.exploit = None
+    results["compromise_no_longer_root"] = not outcome.get("has_sys_admin", True)
+    results["but_grant_still_coarse"] = outcome.get("has_net_raw", False)
+    return results
+
+
+TECHNIQUES: List[HardeningTechnique] = [
+    HardeningTechnique(
+        name="Consolidation",
+        description="When several packages perform similar tasks, a shared "
+                    "setuid helper replaces them.",
+        example="sensible-mda for the mail servers",
+        limitation="the surviving helper is still setuid root",
+        demo=_demo_consolidation,
+    ),
+    HardeningTechnique(
+        name="File system permissions",
+        description="Protected files under /var get an unprivileged owner "
+                    "or group; setuid-root becomes setuid/setgid non-root.",
+        example="at's job spool",
+        limitation="only expresses file access, never syscall policy",
+        demo=_demo_file_permissions,
+    ),
+    HardeningTechnique(
+        name="Capabilities",
+        description="setcap launches the binary with specific capabilities "
+                    "instead of the setuid bit.",
+        example="ping with CAP_NET_RAW",
+        limitation="several binaries need capabilities tantamount to root; "
+                   "the grant remains coarser than the safe functionality",
+        demo=_demo_capabilities,
+    ),
+]
+
+
+def run_all_demos() -> List[dict]:
+    rows = []
+    for technique in TECHNIQUES:
+        rows.append({
+            "technique": technique.name,
+            "example": technique.example,
+            "limitation": technique.limitation,
+            "results": technique.demo(),
+        })
+    return rows
+
+
+def treadmill_summary() -> dict:
+    """Section 5.2's point about code age: pruning old setuid binaries
+    while adding new ones keeps the highest-risk (young) code
+    privileged."""
+    return {
+        "eliminated_since_2008": UBUNTU_PACKAGES_ELIMINATED_SINCE_2008,
+        "new_setuid_binaries_last_3_years": UBUNTU_NEW_SETUID_BINARIES_IN_3_YEARS,
+        "note": "new code carries the highest probability of exploitable "
+                "bugs; Protego's long-term goal is obviating the need for "
+                "new setuid-to-root binaries entirely",
+    }

@@ -1,0 +1,83 @@
+"""Toward zero setuid-to-root binaries (paper section 5.4, Table 8).
+
+The survey of the 67 packages (91 binaries) outside the section 4
+study, grouped by the interface that requires privilege. Interfaces
+above the line are already addressed by Protego's policy abstractions
+(77 binaries, possibly with policy refinement); those below require
+future work (14 binaries).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Tuple
+
+REMAINING_PACKAGES = 67
+REMAINING_BINARIES = 91
+
+
+@dataclasses.dataclass(frozen=True)
+class InterfaceGroup:
+    """One row of Table 8."""
+
+    interface: str
+    binary_count: int
+    addressed_by_protego: bool
+    protego_mechanism: str = ""
+
+
+TABLE8_ROWS: List[InterfaceGroup] = [
+    InterfaceGroup("socket", 14, True,
+                   "unprivileged raw sockets + netfilter rules (4.1.1)"),
+    InterfaceGroup("bind", 23, True,
+                   "/etc/bind port-to-instance map (4.1.3)"),
+    InterfaceGroup("mount", 3, True,
+                   "kernel mount whitelist (4.2)"),
+    InterfaceGroup("setuid, setgid", 24, True,
+                   "delegation rules + setuid-on-exec (4.3)"),
+    InterfaceGroup("Video driver control state", 13, True,
+                   "KMS: kernel-side mode setting (4.5)"),
+    InterfaceGroup("chroot/namespace", 6, False,
+                   "unprivileged namespaces in Linux >= 3.8 (4.6)"),
+    InterfaceGroup("miscellaneous", 8, False, ""),
+]
+
+
+#: Section 5.4's decomposition of the 14 future-work binaries.
+FUTURE_WORK_BREAKDOWN: List[Tuple[str, int, str]] = [
+    ("Namespaces", 6,
+     "no longer require privilege in Linux kernel 3.8 and higher"),
+    ("System administration", 3,
+     "reboot, module loading, network configuration; some may use "
+     "PolicyKit or sudo, others need additional consideration"),
+    ("Open a custom device", 5,
+     "virtualbox's kernel-coupled device; a sensible policy needs "
+     "additional work"),
+]
+
+
+def table8() -> List[dict]:
+    return [
+        {
+            "interface": row.interface,
+            "binaries": row.binary_count,
+            "addressed": row.addressed_by_protego,
+            "mechanism": row.protego_mechanism,
+        }
+        for row in TABLE8_ROWS
+    ]
+
+
+def summary() -> dict:
+    addressed = sum(r.binary_count for r in TABLE8_ROWS if r.addressed_by_protego)
+    future = sum(r.binary_count for r in TABLE8_ROWS if not r.addressed_by_protego)
+    return {
+        "remaining_packages": REMAINING_PACKAGES,
+        "remaining_binaries": REMAINING_BINARIES,
+        "addressed_by_existing_abstractions": addressed,  # paper: 77
+        "requiring_future_work": future,                  # paper: 14
+        "future_work_breakdown": [
+            {"category": name, "binaries": count, "note": note}
+            for name, count, note in FUTURE_WORK_BREAKDOWN
+        ],
+    }

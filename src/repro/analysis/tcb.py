@@ -1,0 +1,242 @@
+"""Trusted-computing-base accounting (paper Tables 1 and 2).
+
+The paper counts lines written/changed per component (Table 2) and the
+net change in privileged code (Table 1). This module performs the same
+accounting over *this repository*: each paper component is mapped to
+the modules that implement it here, and lines are counted the way the
+paper counts them — ignoring whitespace, comments, and docstrings.
+
+Absolute line counts differ (Python vs C, simulator vs kernel); the
+reproduced claim is the *shape*: the privileged additions (kernel
+hooks, LSM, daemon, authentication utility) are a small fraction of
+the deprivileged utility code.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import io
+import tokenize
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+import repro
+
+REPRO_ROOT = Path(repro.__file__).parent
+
+#: The eight system calls whose policy Protego changes (sections 1-2).
+CHANGED_SYSCALLS = (
+    "mount", "umount", "setuid", "setgid", "socket", "bind", "ioctl", "exec",
+)
+
+
+def count_loc(source: str) -> int:
+    """Count code lines: no blanks, comments, or docstrings."""
+    # Drop docstrings by collecting their line ranges from the AST.
+    doc_lines = set()
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        tree = None
+    if tree is not None:
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.Module, ast.ClassDef, ast.FunctionDef,
+                                 ast.AsyncFunctionDef)):
+                body = getattr(node, "body", [])
+                if body and isinstance(body[0], ast.Expr) and isinstance(
+                        body[0].value, ast.Constant) and isinstance(
+                        body[0].value.value, str):
+                    doc_lines.update(
+                        range(body[0].lineno, body[0].end_lineno + 1))
+    comment_lines = set()
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                comment_lines.add(token.start[0])
+    except (tokenize.TokenError, IndentationError):
+        pass
+    count = 0
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if lineno in doc_lines:
+            continue
+        if lineno in comment_lines and stripped.startswith("#"):
+            continue
+        count += 1
+    return count
+
+
+def count_module_loc(relative_paths: Sequence[str]) -> int:
+    total = 0
+    for rel in relative_paths:
+        path = REPRO_ROOT / rel
+        total += count_loc(path.read_text())
+    return total
+
+
+@dataclasses.dataclass(frozen=True)
+class Component:
+    """One row of Table 2."""
+
+    name: str
+    section: str       # Kernel / Trusted Services / Utilities
+    description: str
+    paper_lines: int   # lines written or changed in the paper
+    modules: Tuple[str, ...]  # our implementing modules
+
+
+TABLE2_COMPONENTS: List[Component] = [
+    Component(
+        "Linux", "Kernel",
+        "Additional LSM hooks, /proc filesystem interface.", 415,
+        ("kernel/lsm.py", "kernel/procfs.py"),
+    ),
+    Component(
+        "Protego LSM module", "Kernel",
+        "Implement security policies, called by additional LSM hooks.", 200,
+        ("core/protego.py", "core/mount_policy.py", "core/bind_policy.py",
+         "core/delegation.py", "core/route_policy.py", "core/recency.py",
+         "core/procfiles.py"),
+    ),
+    Component(
+        "Netfilter", "Kernel",
+        "Extensions for raw sockets.", 100,
+        ("core/rawsock_policy.py",),
+    ),
+    Component(
+        "Monitoring daemon", "Trusted Services",
+        "Monitors changes in policy-relevant configuration files; "
+        "backwards compatibility only.", 400,
+        ("daemon/monitor.py", "daemon/inotify.py"),
+    ),
+    Component(
+        "Authentication utility", "Trusted Services",
+        "Authenticates user sessions and password-protected groups; "
+        "refactored from login and newgrp.", 1200,
+        ("auth/service.py", "auth/passwords.py"),
+    ),
+    Component(
+        "iptables", "Utilities",
+        "Extension for raw sockets.", 175,
+        ("userspace/iptables.py",),
+    ),
+    Component(
+        "vipw", "Utilities",
+        "Modified to edit per-user files instead of a shared database.", 40,
+        ("userspace/accounts.py",),
+    ),
+    Component(
+        "dmcrypt-get-device", "Utilities",
+        "Switch to /sys to read underlying device information.", 4,
+        ("userspace/dmcrypt.py",),
+    ),
+    Component(
+        "mount/umount, sudo, pppd", "Utilities",
+        "Disable hard-coded root uid checks.", -25,
+        ("userspace/mount.py", "userspace/sudo.py", "userspace/pppd.py"),
+    ),
+]
+
+#: The paper prints "Grand Total Changed 2,598"; the listed component
+#: rows sum to 2,509 (treating the -25 row as signed). The table's
+#: dmcrypt row is visibly truncated in the published PDF, so the
+#: remainder presumably hides there; we preserve both numbers.
+PAPER_TABLE2_TOTAL = 2_598
+PAPER_TABLE2_COMPONENT_SUM = 2_509
+
+#: The previously-setuid utilities whose code no longer executes with
+#: privilege on Protego (the paper's 15,047 gross / 12,717 net lines).
+DEPRIVILEGED_MODULES = (
+    "userspace/mount.py", "userspace/ping.py", "userspace/sudo.py",
+    "userspace/su.py", "userspace/passwd.py", "userspace/accounts.py",
+    "userspace/pppd.py", "userspace/dmcrypt.py", "userspace/sshkeysign.py",
+    "userspace/mailserver.py", "userspace/xserver.py",
+)
+
+PAPER_DEPRIVILEGED_GROSS = 15_047
+PAPER_DEPRIVILEGED_NET = 12_717
+PAPER_TRUSTED_ADDITIONS = 715 + 400 + 1200  # kernel + daemon + auth utility
+
+
+def table2() -> List[dict]:
+    """Regenerate Table 2 with this repo's measured lines alongside
+    the paper's."""
+    rows = []
+    for component in TABLE2_COMPONENTS:
+        rows.append({
+            "component": component.name,
+            "section": component.section,
+            "description": component.description,
+            "paper_lines": component.paper_lines,
+            "measured_lines": count_module_loc(component.modules),
+        })
+    return rows
+
+
+def trusted_addition_summary() -> dict:
+    """The security-evaluation accounting (section 5.2).
+
+    Two caveats make absolute comparison meaningless and are recorded
+    rather than hidden: (1) the simulator's utilities are far more
+    compact than the C binaries they model (the kernel substrate
+    absorbs the complexity the real binaries carry), and (2) our
+    ``kernel/lsm.py`` implements the whole LSM *framework*, which
+    stock Linux already ships — the paper's 415 lines are only the
+    added hooks. The claim that survives translation is the paper's
+    own emphasis: "the policy enforcement code in the kernel is only
+    200 lines of straightforward C" — small relative to everything it
+    deprivileges.
+    """
+    kernel_added = sum(
+        r["measured_lines"] for r in table2() if r["section"] == "Kernel")
+    services_added = sum(
+        r["measured_lines"] for r in table2()
+        if r["section"] == "Trusted Services")
+    deprivileged = count_module_loc(DEPRIVILEGED_MODULES)
+    enforcement_core = count_module_loc(("core/protego.py",))
+    return {
+        "kernel_lines_added": kernel_added,
+        "policy_enforcement_lines": enforcement_core,
+        "trusted_service_lines_added": services_added,
+        "deprivileged_lines": deprivileged,
+        "net_tcb_reduction": deprivileged - (kernel_added + services_added),
+        "paper_kernel_lines_added": 715,
+        "paper_policy_enforcement_lines": 200,
+        "paper_deprivileged_lines": PAPER_DEPRIVILEGED_GROSS,
+        "paper_net_tcb_reduction": PAPER_DEPRIVILEGED_NET,
+    }
+
+
+def tcb_shape_holds() -> bool:
+    """The paper's structural claim, in the form that survives the
+    C-to-simulator translation: the kernel policy-enforcement core is
+    a few hundred lines, far smaller than the utility code it
+    deprivileges."""
+    summary = trusted_addition_summary()
+    return (
+        summary["policy_enforcement_lines"] < 1000
+        and summary["deprivileged_lines"] > summary["policy_enforcement_lines"]
+    )
+
+
+def table1_summary(max_overhead_percent: float = None) -> dict:
+    """Regenerate Table 1 (the headline summary)."""
+    from repro.analysis.cves import escalation_summary
+    from repro.analysis.popcon import PAPER_COVERAGE_PERCENT
+
+    cve = escalation_summary()
+    summary = trusted_addition_summary()
+    return {
+        "net_lines_deprivileged": summary["deprivileged_lines"],
+        "paper_net_lines_deprivileged": PAPER_DEPRIVILEGED_NET,
+        "coverage_percent": PAPER_COVERAGE_PERCENT,
+        "exploits_deprivileged": f"{cve['deprivileged_on_protego']}/{cve['total_escalations']}",
+        "paper_exploits_deprivileged": "40/40",
+        "max_overhead_percent": max_overhead_percent,
+        "paper_max_overhead_percent": 7.4,
+        "syscalls_changed": len(CHANGED_SYSCALLS),
+        "paper_syscalls_changed": 8,
+    }

@@ -1,0 +1,11 @@
+"""AppArmor-style baseline LSM.
+
+Protego is built as an extension of AppArmor (the paper's baseline is
+Linux with AppArmor enabled); this package provides the path-based
+profile confinement Protego stacks on.
+"""
+
+from repro.apparmor.module import AppArmorLSM
+from repro.apparmor.profiles import AccessMode, Profile, ProfileRule
+
+__all__ = ["AccessMode", "AppArmorLSM", "Profile", "ProfileRule"]

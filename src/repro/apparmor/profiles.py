@@ -1,0 +1,101 @@
+"""AppArmor-style profiles: per-binary path and capability rules.
+
+A profile confines one executable (matched by its path): which file
+paths it may read/write/execute, and which capabilities it may use.
+Unprofiled binaries are unconfined, as on stock Ubuntu.
+
+This is deliberately the *administrator-perspective* confinement the
+paper contrasts with Protego: a confined mount may still mount
+anything mount(2) lets it mount — the profile only limits collateral
+damage (section 1's AppArmor discussion).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import re
+from typing import FrozenSet, Iterable, Optional, Tuple
+
+from repro.kernel.capabilities import Capability
+
+
+class AccessMode(enum.Flag):
+    NONE = 0
+    READ = enum.auto()
+    WRITE = enum.auto()
+    EXEC = enum.auto()
+
+    @classmethod
+    def parse(cls, text: str) -> "AccessMode":
+        mode = cls.NONE
+        for char in text:
+            mode |= {"r": cls.READ, "w": cls.WRITE, "x": cls.EXEC}[char]
+        return mode
+
+
+@dataclasses.dataclass(frozen=True)
+class ProfileRule:
+    """One path rule, e.g. ``/etc/fstab r`` or ``/media/** rw``."""
+
+    pattern: str
+    mode: AccessMode
+
+    def matches(self, path: str) -> bool:
+        if self.pattern.endswith("/**"):
+            prefix = self.pattern[:-3]
+            return path == prefix or path.startswith(prefix + "/")
+        return _glob_to_regex(self.pattern).match(path) is not None
+
+
+def _glob_to_regex(pattern: str) -> "re.Pattern":
+    """AppArmor-style glob: ``*`` stays within one path segment,
+    ``**`` crosses segments, ``?`` matches one non-slash character."""
+    out = []
+    i = 0
+    while i < len(pattern):
+        char = pattern[i]
+        if char == "*":
+            if pattern[i:i + 2] == "**":
+                out.append(".*")
+                i += 2
+                continue
+            out.append("[^/]*")
+        elif char == "?":
+            out.append("[^/]")
+        else:
+            out.append(re.escape(char))
+        i += 1
+    return re.compile("".join(out) + r"\Z")
+
+
+@dataclasses.dataclass
+class Profile:
+    """Confinement for one binary."""
+
+    binary: str
+    rules: Tuple[ProfileRule, ...] = ()
+    capabilities: FrozenSet[Capability] = frozenset()
+    #: complain mode logs would-be denials without enforcing them.
+    enforce: bool = True
+
+    def allows_path(self, path: str, mode: AccessMode) -> bool:
+        granted = AccessMode.NONE
+        for rule in self.rules:
+            if rule.matches(path):
+                granted |= rule.mode
+        return (granted & mode) == mode
+
+    def allows_capability(self, cap: Capability) -> bool:
+        return cap in self.capabilities
+
+
+def make_profile(binary: str, path_rules: Iterable[Tuple[str, str]] = (),
+                 capabilities: Iterable[Capability] = (),
+                 enforce: bool = True) -> Profile:
+    """Convenience constructor:
+    ``make_profile("/bin/ping", [("/etc/hosts", "r")], [CAP_NET_RAW])``.
+    """
+    rules = tuple(ProfileRule(pattern, AccessMode.parse(mode))
+                  for pattern, mode in path_rules)
+    return Profile(binary, rules, frozenset(capabilities), enforce)

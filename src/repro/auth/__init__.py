@@ -1,0 +1,13 @@
+"""Trusted authentication components.
+
+The authentication utility (paper, Table 2: 1,200 lines refactored
+from login and newgrp) is the one service that legitimately handles
+secrets under Protego: it verifies passwords for user sessions,
+delegation (sudo-style recency), and password-protected groups, and
+stamps the kernel-side last-authentication time.
+"""
+
+from repro.auth.passwords import hash_password, verify_password
+from repro.auth.service import AuthenticationService, AuthResult
+
+__all__ = ["AuthResult", "AuthenticationService", "hash_password", "verify_password"]

@@ -1,0 +1,45 @@
+"""Password hashing in a crypt(3)-style format.
+
+Hashes look like ``$5$<salt>$<hex>`` (the SHA-256 scheme's format),
+so shadow files round-trip through the standard parsers. Locked
+accounts use the conventional ``!`` / ``*`` markers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import secrets
+
+_SCHEME = "5"  # crypt id for sha256
+_ROUNDS = 1000
+
+
+def hash_password(password: str, salt: str = "") -> str:
+    """Hash *password*; generates a random salt when none is given."""
+    if not salt:
+        salt = secrets.token_hex(8)
+    digest = password.encode() + salt.encode()
+    for _ in range(_ROUNDS):
+        digest = hashlib.sha256(digest).digest()
+    return f"${_SCHEME}${salt}${digest.hex()}"
+
+
+def verify_password(password: str, stored: str) -> bool:
+    """Constant-time comparison against a stored hash.
+
+    Locked or empty hashes never verify.
+    """
+    if not stored or stored.startswith(("!", "*")):
+        return False
+    parts = stored.split("$")
+    if len(parts) != 4 or parts[1] != _SCHEME:
+        return False
+    _, _, salt, _ = parts
+    candidate = hash_password(password, salt)
+    return hmac.compare_digest(candidate, stored)
+
+
+def lock_marker() -> str:
+    """The hash value of an account that cannot log in."""
+    return "!"

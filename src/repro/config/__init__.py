@@ -1,0 +1,50 @@
+"""Parsers for the policy-relevant configuration files.
+
+These are the legacy files whose policies Protego migrates into the
+kernel (paper section 2): /etc/fstab (user mounts), /etc/sudoers and
+/etc/sudoers.d (delegation), the /etc/bind port map, /etc/ppp/options,
+and the credential databases /etc/passwd, /etc/shadow, /etc/group.
+
+All parsers are pure: text in, structured records out. The monitoring
+daemon composes them with the VFS watch framework; the same parsers
+back the /proc configuration grammar.
+"""
+
+from repro.config.bindconf import BindConfigError, BindEntry, parse_bind_config
+from repro.config.fstab import FstabEntry, format_fstab, parse_fstab
+from repro.config.passwd_db import (
+    GroupEntry,
+    PasswdEntry,
+    ShadowEntry,
+    format_group,
+    format_passwd,
+    format_shadow,
+    parse_group,
+    parse_passwd,
+    parse_shadow,
+)
+from repro.config.pppoptions import PPPOptions, parse_ppp_options
+from repro.config.sudoers import SudoersError, SudoRule, parse_sudoers
+
+__all__ = [
+    "BindConfigError",
+    "BindEntry",
+    "FstabEntry",
+    "GroupEntry",
+    "PasswdEntry",
+    "PPPOptions",
+    "ShadowEntry",
+    "SudoRule",
+    "SudoersError",
+    "format_fstab",
+    "format_group",
+    "format_passwd",
+    "format_shadow",
+    "parse_bind_config",
+    "parse_fstab",
+    "parse_group",
+    "parse_passwd",
+    "parse_ppp_options",
+    "parse_shadow",
+    "parse_sudoers",
+]

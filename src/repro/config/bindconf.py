@@ -1,0 +1,82 @@
+"""/etc/bind — the privileged-port allocation map.
+
+The paper (section 4.1.3): Protego uses a tuple of (binary path name,
+user ID) to represent an application instance, and a simple policy
+configuration file, /etc/bind, which maps each TCP or UDP port below
+1024 to an application instance. Each port may map to only one
+application instance.
+
+Grammar (one mapping per line)::
+
+    <port>/<proto>  <binary-path>  <user>
+
+e.g.::
+
+    25/tcp   /usr/sbin/exim4   Debian-exim
+    80/tcp   /usr/sbin/apache2 www-data
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+from repro.kernel.net.socket import PRIVILEGED_PORT_MAX
+
+
+class BindConfigError(ValueError):
+    pass
+
+
+@dataclasses.dataclass(frozen=True)
+class BindEntry:
+    port: int
+    proto: str           # "tcp" or "udp"
+    binary: str          # absolute path of the allowed binary
+    user: str            # username (resolved to a uid by the daemon)
+
+    def format(self) -> str:
+        return f"{self.port}/{self.proto}\t{self.binary}\t{self.user}"
+
+
+def parse_bind_config(text: str) -> List[BindEntry]:
+    entries: List[BindEntry] = []
+    seen: Dict[Tuple[int, str], int] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        fields = line.split()
+        if len(fields) != 3:
+            raise BindConfigError(
+                f"/etc/bind line {lineno}: expected '<port>/<proto> <binary> <user>'"
+            )
+        portspec, binary, user = fields
+        if "/" not in portspec:
+            raise BindConfigError(f"/etc/bind line {lineno}: bad port spec {portspec!r}")
+        port_text, proto = portspec.split("/", 1)
+        try:
+            port = int(port_text)
+        except ValueError:
+            raise BindConfigError(f"/etc/bind line {lineno}: bad port {port_text!r}") from None
+        if not 0 < port < PRIVILEGED_PORT_MAX:
+            raise BindConfigError(
+                f"/etc/bind line {lineno}: port {port} is not privileged (<{PRIVILEGED_PORT_MAX})"
+            )
+        if proto not in ("tcp", "udp"):
+            raise BindConfigError(f"/etc/bind line {lineno}: bad protocol {proto!r}")
+        if not binary.startswith("/"):
+            raise BindConfigError(f"/etc/bind line {lineno}: binary must be absolute")
+        key = (port, proto)
+        if key in seen:
+            raise BindConfigError(
+                f"/etc/bind line {lineno}: {port}/{proto} already mapped on line {seen[key]}"
+            )
+        seen[key] = lineno
+        entries.append(BindEntry(port, proto, binary, user))
+    return entries
+
+
+def format_bind_config(entries: List[BindEntry]) -> str:
+    header = "# <port>/<proto>\t<binary>\t<user>\n"
+    return header + "".join(entry.format() + "\n" for entry in entries)

@@ -1,0 +1,78 @@
+"""/etc/fstab parsing.
+
+The "user" and "users" options are the operational constraint the
+administrator sets for unprivileged mounts (paper section 2): a mount
+request from a non-root user must match a user-mountable fstab entry
+in device, mountpoint, and options.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class FstabEntry:
+    """One fstab row: device, mountpoint, type, options, dump, pass."""
+
+    device: str
+    mountpoint: str
+    fstype: str
+    options: Tuple[str, ...] = ("defaults",)
+    dump: int = 0
+    passno: int = 0
+
+    def user_mountable(self) -> bool:
+        """True when the administrator allowed user mounts here."""
+        return "user" in self.options or "users" in self.options
+
+    def any_user_may_umount(self) -> bool:
+        """'users' lets any user unmount; 'user' only the mounter."""
+        return "users" in self.options
+
+    def nosuid_implied(self) -> bool:
+        """The user option implies nosuid,nodev unless overridden —
+        exactly the hardening mount(8) applies."""
+        if not self.user_mountable():
+            return False
+        return "suid" not in self.options
+
+    def format(self) -> str:
+        opts = ",".join(self.options)
+        return (
+            f"{self.device}\t{self.mountpoint}\t{self.fstype}\t"
+            f"{opts}\t{self.dump}\t{self.passno}"
+        )
+
+
+def parse_fstab(text: str) -> List[FstabEntry]:
+    """Parse fstab text; ignores comments and blank lines.
+
+    Raises ValueError on malformed rows (too few fields) so the
+    monitoring daemon can reject a bad edit instead of silently
+    loading half a policy.
+    """
+    entries: List[FstabEntry] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        fields = line.split()
+        if len(fields) < 3:
+            raise ValueError(f"fstab line {lineno}: expected at least 3 fields: {raw!r}")
+        device, mountpoint, fstype = fields[:3]
+        options = tuple(fields[3].split(",")) if len(fields) > 3 else ("defaults",)
+        dump = int(fields[4]) if len(fields) > 4 else 0
+        passno = int(fields[5]) if len(fields) > 5 else 0
+        entries.append(FstabEntry(device, mountpoint, fstype, options, dump, passno))
+    return entries
+
+
+def format_fstab(entries: List[FstabEntry]) -> str:
+    header = "# <device>\t<mountpoint>\t<type>\t<options>\t<dump>\t<pass>\n"
+    return header + "".join(entry.format() + "\n" for entry in entries)
+
+
+def user_mountable_entries(entries: List[FstabEntry]) -> List[FstabEntry]:
+    return [entry for entry in entries if entry.user_mountable()]

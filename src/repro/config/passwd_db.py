@@ -1,0 +1,125 @@
+"""Credential database records: /etc/passwd, /etc/shadow, /etc/group.
+
+Protego fragments these shared, root-owned databases into per-account
+files matching DAC granularity (paper section 4.4); both the legacy
+whole-file format and the per-record fragments use these records.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+
+@dataclasses.dataclass
+class PasswdEntry:
+    """One /etc/passwd row."""
+
+    name: str
+    uid: int
+    gid: int
+    gecos: str = ""
+    home: str = ""
+    shell: str = "/bin/sh"
+    password_field: str = "x"
+
+    def format(self) -> str:
+        return (
+            f"{self.name}:{self.password_field}:{self.uid}:{self.gid}:"
+            f"{self.gecos}:{self.home}:{self.shell}"
+        )
+
+
+@dataclasses.dataclass
+class ShadowEntry:
+    """One /etc/shadow row (only the fields the utilities touch)."""
+
+    name: str
+    password_hash: str
+    last_change: int = 0
+    min_days: int = 0
+    max_days: int = 99999
+
+    def format(self) -> str:
+        return (
+            f"{self.name}:{self.password_hash}:{self.last_change}:"
+            f"{self.min_days}:{self.max_days}:7:::"
+        )
+
+
+@dataclasses.dataclass
+class GroupEntry:
+    """One /etc/group row; ``password_hash`` non-empty means the group
+    is password-protected (joinable via newgrp with the password)."""
+
+    name: str
+    gid: int
+    members: List[str] = dataclasses.field(default_factory=list)
+    password_hash: str = ""
+
+    def format(self) -> str:
+        pw = self.password_hash or "x"
+        return f"{self.name}:{pw}:{self.gid}:{','.join(self.members)}"
+
+
+def _rows(text: str) -> List[List[str]]:
+    rows = []
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        rows.append(line.split(":"))
+    return rows
+
+
+def parse_passwd(text: str) -> List[PasswdEntry]:
+    entries = []
+    for fields in _rows(text):
+        if len(fields) < 7:
+            fields = fields + [""] * (7 - len(fields))
+        name, password_field, uid, gid, gecos, home, shell = fields[:7]
+        entries.append(PasswdEntry(name, int(uid), int(gid), gecos, home,
+                                   shell or "/bin/sh", password_field or "x"))
+    return entries
+
+
+def parse_shadow(text: str) -> List[ShadowEntry]:
+    entries = []
+    for fields in _rows(text):
+        fields = fields + [""] * (5 - len(fields))
+        name, password_hash = fields[0], fields[1]
+        last_change = int(fields[2]) if fields[2] else 0
+        min_days = int(fields[3]) if fields[3] else 0
+        max_days = int(fields[4]) if len(fields) > 4 and fields[4] else 99999
+        entries.append(ShadowEntry(name, password_hash, last_change, min_days, max_days))
+    return entries
+
+
+def parse_group(text: str) -> List[GroupEntry]:
+    entries = []
+    for fields in _rows(text):
+        fields = fields + [""] * (4 - len(fields))
+        name, pw, gid, members = fields[:4]
+        member_list = [m for m in members.split(",") if m]
+        password_hash = "" if pw in ("", "x", "*", "!") else pw
+        entries.append(GroupEntry(name, int(gid), member_list, password_hash))
+    return entries
+
+
+def format_passwd(entries: List[PasswdEntry]) -> str:
+    return "".join(entry.format() + "\n" for entry in entries)
+
+
+def format_shadow(entries: List[ShadowEntry]) -> str:
+    return "".join(entry.format() + "\n" for entry in entries)
+
+
+def format_group(entries: List[GroupEntry]) -> str:
+    return "".join(entry.format() + "\n" for entry in entries)
+
+
+def find_entry(entries: List, name: str) -> Optional[object]:
+    for entry in entries:
+        if entry.name == name:
+            return entry
+    return None

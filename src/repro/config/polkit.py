@@ -1,0 +1,131 @@
+"""PolicyKit rules and D-Bus system-service activation configs.
+
+The paper (section 4.3) lists pkexec, polkit-agent-helper-1, and
+dbus-daemon-launch-helper among the delegation utilities whose
+policies "Protego encodes ... as extended sudoers rules". These
+parsers read the legacy configuration; the monitoring daemon
+translates them into sudoers drop-ins so the kernel delegation policy
+covers them.
+
+PolicyKit grammar (one rule per line)::
+
+    action <action-id> <auth> <command> [group=<name>]
+
+with ``auth`` one of:
+
+* ``yes``        — allowed outright;
+* ``auth_self``  — the invoking user re-authenticates;
+* ``auth_admin`` — an admin-group member authenticates;
+* ``no``         — never.
+
+D-Bus service grammar::
+
+    service <service-name> <user> <binary>
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+VALID_AUTH = ("yes", "no", "auth_self", "auth_admin")
+
+
+class PolkitError(ValueError):
+    pass
+
+
+@dataclasses.dataclass(frozen=True)
+class PolkitRule:
+    """One PolicyKit action rule."""
+
+    action_id: str
+    auth: str                # yes | no | auth_self | auth_admin
+    command: str
+    admin_group: str = "admin"
+
+
+@dataclasses.dataclass(frozen=True)
+class DbusService:
+    """One activatable D-Bus system service."""
+
+    name: str
+    user: str
+    binary: str
+
+
+def parse_polkit_rules(text: str) -> List[PolkitRule]:
+    rules: List[PolkitRule] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        fields = line.split()
+        if fields[0] != "action" or len(fields) < 4:
+            raise PolkitError(
+                f"polkit rules line {lineno}: expected "
+                f"'action <id> <auth> <command> [group=<name>]'")
+        _, action_id, auth, command = fields[:4]
+        if auth not in VALID_AUTH:
+            raise PolkitError(f"polkit rules line {lineno}: bad auth {auth!r}")
+        if not command.startswith("/"):
+            raise PolkitError(f"polkit rules line {lineno}: command must be absolute")
+        admin_group = "admin"
+        for extra in fields[4:]:
+            if extra.startswith("group="):
+                admin_group = extra[len("group="):]
+            else:
+                raise PolkitError(f"polkit rules line {lineno}: bad field {extra!r}")
+        rules.append(PolkitRule(action_id, auth, command, admin_group))
+    return rules
+
+
+def parse_dbus_services(text: str) -> List[DbusService]:
+    services: List[DbusService] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        fields = line.split()
+        if fields[0] != "service" or len(fields) != 4:
+            raise PolkitError(
+                f"dbus services line {lineno}: expected "
+                f"'service <name> <user> <binary>'")
+        _, name, user, binary = fields
+        if not binary.startswith("/"):
+            raise PolkitError(f"dbus services line {lineno}: binary must be absolute")
+        services.append(DbusService(name, user, binary))
+    return services
+
+
+def polkit_rules_to_sudoers(rules: List[PolkitRule]) -> str:
+    """Explicate PolicyKit rules as extended sudoers rules
+    (section 4.3: "Protego encodes the policies of a wide range of
+    delegation utilities as extended sudoers rules, including ...
+    policykit").
+
+    * ``yes``        -> ALL = (root) NOPASSWD: command
+    * ``auth_self``  -> ALL = (root) command  (invoker password)
+    * ``auth_admin`` -> %group = (root) command
+    * ``no``         -> no rule (the kernel default denies)
+    """
+    lines = ["# generated from /etc/polkit-1/rules — do not edit"]
+    for rule in rules:
+        if rule.auth == "no":
+            continue
+        if rule.auth == "yes":
+            lines.append(f"ALL ALL=(root) NOPASSWD: {rule.command}")
+        elif rule.auth == "auth_self":
+            lines.append(f"ALL ALL=(root) {rule.command}")
+        elif rule.auth == "auth_admin":
+            lines.append(f"%{rule.admin_group} ALL=(root) {rule.command}")
+    return "\n".join(lines) + "\n"
+
+
+def dbus_services_to_sudoers(services: List[DbusService]) -> str:
+    """Explicate D-Bus activation: anyone may ask for the service to
+    run as its service user, and only as its registered binary."""
+    lines = ["# generated from /etc/dbus-1/system-services — do not edit"]
+    for service in services:
+        lines.append(f"ALL ALL=({service.user}) NOPASSWD: {service.binary}")
+    return "\n".join(lines) + "\n"

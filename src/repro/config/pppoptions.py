@@ -1,0 +1,70 @@
+"""/etc/ppp/options parsing.
+
+The paper (section 4.1.2): when pppd is launched by a non-root user,
+only certain safe configuration options are accepted (compression,
+congestion-control session parameters); the administrator can also
+allow unprivileged users to add routes over a ppp link — but only
+routes that do not conflict with existing ones. Protego mines these
+policies from /etc/ppp/options.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+#: Options any user may set on their own ppp session (session-local,
+#: cannot affect other users' traffic).
+SAFE_SESSION_OPTIONS = frozenset(
+    {
+        "compress", "nocompress", "bsdcomp", "deflate", "vj",
+        "mru", "mtu", "asyncmap", "crtscts", "lock", "noauth-self",
+        "lcp-echo-interval", "lcp-echo-failure", "ipcp-accept-local",
+        "ipcp-accept-remote", "noipdefault", "persist", "maxfail",
+    }
+)
+
+#: Options that reconfigure system-wide state: admin only.
+PRIVILEGED_OPTIONS = frozenset(
+    {"defaultroute", "proxyarp", "nodetach-system", "ktune", "ms-dns"}
+)
+
+
+@dataclasses.dataclass
+class PPPOptions:
+    """Parsed policy from /etc/ppp/options."""
+
+    allow_unprivileged_routes: bool = False
+    allow_unprivileged_defaultroute: bool = False
+    permitted_devices: Tuple[str, ...] = ()
+    session_defaults: Dict[str, str] = dataclasses.field(default_factory=dict)
+
+    def option_allowed_for_user(self, option: str) -> bool:
+        """May an unprivileged session set *option*?"""
+        if option in PRIVILEGED_OPTIONS:
+            return False
+        return option in SAFE_SESSION_OPTIONS or option in self.session_defaults
+
+    def device_allowed(self, device: str) -> bool:
+        if not self.permitted_devices:
+            return True
+        return device in self.permitted_devices
+
+
+def parse_ppp_options(text: str) -> PPPOptions:
+    options = PPPOptions()
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        fields = line.split()
+        keyword, args = fields[0], fields[1:]
+        if keyword == "user-routes":
+            options.allow_unprivileged_routes = True
+        elif keyword == "user-defaultroute":
+            options.allow_unprivileged_defaultroute = True
+        elif keyword == "permit-device":
+            options.permitted_devices = options.permitted_devices + tuple(args)
+        else:
+            options.session_defaults[keyword] = args[0] if args else ""
+    return options

@@ -1,0 +1,180 @@
+"""/etc/sudoers parsing.
+
+Implements the subset of the sudoers grammar the paper's delegation
+framework consumes (section 4.3):
+
+*   ``alice ALL=(bob) /usr/bin/lpr, /usr/bin/lpq`` — alice may run
+    exactly those binaries as bob;
+*   ``alice ALL=(ALL) ALL`` — full delegation;
+*   ``%admin ALL=(ALL) ALL`` — group-based rules;
+*   ``bob ALL=(alice) NOPASSWD: /usr/bin/lpr`` — skip the recency
+    check;
+*   ``Defaults timestamp_timeout=5`` — the authentication recency
+    window in minutes (sudo's famous 5-minute rule);
+*   comments and line continuations.
+
+Protego adds extended rules for the other delegation utilities (su,
+newgrp password-protected groups, policykit) in the same syntax via
+``/etc/sudoers.d`` drop-ins.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+ALL = "ALL"
+
+
+class SudoersError(ValueError):
+    """Malformed sudoers content; carries the offending line number."""
+
+    def __init__(self, lineno: int, message: str):
+        super().__init__(f"sudoers line {lineno}: {message}")
+        self.lineno = lineno
+
+
+@dataclasses.dataclass(frozen=True)
+class SudoRule:
+    """One delegation rule."""
+
+    invoker: str                    # username, %groupname, or ALL
+    hosts: str = ALL
+    runas_user: str = ALL
+    runas_group: str = ""
+    commands: Tuple[str, ...] = (ALL,)
+    nopasswd: bool = False
+    # su semantics: authenticate with the *target* user's password
+    # rather than the invoker's (Protego explication of su/newgrp).
+    check_target_password: bool = False
+    # Protego extension: the rule models a password-protected group
+    # (newgrp) rather than a uid transition.
+    group_join: str = ""
+
+    def invoker_is_group(self) -> bool:
+        return self.invoker.startswith("%")
+
+    def matches_invoker(self, username: str, group_names: List[str]) -> bool:
+        if self.invoker == ALL:
+            return True
+        if self.invoker_is_group():
+            return self.invoker[1:] in group_names
+        return self.invoker == username
+
+    def allows_target(self, target_username: str) -> bool:
+        return self.runas_user == ALL or self.runas_user == target_username
+
+    def allows_command(self, command: str) -> bool:
+        if ALL in self.commands:
+            return True
+        return command in self.commands
+
+
+@dataclasses.dataclass
+class SudoersPolicy:
+    """Parsed sudoers: rules plus Defaults that matter to Protego."""
+
+    rules: List[SudoRule] = dataclasses.field(default_factory=list)
+    timestamp_timeout_minutes: int = 5
+
+    def rules_for(self, username: str, group_names: List[str]) -> List[SudoRule]:
+        return [r for r in self.rules if r.matches_invoker(username, group_names)]
+
+    def find_rule(
+        self, username: str, group_names: List[str], target_username: str,
+        command: Optional[str] = None,
+    ) -> Optional[SudoRule]:
+        """The most specific rule letting *username* act as
+        *target_username* (optionally restricted to *command*)."""
+        candidates = [
+            r for r in self.rules_for(username, group_names)
+            if r.allows_target(target_username)
+            and (command is None or r.allows_command(command))
+        ]
+        if not candidates:
+            return None
+        # Specific-user rules beat group rules beat ALL rules.
+        def specificity(rule: SudoRule) -> int:
+            if rule.invoker == ALL:
+                return 0
+            if rule.invoker_is_group():
+                return 1
+            return 2
+        return max(candidates, key=specificity)
+
+
+def _parse_rule(lineno: int, line: str) -> SudoRule:
+    fields = line.split(None, 1)
+    if len(fields) != 2:
+        raise SudoersError(lineno, f"expected '<user> <spec>': {line!r}")
+    invoker, spec = fields
+    if "=" not in spec:
+        raise SudoersError(lineno, f"missing '=' in spec: {spec!r}")
+    hosts, command_spec = spec.split("=", 1)
+    hosts = hosts.strip() or ALL
+    command_spec = command_spec.strip()
+
+    runas_user, runas_group = ALL, ""
+    if command_spec.startswith("("):
+        close = command_spec.find(")")
+        if close < 0:
+            raise SudoersError(lineno, "unterminated runas spec")
+        runas = command_spec[1:close].strip()
+        command_spec = command_spec[close + 1:].strip()
+        if ":" in runas:
+            runas_user, runas_group = (part.strip() for part in runas.split(":", 1))
+            runas_user = runas_user or ALL
+        else:
+            runas_user = runas or ALL
+
+    nopasswd = False
+    targetpw = False
+    group_join = ""
+    changed = True
+    while changed:
+        changed = False
+        for tag in ("NOPASSWD:", "PASSWD:", "TARGETPW:", "GROUPJOIN:"):
+            if command_spec.startswith(tag):
+                command_spec = command_spec[len(tag):].strip()
+                changed = True
+                if tag == "NOPASSWD:":
+                    nopasswd = True
+                elif tag == "TARGETPW:":
+                    targetpw = True
+                elif tag == "GROUPJOIN:":
+                    group_join = command_spec.split(",")[0].strip()
+
+    commands = tuple(cmd.strip() for cmd in command_spec.split(",") if cmd.strip())
+    if not commands:
+        raise SudoersError(lineno, "no commands in rule")
+    return SudoRule(invoker, hosts, runas_user, runas_group, commands,
+                    nopasswd, targetpw, group_join)
+
+
+def parse_sudoers(text: str, includes: Optional[List[str]] = None) -> SudoersPolicy:
+    """Parse sudoers *text*; *includes* are the already-read contents
+    of /etc/sudoers.d drop-ins, appended in order."""
+    policy = SudoersPolicy()
+    chunks = [text] + list(includes or [])
+    for chunk in chunks:
+        pending = ""
+        for lineno, raw in enumerate(chunk.splitlines(), start=1):
+            line = raw.rstrip()
+            if line.endswith("\\"):
+                pending += line[:-1] + " "
+                continue
+            line = (pending + line).strip()
+            pending = ""
+            if not line or line.startswith("#"):
+                continue
+            if line.startswith("Defaults"):
+                rest = line[len("Defaults"):].strip()
+                if rest.startswith("timestamp_timeout"):
+                    _, _, value = rest.partition("=")
+                    try:
+                        policy.timestamp_timeout_minutes = int(value.strip())
+                    except ValueError:
+                        raise SudoersError(lineno, f"bad timeout: {value!r}") from None
+                continue
+            policy.rules.append(_parse_rule(lineno, line))
+    return policy

@@ -1,0 +1,41 @@
+"""Protego core: the paper's primary contribution.
+
+The policy objects (mount whitelist, bind port map, delegation rules,
+raw-socket rules, route policy), the fragmented credential database,
+authentication recency, the Protego LSM that enforces all of them in
+the simulated kernel, and the :class:`~repro.core.system.System`
+builder that provisions complete machines in LINUX or PROTEGO mode.
+
+``System``/``SystemMode`` are loaded lazily (PEP 562): the system
+module imports the userspace programs, which themselves import policy
+modules from this package, so an eager import here would create a
+cycle for any entry point below the system layer.
+"""
+
+from repro.core.bind_policy import BindPolicy
+from repro.core.delegation import DelegationPolicy
+from repro.core.mount_policy import MountPolicy, MountRule
+from repro.core.protego import ProtegoLSM
+from repro.core.recency import AUTH_WINDOW_TICKS, authenticated_recently, stamp_authentication
+from repro.core.route_policy import RoutePolicy
+
+__all__ = [
+    "AUTH_WINDOW_TICKS",
+    "BindPolicy",
+    "DelegationPolicy",
+    "MountPolicy",
+    "MountRule",
+    "ProtegoLSM",
+    "RoutePolicy",
+    "System",
+    "SystemMode",
+    "authenticated_recently",
+    "stamp_authentication",
+]
+
+
+def __getattr__(name):
+    if name in ("System", "SystemMode", "UserSpec"):
+        from repro.core import system
+        return getattr(system, name)
+    raise AttributeError(f"module 'repro.core' has no attribute {name!r}")

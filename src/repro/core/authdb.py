@@ -1,0 +1,218 @@
+"""Credential databases: legacy whole-files and Protego fragments.
+
+Paper section 4.4: Protego splits /etc/passwd into one file per user
+under /etc/passwds/, each ``rw-------`` and owned by the user it
+defines, with the parent directory root-owned ``rwxr-xr-x`` so users
+cannot add accounts. /etc/shadow and /etc/group fragment the same way
+(/etc/shadows/, /etc/groups/). The monitoring daemon keeps the legacy
+files synchronized for backward compatibility.
+
+The :class:`UserDatabase` is the single reader/writer used by the
+kernel-side policies (name resolution), the utilities, and the
+daemon. Reads and writes go through the simulated syscall layer, so
+DAC and LSM policy apply to them like to everything else.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.config.passwd_db import (
+    GroupEntry,
+    PasswdEntry,
+    ShadowEntry,
+    format_group,
+    format_passwd,
+    format_shadow,
+    parse_group,
+    parse_passwd,
+    parse_shadow,
+)
+from repro.kernel.errno import SyscallError
+from repro.kernel.kernel import Kernel
+from repro.kernel.task import Task
+
+PASSWD_FILE = "/etc/passwd"
+SHADOW_FILE = "/etc/shadow"
+GROUP_FILE = "/etc/group"
+PASSWD_FRAGMENT_DIR = "/etc/passwds"
+SHADOW_FRAGMENT_DIR = "/etc/shadows"
+GROUP_FRAGMENT_DIR = "/etc/groups"
+
+
+class UserDatabase:
+    """Read/write access to the account databases of one machine."""
+
+    def __init__(self, kernel: Kernel):
+        self.kernel = kernel
+
+    # ------------------------------------------------------------------
+    # Legacy whole-file access (run as the kernel's init/root context)
+    # ------------------------------------------------------------------
+    def _root(self) -> Task:
+        return self.kernel.init
+
+    def passwd_entries(self) -> List[PasswdEntry]:
+        try:
+            return parse_passwd(self.kernel.read_file(self._root(), PASSWD_FILE).decode())
+        except SyscallError:
+            return []
+
+    def shadow_entries(self) -> List[ShadowEntry]:
+        try:
+            return parse_shadow(self.kernel.read_file(self._root(), SHADOW_FILE).decode())
+        except SyscallError:
+            return []
+
+    def group_entries(self) -> List[GroupEntry]:
+        try:
+            return parse_group(self.kernel.read_file(self._root(), GROUP_FILE).decode())
+        except SyscallError:
+            return []
+
+    def write_passwd(self, entries: List[PasswdEntry], task: Optional[Task] = None) -> None:
+        """Rewrite the legacy file *as the given task* (DAC applies);
+        the kernel's init context is used only for provisioning and
+        the trusted daemon."""
+        writer = task or self._root()
+        self.kernel.write_file(writer, PASSWD_FILE, format_passwd(entries).encode())
+        self.kernel.sys_chmod(self._root(), PASSWD_FILE, 0o644)
+
+    def write_shadow(self, entries: List[ShadowEntry], task: Optional[Task] = None) -> None:
+        writer = task or self._root()
+        self.kernel.write_file(writer, SHADOW_FILE, format_shadow(entries).encode())
+        self.kernel.sys_chmod(self._root(), SHADOW_FILE, 0o640)
+
+    def write_group(self, entries: List[GroupEntry], task: Optional[Task] = None) -> None:
+        writer = task or self._root()
+        self.kernel.write_file(writer, GROUP_FILE, format_group(entries).encode())
+        self.kernel.sys_chmod(self._root(), GROUP_FILE, 0o644)
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+    def lookup_user(self, name: str) -> Optional[PasswdEntry]:
+        for entry in self.passwd_entries():
+            if entry.name == name:
+                return entry
+        return None
+
+    def lookup_uid(self, uid: int) -> Optional[PasswdEntry]:
+        for entry in self.passwd_entries():
+            if entry.uid == uid:
+                return entry
+        return None
+
+    def lookup_group(self, name: str) -> Optional[GroupEntry]:
+        for entry in self.group_entries():
+            if entry.name == name:
+                return entry
+        return None
+
+    def lookup_gid(self, gid: int) -> Optional[GroupEntry]:
+        for entry in self.group_entries():
+            if entry.gid == gid:
+                return entry
+        return None
+
+    def resolve_user(self, name: str) -> Optional[int]:
+        entry = self.lookup_user(name)
+        return entry.uid if entry else None
+
+    def resolve_group(self, name: str) -> Optional[int]:
+        entry = self.lookup_group(name)
+        return entry.gid if entry else None
+
+    def group_names_for(self, username: str) -> List[str]:
+        names = []
+        user = self.lookup_user(username)
+        for group in self.group_entries():
+            if username in group.members or (user and group.gid == user.gid):
+                names.append(group.name)
+        return names
+
+    def gids_for(self, username: str) -> List[int]:
+        gids = []
+        user = self.lookup_user(username)
+        if user:
+            gids.append(user.gid)
+        for group in self.group_entries():
+            if username in group.members and group.gid not in gids:
+                gids.append(group.gid)
+        return gids
+
+    def shadow_for(self, name: str) -> Optional[ShadowEntry]:
+        for entry in self.shadow_entries():
+            if entry.name == name:
+                return entry
+        return None
+
+    # ------------------------------------------------------------------
+    # Fragmentation (the Protego layout)
+    # ------------------------------------------------------------------
+    def fragment_databases(self) -> None:
+        """Split the legacy files into per-account fragments.
+
+        Layout per the paper: fragment files are owned by the account
+        they define with mode 0600; the directories are root-owned
+        0755 so users cannot create accounts.
+        """
+        root = self._root()
+        for directory in (PASSWD_FRAGMENT_DIR, SHADOW_FRAGMENT_DIR, GROUP_FRAGMENT_DIR):
+            if not self.kernel.vfs.exists(directory):
+                self.kernel.sys_mkdir(root, directory, 0o755)
+        shadow_by_name = {entry.name: entry for entry in self.shadow_entries()}
+        for user in self.passwd_entries():
+            self._write_fragment(
+                f"{PASSWD_FRAGMENT_DIR}/{user.name}",
+                format_passwd([user]).encode(), user.uid, user.gid,
+            )
+            shadow = shadow_by_name.get(user.name)
+            if shadow is not None:
+                self._write_fragment(
+                    f"{SHADOW_FRAGMENT_DIR}/{user.name}",
+                    format_shadow([shadow]).encode(), user.uid, user.gid,
+                )
+        for group in self.group_entries():
+            # The group fragment is owned by the group's administrator
+            # (by convention the first member), so gpasswd-style
+            # membership edits become plain DAC writes; other groups
+            # stay root-owned.
+            admin_uid = 0
+            if group.members:
+                admin = self.lookup_user(group.members[0])
+                if admin is not None:
+                    admin_uid = admin.uid
+            self._write_fragment(
+                f"{GROUP_FRAGMENT_DIR}/{group.name}",
+                format_group([group]).encode(), admin_uid, group.gid, mode=0o644,
+            )
+
+    def _write_fragment(self, path: str, payload: bytes, uid: int, gid: int,
+                        mode: int = 0o600) -> None:
+        root = self._root()
+        self.kernel.write_file(root, path, payload)
+        self.kernel.sys_chown(root, path, uid, gid)
+        self.kernel.sys_chmod(root, path, mode)
+
+    # ---- fragment access, on behalf of a task --------------------------
+    def read_own_passwd_fragment(self, task: Task, username: str) -> PasswdEntry:
+        data = self.kernel.read_file(task, f"{PASSWD_FRAGMENT_DIR}/{username}")
+        return parse_passwd(data.decode())[0]
+
+    def write_own_passwd_fragment(self, task: Task, entry: PasswdEntry) -> None:
+        path = f"{PASSWD_FRAGMENT_DIR}/{entry.name}"
+        self.kernel.write_file(task, path, format_passwd([entry]).encode())
+
+    def read_own_shadow_fragment(self, task: Task, username: str) -> ShadowEntry:
+        data = self.kernel.read_file(task, f"{SHADOW_FRAGMENT_DIR}/{username}")
+        return parse_shadow(data.decode())[0]
+
+    def write_own_shadow_fragment(self, task: Task, entry: ShadowEntry) -> None:
+        path = f"{SHADOW_FRAGMENT_DIR}/{entry.name}"
+        self.kernel.write_file(task, path, format_shadow([entry]).encode())
+
+    def fragment_usernames(self) -> List[str]:
+        if not self.kernel.vfs.exists(PASSWD_FRAGMENT_DIR):
+            return []
+        return self.kernel.sys_readdir(self._root(), PASSWD_FRAGMENT_DIR)

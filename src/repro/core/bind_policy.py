@@ -1,0 +1,98 @@
+"""Kernel-side privileged-port allocation (paper section 4.1.3).
+
+Each TCP/UDP port below 1024 maps to at most one application instance,
+identified by the (binary path, uid) tuple. A bind(2) from a task
+without CAP_NET_BIND_SERVICE succeeds only if (task.exe_path,
+task.euid) matches the port's entry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.config.bindconf import BindEntry
+
+
+@dataclasses.dataclass(frozen=True)
+class PortGrant:
+    """The kernel's digested form of one /etc/bind row: names already
+    resolved to a numeric uid by the trusted daemon."""
+
+    port: int
+    proto: str
+    binary: str
+    uid: int
+
+
+class BindPolicy:
+    """The port -> application-instance map."""
+
+    def __init__(self, grants: Optional[List[PortGrant]] = None):
+        self._grants: Dict[Tuple[int, str], PortGrant] = {}
+        for grant in grants or []:
+            self.add_grant(grant)
+
+    def add_grant(self, grant: PortGrant) -> None:
+        key = (grant.port, grant.proto)
+        if key in self._grants:
+            raise ValueError(f"port {grant.port}/{grant.proto} already allocated")
+        self._grants[key] = grant
+
+    def replace_grants(self, grants: List[PortGrant]) -> None:
+        self._grants = {}
+        for grant in grants:
+            self.add_grant(grant)
+
+    def grants(self) -> List[PortGrant]:
+        return list(self._grants.values())
+
+    def grant_for(self, port: int, proto: str) -> Optional[PortGrant]:
+        return self._grants.get((port, proto))
+
+    def authorize(self, port: int, proto: str, binary: str, uid: int) -> bool:
+        """May this application instance bind the port?"""
+        grant = self._grants.get((port, proto))
+        if grant is None:
+            return False
+        return grant.binary == binary and grant.uid == uid
+
+    @staticmethod
+    def resolve_entries(entries: List[BindEntry], resolve_user) -> List[PortGrant]:
+        """Translate parsed /etc/bind rows into kernel grants.
+
+        *resolve_user* maps a username to a uid; unknown users make
+        the whole load fail (half-loaded port policy would be worse
+        than none).
+        """
+        grants = []
+        for entry in entries:
+            uid = resolve_user(entry.user)
+            if uid is None:
+                raise ValueError(f"/etc/bind: unknown user {entry.user!r}")
+            grants.append(PortGrant(entry.port, entry.proto, entry.binary, uid))
+        return grants
+
+    # ---- /proc grammar ----------------------------------------------------
+    def serialize(self) -> str:
+        lines = [
+            f"{g.port}/{g.proto} {g.binary} {g.uid}"
+            for g in sorted(self._grants.values(), key=lambda g: (g.port, g.proto))
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    @staticmethod
+    def parse(text: str) -> List[PortGrant]:
+        grants = []
+        for lineno, raw in enumerate(text.splitlines(), start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            fields = line.split()
+            if len(fields) != 3 or "/" not in fields[0]:
+                raise ValueError(
+                    f"protego binds line {lineno}: expected '<port>/<proto> <binary> <uid>'"
+                )
+            port_text, proto = fields[0].split("/", 1)
+            grants.append(PortGrant(int(port_text), proto, fields[1], int(fields[2])))
+        return grants

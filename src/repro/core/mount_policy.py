@@ -1,0 +1,138 @@
+"""The kernel-side mount whitelist (paper section 4.2, Figure 1).
+
+A :class:`MountRule` is the kernel's digested form of a user-mountable
+/etc/fstab entry: device, mountpoint, filesystem type, and the option
+set the administrator allowed. A mount(2) from a task without
+CAP_SYS_ADMIN succeeds only if its arguments match a rule.
+
+Rules arrive either from the trusted monitoring daemon (which parses
+/etc/fstab and writes the /proc/protego/mounts file) or directly from
+the administrator via the same /proc file.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.config.fstab import FstabEntry
+
+
+@dataclasses.dataclass(frozen=True)
+class MountRule:
+    """One whitelisted (device, mountpoint) pair."""
+
+    device: str
+    mountpoint: str
+    fstype: str = "auto"
+    allowed_options: Tuple[str, ...] = ()
+    #: 'users' semantics: anyone may unmount, not just the mounter.
+    any_user_may_umount: bool = False
+
+    @classmethod
+    def from_fstab(cls, entry: FstabEntry) -> "MountRule":
+        # Strip the fstab bookkeeping options; what remains is what a
+        # user may pass to mount(2).
+        policy_options = tuple(
+            opt for opt in entry.options
+            if opt not in ("user", "users", "noauto", "defaults", "auto")
+        )
+        return cls(
+            device=entry.device,
+            mountpoint=entry.mountpoint,
+            fstype=entry.fstype,
+            allowed_options=policy_options,
+            any_user_may_umount=entry.any_user_may_umount(),
+        )
+
+    def permits(self, source: str, mountpoint: str, fstype: str, options: str) -> bool:
+        """Do the mount(2) arguments match this rule?
+
+        Requested options must be a subset of the allowed set — a user
+        may mount the CD read-only if the rule says ``ro`` but may not
+        invent ``suid``.
+        """
+        if source != self.device or mountpoint != self.mountpoint:
+            return False
+        if fstype not in ("auto", self.fstype):
+            return False
+        requested = {opt for opt in options.split(",") if opt and opt != "defaults"}
+        return requested.issubset(set(self.allowed_options))
+
+
+class MountPolicy:
+    """The whitelist plus bookkeeping of who mounted what."""
+
+    def __init__(self, rules: Optional[List[MountRule]] = None):
+        self._rules: List[MountRule] = list(rules or [])
+        # mountpoint -> uid that mounted it (for the 'user' option's
+        # only-the-mounter-may-unmount semantics).
+        self._active_user_mounts: Dict[str, int] = {}
+
+    # ---- configuration -------------------------------------------------
+    def replace_rules(self, rules: List[MountRule]) -> None:
+        """Atomic policy swap (what a /proc write amounts to)."""
+        self._rules = list(rules)
+
+    def add_rule(self, rule: MountRule) -> None:
+        self._rules.append(rule)
+
+    def rules(self) -> List[MountRule]:
+        return list(self._rules)
+
+    # ---- decisions ------------------------------------------------------
+    def find_rule(self, source: str, mountpoint: str, fstype: str,
+                  options: str) -> Optional[MountRule]:
+        for rule in self._rules:
+            if rule.permits(source, mountpoint, fstype, options):
+                return rule
+        return None
+
+    def authorize_mount(self, uid: int, source: str, mountpoint: str,
+                        fstype: str, options: str) -> bool:
+        rule = self.find_rule(source, mountpoint, fstype, options)
+        if rule is None:
+            return False
+        self._active_user_mounts[mountpoint] = uid
+        return True
+
+    def authorize_umount(self, uid: int, mountpoint: str) -> bool:
+        """'user' entries: only the mounter (or root, which never gets
+        here) may unmount; 'users' entries: anyone."""
+        rule = next((r for r in self._rules if r.mountpoint == mountpoint), None)
+        if rule is None:
+            return False
+        if rule.any_user_may_umount:
+            return True
+        return self._active_user_mounts.get(mountpoint) == uid
+
+    def notice_umount(self, mountpoint: str) -> None:
+        self._active_user_mounts.pop(mountpoint, None)
+
+    # ---- /proc grammar ----------------------------------------------------
+    def serialize(self) -> str:
+        lines = []
+        for rule in self._rules:
+            opts = ",".join(rule.allowed_options) or "-"
+            umount = "users" if rule.any_user_may_umount else "user"
+            lines.append(f"{rule.device} {rule.mountpoint} {rule.fstype} {opts} {umount}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    @staticmethod
+    def parse(text: str) -> List[MountRule]:
+        rules = []
+        for lineno, raw in enumerate(text.splitlines(), start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            fields = line.split()
+            if len(fields) != 5:
+                raise ValueError(
+                    f"protego mounts line {lineno}: expected "
+                    f"'<device> <mountpoint> <fstype> <options|-> <user|users>'"
+                )
+            device, mountpoint, fstype, opts, umount = fields
+            options = () if opts == "-" else tuple(opts.split(","))
+            rules.append(MountRule(device, mountpoint, fstype, options,
+                                   any_user_may_umount=(umount == "users")))
+        return rules

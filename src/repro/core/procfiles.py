@@ -1,0 +1,90 @@
+"""The /proc configuration interface of the Protego LSM.
+
+Paper, Figure 1 and section 2: the kernel policy is configured through
+files in /proc — a mount whitelist, a privileged-port map, and an
+/etc/sudoers-like delegation grammar. The trusted monitoring daemon
+(or the administrator directly) writes these files; reads return the
+current policy in the same grammar.
+
+Writes are whole-policy replacements, which makes a daemon sync an
+atomic swap and keeps the kernel free of partial-update states.
+"""
+
+from __future__ import annotations
+
+from repro.core.bind_policy import BindPolicy
+from repro.core.delegation import DelegationPolicy
+from repro.core.mount_policy import MountPolicy
+from repro.core.protego import ProtegoLSM
+from repro.kernel.errno import Errno, SyscallError
+from repro.kernel.kernel import Kernel
+
+MOUNTS_PROC_PATH = "/proc/protego/mounts"
+BINDS_PROC_PATH = "/proc/protego/binds"
+SUDOERS_PROC_PATH = "/proc/protego/sudoers"
+
+
+def register_protego_proc_files(kernel: Kernel, lsm: ProtegoLSM) -> None:
+    """Create /proc/protego/{mounts,binds,sudoers}.
+
+    The files are root-owned mode 0600: only root (in practice the
+    monitoring daemon) may reconfigure or inspect kernel policy.
+    """
+
+    def write_mounts(payload: bytes) -> None:
+        try:
+            rules = MountPolicy.parse(payload.decode())
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise SyscallError(Errno.EINVAL, f"mounts policy: {exc}") from exc
+        lsm.mount_policy.replace_rules(rules)
+
+    def write_binds(payload: bytes) -> None:
+        try:
+            grants = BindPolicy.parse(payload.decode())
+            lsm.bind_policy.replace_grants(grants)
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise SyscallError(Errno.EINVAL, f"binds policy: {exc}") from exc
+
+    def write_sudoers(payload: bytes) -> None:
+        try:
+            policy = DelegationPolicy.parse(payload.decode())
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise SyscallError(Errno.EINVAL, f"sudoers policy: {exc}") from exc
+        lsm.delegation.replace_rules(policy.rules(), policy.auth_window_minutes)
+
+    kernel.procfs.register(
+        "protego/mounts",
+        read_fn=lambda: lsm.mount_policy.serialize().encode(),
+        write_fn=write_mounts,
+        mode=0o600,
+    )
+    kernel.procfs.register(
+        "protego/binds",
+        read_fn=lambda: lsm.bind_policy.serialize().encode(),
+        write_fn=write_binds,
+        mode=0o600,
+    )
+    kernel.procfs.register(
+        "protego/sudoers",
+        read_fn=lambda: lsm.delegation.serialize().encode(),
+        write_fn=write_sudoers,
+        mode=0o600,
+    )
+
+
+def register_dmcrypt_sys_files(kernel: Kernel) -> None:
+    """Expose each dm-crypt device's *public* metadata under
+    /sys/block/<name>/dm/devices (Table 4: the /sys replacement for
+    the key-disclosing ioctl). World-readable: the device set is not
+    secret, the key never leaves the kernel."""
+    from repro.kernel.devices import DmCryptDevice
+
+    for device in kernel.devices.all():
+        if not isinstance(device, DmCryptDevice):
+            continue
+        path = f"block/{device.name}/dm/devices"
+
+        def read_devices(dev=device) -> bytes:
+            return ("\n".join(dev.public_device_set()) + "\n").encode()
+
+        kernel.sysfs.register(path, read_fn=read_devices, mode=0o444)

@@ -1,0 +1,57 @@
+"""Raw-socket policy (paper sections 2 and 4.1.1).
+
+Protego allows *any* user to create a raw or packet socket; outgoing
+packets from capability-less raw sockets are filtered by additional
+netfilter rules whose defaults encode the safe packets the studied
+setuid binaries emitted (ICMP echo, traceroute probes, ARP). The
+administrator can change the rules with the extended iptables.
+
+The flip side of the paper's design is also modelled: on Protego a
+compromised network utility cannot spoof packets from a TCP or UDP
+socket (the default rules drop user-crafted transport headers), while
+on stock Linux a compromised setuid ping *can*, because it holds
+CAP_NET_RAW.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.kernel.net.netfilter import (
+    NetfilterTable,
+    Rule,
+    default_protego_output_rules,
+)
+
+
+class RawSocketPolicy:
+    """Whether unprivileged raw sockets exist, and their filter rules."""
+
+    def __init__(self, allow_unprivileged: bool = True,
+                 rules: List[Rule] = None):
+        self.allow_unprivileged = allow_unprivileged
+        self._rules: List[Rule] = list(rules) if rules is not None else (
+            default_protego_output_rules()
+        )
+
+    def rules(self) -> List[Rule]:
+        return list(self._rules)
+
+    def replace_rules(self, rules: List[Rule]) -> None:
+        self._rules = list(rules)
+
+    def install(self, netfilter: NetfilterTable) -> None:
+        """Program the packet filter: the defaults live in their own
+        PROTEGO_RAW chain, consulted after admin OUTPUT rules."""
+        import dataclasses
+
+        from repro.kernel.net.netfilter import Chain
+        for rule in self._rules:
+            netfilter.append(dataclasses.replace(rule, chain=Chain.PROTEGO_RAW))
+
+    def reinstall(self, netfilter: NetfilterTable) -> None:
+        """Atomically swap the unprivileged-raw rules in the filter,
+        leaving admin OUTPUT rules untouched."""
+        from repro.kernel.net.netfilter import Chain
+        netfilter.flush(Chain.PROTEGO_RAW)
+        self.install(netfilter)

@@ -1,0 +1,55 @@
+"""Authentication recency (the sudo 5-minute rule, kernelized).
+
+The paper (section 4.3): "The Protego kernel tracks the last
+authentication time in the task_struct of each process. If a setuid
+system call is issued without a recent authentication of the current
+user, a trusted authentication service temporarily takes over the
+terminal and asks for the user's password."
+
+Time is the kernel's logical clock (one tick per syscall). The window
+defaults to sudo's 5 minutes, scaled as 300 ticks; sudoers'
+``timestamp_timeout`` overrides it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.kernel.task import Task
+
+#: Logical ticks per "minute" of the sudoers timestamp_timeout.
+TICKS_PER_MINUTE = 60
+#: Default window: sudo's 5 minutes.
+AUTH_WINDOW_TICKS = 5 * TICKS_PER_MINUTE
+
+_MODULE = "protego"
+_KEY = "last_auth_time"
+
+
+def stamp_authentication(task: Task, now: int) -> None:
+    """Record that *task*'s real user just authenticated."""
+    task.setsec(_MODULE, _KEY, now)
+
+
+def last_authentication(task: Task) -> Optional[int]:
+    return task.getsec(_MODULE, _KEY)
+
+
+def authenticated_recently(task: Task, now: int,
+                           window: int = AUTH_WINDOW_TICKS) -> bool:
+    """Has *task* authenticated within *window* ticks of *now*?
+
+    A window of 0 (``timestamp_timeout=0``) means every operation
+    requires fresh authentication.
+    """
+    last = last_authentication(task)
+    if last is None:
+        return False
+    if window <= 0:
+        return False
+    return now - last <= window
+
+
+def clear_authentication(task: Task) -> None:
+    """Invalidate the stamp (sudo -k)."""
+    task.clearsec(_MODULE, _KEY)

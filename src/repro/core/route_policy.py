@@ -1,0 +1,44 @@
+"""Route and modem policy for unprivileged PPP (paper section 4.1.2).
+
+Policies are mined from /etc/ppp/options:
+
+* an unprivileged user may configure a modem only if it is not in use
+  and only with safe session options;
+* if the administrator set ``user-routes``, an unprivileged user may
+  add routes over a ppp device — the kernel then enforces the
+  no-conflict rule (the route must cover a range that was not
+  previously reachable).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config.pppoptions import PPPOptions
+
+
+class RoutePolicy:
+    """Kernel-side digest of /etc/ppp/options."""
+
+    def __init__(self, options: Optional[PPPOptions] = None):
+        self._options = options or PPPOptions()
+
+    def replace_options(self, options: PPPOptions) -> None:
+        self._options = options
+
+    def options(self) -> PPPOptions:
+        return self._options
+
+    def user_may_add_route(self, device: str) -> bool:
+        """Unprivileged route adds are allowed only over ppp links,
+        and only when the admin opted in. Conflict checking happens in
+        the routing table itself (the ALLOW path of the LSM makes the
+        kernel run the conflict check)."""
+        if not device.startswith("ppp"):
+            return False
+        return self._options.allow_unprivileged_routes
+
+    def user_may_configure_modem(self, modem_name: str, option: str) -> bool:
+        if not self._options.device_allowed(modem_name):
+            return False
+        return self._options.option_allowed_for_user(option)

@@ -1,0 +1,14 @@
+"""Trusted monitoring daemon and its inotify-like watch framework.
+
+The paper (section 2): a trusted daemon, written against an
+inotify-based file-monitoring library, watches the policy-relevant
+configuration files (/etc/fstab, /etc/sudoers, /etc/bind) and
+propagates changes into the kernel through the /proc interface; it
+also keeps the fragmented credential databases and the legacy files
+synchronized. It is required only for backward compatibility.
+"""
+
+from repro.daemon.inotify import FileWatcher, WatchEvent
+from repro.daemon.monitor import MonitoringDaemon
+
+__all__ = ["FileWatcher", "MonitoringDaemon", "WatchEvent"]

@@ -1,0 +1,322 @@
+"""The trusted monitoring daemon (paper, Table 2: 400 lines of Python).
+
+Three sync responsibilities:
+
+1. **Policy files -> kernel**: /etc/fstab, /etc/sudoers(+.d), and
+   /etc/bind are parsed (with names resolved to numeric ids) and the
+   digested policy is written to /proc/protego/{mounts,sudoers,binds}.
+2. **Fragments -> legacy**: edits to the per-account files under
+   /etc/passwds, /etc/shadows, /etc/groups are validated (a user may
+   change gecos/shell/home and their own password hash; uid, gid, and
+   the account name are immutable) and folded back into the legacy
+   /etc/passwd, /etc/shadow, /etc/group for unmodified applications.
+3. **Legacy -> fragments**: root-driven edits of the legacy files
+   (adduser etc.) are re-fragmented.
+
+The daemon is required only for backward compatibility: a system with
+no legacy consumers could drop responsibility 2/3, and an
+administrator can write /proc directly instead of 1.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from repro.config.bindconf import BindConfigError, parse_bind_config
+from repro.config.fstab import parse_fstab, user_mountable_entries
+from repro.config.passwd_db import (
+    format_group,
+    format_passwd,
+    format_shadow,
+    parse_group,
+    parse_passwd,
+    parse_shadow,
+)
+from repro.config.sudoers import SudoersError, parse_sudoers
+from repro.core.authdb import (
+    GROUP_FRAGMENT_DIR,
+    PASSWD_FRAGMENT_DIR,
+    SHADOW_FRAGMENT_DIR,
+    UserDatabase,
+)
+from repro.core.bind_policy import BindPolicy
+from repro.core.delegation import DelegationPolicy
+from repro.core.mount_policy import MountPolicy, MountRule
+from repro.core.procfiles import BINDS_PROC_PATH, MOUNTS_PROC_PATH, SUDOERS_PROC_PATH
+from repro.daemon.inotify import FileWatcher, WatchEvent
+from repro.kernel.errno import SyscallError
+from repro.kernel.kernel import Kernel
+
+FSTAB_PATH = "/etc/fstab"
+SUDOERS_PATH = "/etc/sudoers"
+SUDOERS_DIR = "/etc/sudoers.d"
+BIND_PATH = "/etc/bind"
+PPP_OPTIONS_PATH = "/etc/ppp/options"
+POLKIT_RULES_PATH = "/etc/polkit-1/rules"
+DBUS_SERVICES_PATH = "/etc/dbus-1/system-services"
+POLKIT_DROPIN = "/etc/sudoers.d/protego-polkit"
+DBUS_DROPIN = "/etc/sudoers.d/protego-dbus"
+
+
+class MonitoringDaemon:
+    """One instance per machine; drive with :meth:`poll`."""
+
+    def __init__(self, kernel: Kernel, enable_fragment_sync: bool = True):
+        self.kernel = kernel
+        self.userdb = UserDatabase(kernel)
+        self.watcher = FileWatcher(kernel)
+        self.enable_fragment_sync = enable_fragment_sync
+        self.sync_log: List[str] = []
+        self.error_log: List[str] = []
+        self._installed = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Install watches and push the initial policy load."""
+        self.sync_all_policies()
+        self.watcher.watch_file(FSTAB_PATH, self._on_fstab)
+        self.watcher.watch_file(SUDOERS_PATH, self._on_sudoers)
+        self.watcher.watch_dir(SUDOERS_DIR, self._on_sudoers)
+        self.watcher.watch_file(BIND_PATH, self._on_bind)
+        self.watcher.watch_file(POLKIT_RULES_PATH, self._on_polkit)
+        self.watcher.watch_file(DBUS_SERVICES_PATH, self._on_polkit)
+        if self.enable_fragment_sync:
+            self.watcher.watch_dir(PASSWD_FRAGMENT_DIR, self._on_passwd_fragment)
+            self.watcher.watch_dir(SHADOW_FRAGMENT_DIR, self._on_shadow_fragment)
+            self.watcher.watch_dir(GROUP_FRAGMENT_DIR, self._on_group_fragment)
+            self.watcher.watch_file("/etc/passwd", self._on_legacy_passwd)
+        self._installed = True
+
+    def attach_route_policy(self, route_policy) -> None:
+        """Mine /etc/ppp/options into the LSM's route policy and keep
+        it synchronized."""
+        self._route_policy = route_policy
+        self._sync_route_policy()
+        self.watcher.watch_file(PPP_OPTIONS_PATH, lambda _event: self._sync_route_policy())
+
+    def _sync_route_policy(self) -> None:
+        from repro.config.pppoptions import parse_ppp_options
+        try:
+            text = self.kernel.read_file(self.kernel.init, PPP_OPTIONS_PATH).decode()
+        except SyscallError:
+            return
+        self._route_policy.replace_options(parse_ppp_options(text))
+        self.sync_log.append("ppp: route policy synced")
+
+    def poll(self) -> List[WatchEvent]:
+        """One daemon wakeup: process all pending changes."""
+        if not self._installed:
+            self.start()
+            return []
+        return self.watcher.poll()
+
+    # ------------------------------------------------------------------
+    # Policy pushes
+    # ------------------------------------------------------------------
+    def sync_all_policies(self) -> None:
+        self.sync_mount_policy()
+        self.sync_polkit_explication()
+        self.sync_delegation_policy()
+        self.sync_bind_policy()
+
+    def sync_polkit_explication(self) -> None:
+        """Explicate PolicyKit/D-Bus configuration as extended
+        sudoers drop-ins (section 4.3), which the normal sudoers sync
+        then folds into the kernel delegation policy."""
+        from repro.config.polkit import (
+            PolkitError,
+            dbus_services_to_sudoers,
+            parse_dbus_services,
+            parse_polkit_rules,
+            polkit_rules_to_sudoers,
+        )
+        for source, dropin, parse, translate in (
+            (POLKIT_RULES_PATH, POLKIT_DROPIN, parse_polkit_rules,
+             polkit_rules_to_sudoers),
+            (DBUS_SERVICES_PATH, DBUS_DROPIN, parse_dbus_services,
+             dbus_services_to_sudoers),
+        ):
+            try:
+                text = self.kernel.read_file(self.kernel.init, source).decode()
+            except SyscallError:
+                continue
+            try:
+                rules = parse(text)
+            except PolkitError as exc:
+                self.error_log.append(str(exc))
+                continue
+            self.kernel.write_file(self.kernel.init, dropin,
+                                   translate(rules).encode())
+            self.watcher.suppress(dropin)
+            self.sync_log.append(f"polkit: explicated {source}")
+
+    def sync_mount_policy(self) -> None:
+        try:
+            text = self.kernel.read_file(self.kernel.init, FSTAB_PATH).decode()
+            entries = user_mountable_entries(parse_fstab(text))
+        except (SyscallError, ValueError) as exc:
+            self.error_log.append(f"fstab: {exc}")
+            return
+        rules = [MountRule.from_fstab(entry) for entry in entries]
+        policy = MountPolicy(rules)
+        self._write_proc(MOUNTS_PROC_PATH, policy.serialize())
+        self.sync_log.append(f"mounts: {len(rules)} rules")
+
+    def sync_delegation_policy(self) -> None:
+        text = ""
+        includes: List[str] = []
+        try:
+            text = self.kernel.read_file(self.kernel.init, SUDOERS_PATH).decode()
+        except SyscallError:
+            pass
+        if self.kernel.vfs.exists(SUDOERS_DIR):
+            for name in sorted(self.kernel.sys_readdir(self.kernel.init, SUDOERS_DIR)):
+                try:
+                    includes.append(
+                        self.kernel.read_file(self.kernel.init,
+                                              f"{SUDOERS_DIR}/{name}").decode()
+                    )
+                except SyscallError:
+                    continue
+        try:
+            sudoers = parse_sudoers(text, includes)
+            delegation = DelegationPolicy.from_sudoers(
+                sudoers, self.userdb.resolve_user, self.userdb.resolve_group
+            )
+        except (SudoersError, ValueError) as exc:
+            self.error_log.append(f"sudoers: {exc}")
+            return
+        self._write_proc(SUDOERS_PROC_PATH, delegation.serialize())
+        self.sync_log.append(f"sudoers: {len(delegation.rules())} rules")
+
+    def sync_bind_policy(self) -> None:
+        try:
+            text = self.kernel.read_file(self.kernel.init, BIND_PATH).decode()
+        except SyscallError:
+            return
+        try:
+            entries = parse_bind_config(text)
+            grants = BindPolicy.resolve_entries(entries, self.userdb.resolve_user)
+        except (BindConfigError, ValueError) as exc:
+            self.error_log.append(f"bind: {exc}")
+            return
+        policy = BindPolicy(grants)
+        self._write_proc(BINDS_PROC_PATH, policy.serialize())
+        self.sync_log.append(f"binds: {len(grants)} grants")
+
+    def _write_proc(self, path: str, payload: str) -> None:
+        try:
+            self.kernel.write_file(self.kernel.init, path, payload.encode(),
+                                   create=False)
+        except SyscallError as exc:
+            self.error_log.append(f"{path}: {exc.errno_value.name}: {exc.context}")
+
+    # ------------------------------------------------------------------
+    # Watch callbacks: policy files
+    # ------------------------------------------------------------------
+    def _on_fstab(self, event: WatchEvent) -> None:
+        self.sync_mount_policy()
+
+    def _on_sudoers(self, event: WatchEvent) -> None:
+        self.sync_delegation_policy()
+
+    def _on_bind(self, event: WatchEvent) -> None:
+        self.sync_bind_policy()
+
+    def _on_polkit(self, event: WatchEvent) -> None:
+        self.sync_polkit_explication()
+        self.sync_delegation_policy()
+
+    # ------------------------------------------------------------------
+    # Fragment <-> legacy synchronization
+    # ------------------------------------------------------------------
+    def _on_passwd_fragment(self, event: WatchEvent) -> None:
+        username = event.path.rsplit("/", 1)[-1]
+        if event.kind == "deleted":
+            return
+        try:
+            fragment = parse_passwd(
+                self.kernel.read_file(self.kernel.init, event.path).decode()
+            )[0]
+        except (SyscallError, ValueError, IndexError) as exc:
+            self.error_log.append(f"passwd fragment {username}: {exc}")
+            return
+        entries = self.userdb.passwd_entries()
+        legacy = next((e for e in entries if e.name == username), None)
+        if legacy is None:
+            self.error_log.append(f"passwd fragment {username}: no legacy entry; ignored")
+            return
+        # Validation: uid/gid/name are immutable from a fragment.
+        if (fragment.uid, fragment.gid, fragment.name) != (legacy.uid, legacy.gid, legacy.name):
+            self.error_log.append(
+                f"passwd fragment {username}: uid/gid change rejected; restoring"
+            )
+            self._restore_passwd_fragment(legacy)
+            return
+        merged = dataclasses.replace(
+            legacy, gecos=fragment.gecos, home=fragment.home, shell=fragment.shell
+        )
+        updated = [merged if e.name == username else e for e in entries]
+        self.userdb.write_passwd(updated)
+        self.watcher.suppress("/etc/passwd")
+        self.sync_log.append(f"passwd: merged fragment for {username}")
+
+    def _restore_passwd_fragment(self, legacy_entry) -> None:
+        path = f"{PASSWD_FRAGMENT_DIR}/{legacy_entry.name}"
+        self.kernel.write_file(self.kernel.init, path,
+                               format_passwd([legacy_entry]).encode())
+        self.watcher.suppress(path)
+
+    def _on_shadow_fragment(self, event: WatchEvent) -> None:
+        username = event.path.rsplit("/", 1)[-1]
+        if event.kind == "deleted":
+            return
+        try:
+            fragment = parse_shadow(
+                self.kernel.read_file(self.kernel.init, event.path).decode()
+            )[0]
+        except (SyscallError, ValueError, IndexError) as exc:
+            self.error_log.append(f"shadow fragment {username}: {exc}")
+            return
+        if fragment.name != username:
+            self.error_log.append(f"shadow fragment {username}: name mismatch; ignored")
+            return
+        entries = self.userdb.shadow_entries()
+        if not any(e.name == username for e in entries):
+            return
+        updated = [fragment if e.name == username else e for e in entries]
+        self.userdb.write_shadow(updated)
+        self.sync_log.append(f"shadow: merged fragment for {username}")
+
+    def _on_group_fragment(self, event: WatchEvent) -> None:
+        group_name = event.path.rsplit("/", 1)[-1]
+        if event.kind == "deleted":
+            return
+        try:
+            fragment = parse_group(
+                self.kernel.read_file(self.kernel.init, event.path).decode()
+            )[0]
+        except (SyscallError, ValueError, IndexError) as exc:
+            self.error_log.append(f"group fragment {group_name}: {exc}")
+            return
+        entries = self.userdb.group_entries()
+        legacy = next((e for e in entries if e.name == group_name), None)
+        if legacy is None or fragment.gid != legacy.gid:
+            self.error_log.append(f"group fragment {group_name}: gid change rejected")
+            return
+        updated = [fragment if e.name == group_name else e for e in entries]
+        self.userdb.write_group(updated)
+        self.sync_log.append(f"group: merged fragment for {group_name}")
+        # Membership changes may affect delegation (%group rules).
+        self.sync_delegation_policy()
+
+    def _on_legacy_passwd(self, event: WatchEvent) -> None:
+        """Root edited /etc/passwd (adduser): re-fragment."""
+        self.userdb.fragment_databases()
+        for username in self.userdb.fragment_usernames():
+            self.watcher.suppress(f"{PASSWD_FRAGMENT_DIR}/{username}")
+            self.watcher.suppress(f"{SHADOW_FRAGMENT_DIR}/{username}")
+        for group in self.userdb.group_entries():
+            self.watcher.suppress(f"{GROUP_FRAGMENT_DIR}/{group.name}")
+        self.sync_log.append("passwd: re-fragmented after legacy edit")

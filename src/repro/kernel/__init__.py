@@ -1,0 +1,28 @@
+"""Simulated Unix kernel substrate.
+
+This package models the security-relevant core of a Linux-like kernel:
+inodes and discretionary access control, credentials and POSIX
+capabilities, a syscall layer that fails with errno-style errors, a
+mount table, pseudo-filesystems (/proc, /sys), device objects, and an
+LSM hook framework mirroring the call sites the Protego paper adds.
+
+The simulator is deterministic and single-threaded: every policy
+decision is a pure function of kernel data structures, which is exactly
+the property the paper's security arguments rely on.
+"""
+
+from repro.kernel.capabilities import Capability, CapabilitySet
+from repro.kernel.cred import Credentials
+from repro.kernel.errno import Errno, SyscallError
+from repro.kernel.kernel import Kernel
+from repro.kernel.task import Task
+
+__all__ = [
+    "Capability",
+    "CapabilitySet",
+    "Credentials",
+    "Errno",
+    "Kernel",
+    "SyscallError",
+    "Task",
+]

@@ -1,0 +1,114 @@
+"""Process credentials: uids, gids, supplementary groups, capabilities.
+
+Mirrors the Linux ``struct cred`` fields the paper's policies consult:
+real/effective/saved uid and gid, the filesystem uid used by DAC
+checks, supplementary groups, and the permitted/effective/inheritable
+capability sets.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import FrozenSet, Iterable
+
+from repro.kernel.capabilities import Capability, CapabilitySet
+
+ROOT_UID = 0
+ROOT_GID = 0
+
+
+@dataclasses.dataclass(frozen=True)
+class Credentials:
+    """An immutable credential snapshot.
+
+    Credential changes produce a new object (as Linux does with RCU'd
+    creds), which keeps historical snapshots safe to hold in audit
+    logs and in the exploit simulations.
+    """
+
+    ruid: int = ROOT_UID
+    euid: int = ROOT_UID
+    suid: int = ROOT_UID
+    fsuid: int = ROOT_UID
+    rgid: int = ROOT_GID
+    egid: int = ROOT_GID
+    sgid: int = ROOT_GID
+    fsgid: int = ROOT_GID
+    groups: FrozenSet[int] = frozenset()
+    cap_permitted: CapabilitySet = dataclasses.field(default_factory=CapabilitySet.empty)
+    cap_effective: CapabilitySet = dataclasses.field(default_factory=CapabilitySet.empty)
+    cap_inheritable: CapabilitySet = dataclasses.field(default_factory=CapabilitySet.empty)
+
+    @classmethod
+    def for_root(cls) -> "Credentials":
+        """Root with the full capability sets, as stock Linux grants."""
+        full = CapabilitySet.full()
+        return cls(cap_permitted=full, cap_effective=full, cap_inheritable=CapabilitySet.empty())
+
+    @classmethod
+    def for_user(cls, uid: int, gid: int, groups: Iterable[int] = ()) -> "Credentials":
+        """An ordinary unprivileged user."""
+        return cls(
+            ruid=uid, euid=uid, suid=uid, fsuid=uid,
+            rgid=gid, egid=gid, sgid=gid, fsgid=gid,
+            groups=frozenset(groups),
+        )
+
+    def has_cap(self, cap: Capability) -> bool:
+        """Does this credential hold *cap* in its effective set?"""
+        return self.cap_effective.has(cap)
+
+    def is_root(self) -> bool:
+        return self.euid == ROOT_UID
+
+    def in_group(self, gid: int) -> bool:
+        return gid == self.egid or gid == self.fsgid or gid in self.groups
+
+    def with_uids(self, ruid: int = None, euid: int = None, suid: int = None) -> "Credentials":
+        """Return a copy with the given uids replaced (None = keep)."""
+        new_euid = self.euid if euid is None else euid
+        return dataclasses.replace(
+            self,
+            ruid=self.ruid if ruid is None else ruid,
+            euid=new_euid,
+            suid=self.suid if suid is None else suid,
+            fsuid=new_euid,
+        )
+
+    def with_gids(self, rgid: int = None, egid: int = None, sgid: int = None) -> "Credentials":
+        new_egid = self.egid if egid is None else egid
+        return dataclasses.replace(
+            self,
+            rgid=self.rgid if rgid is None else rgid,
+            egid=new_egid,
+            sgid=self.sgid if sgid is None else sgid,
+            fsgid=new_egid,
+        )
+
+    def with_groups(self, groups: Iterable[int]) -> "Credentials":
+        return dataclasses.replace(self, groups=frozenset(groups))
+
+    def with_caps(
+        self,
+        permitted: CapabilitySet = None,
+        effective: CapabilitySet = None,
+        inheritable: CapabilitySet = None,
+    ) -> "Credentials":
+        return dataclasses.replace(
+            self,
+            cap_permitted=self.cap_permitted if permitted is None else permitted,
+            cap_effective=self.cap_effective if effective is None else effective,
+            cap_inheritable=self.cap_inheritable if inheritable is None else inheritable,
+        )
+
+    def drop_all_caps(self) -> "Credentials":
+        empty = CapabilitySet.empty()
+        return self.with_caps(empty, empty, empty)
+
+    def describe(self) -> str:
+        """Short human-readable summary used in audit logs and examples."""
+        caps = len(self.cap_effective)
+        return (
+            f"uid={self.ruid} euid={self.euid} gid={self.rgid} "
+            f"egid={self.egid} caps={caps}"
+        )

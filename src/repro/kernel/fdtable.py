@@ -1,0 +1,85 @@
+"""Per-task file descriptor table.
+
+Models the pieces of ``struct files_struct`` that the paper's policies
+touch: open-file offsets, access-mode enforcement, the close-on-exec
+flag (Protego marks shadow-file handles CLOEXEC so they cannot be
+inherited, section 4.4), and fd inheritance across fork/exec.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.kernel import modes
+from repro.kernel.errno import Errno, SyscallError
+from repro.kernel.inode import Inode
+
+
+class OpenFile:
+    """An open file description (``struct file``)."""
+
+    def __init__(self, inode: Inode, flags: int, path: str):
+        self.inode = inode
+        self.flags = flags
+        self.path = path
+        self.offset = 0
+
+    def readable(self) -> bool:
+        return (self.flags & modes.O_ACCMODE) in (modes.O_RDONLY, modes.O_RDWR)
+
+    def writable(self) -> bool:
+        return (self.flags & modes.O_ACCMODE) in (modes.O_WRONLY, modes.O_RDWR)
+
+    def cloexec(self) -> bool:
+        return bool(self.flags & modes.O_CLOEXEC)
+
+
+class FDTable:
+    """Mapping of small integers to open files."""
+
+    def __init__(self, max_fds: int = 1024):
+        self._files: Dict[int, OpenFile] = {}
+        self.max_fds = max_fds
+
+    def install(self, open_file: OpenFile) -> int:
+        for fd in range(self.max_fds):
+            if fd not in self._files:
+                self._files[fd] = open_file
+                return fd
+        raise SyscallError(Errno.EMFILE, "fd table full")
+
+    def get(self, fd: int) -> OpenFile:
+        try:
+            return self._files[fd]
+        except KeyError:
+            raise SyscallError(Errno.EBADF, str(fd)) from None
+
+    def close(self, fd: int) -> None:
+        if fd not in self._files:
+            raise SyscallError(Errno.EBADF, str(fd))
+        del self._files[fd]
+
+    def close_all(self) -> None:
+        self._files.clear()
+
+    def copy_for_fork(self) -> "FDTable":
+        """fork(2) shares open file descriptions with the child."""
+        table = FDTable(self.max_fds)
+        table._files = dict(self._files)
+        return table
+
+    def drop_cloexec(self) -> None:
+        """Applied on exec(2): close every O_CLOEXEC descriptor."""
+        self._files = {fd: f for fd, f in self._files.items() if not f.cloexec()}
+
+    def open_fds(self) -> Dict[int, OpenFile]:
+        return dict(self._files)
+
+    def find_path(self, path: str) -> Optional[int]:
+        for fd, open_file in self._files.items():
+            if open_file.path == path:
+                return fd
+        return None
+
+    def __len__(self) -> int:
+        return len(self._files)

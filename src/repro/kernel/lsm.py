@@ -1,0 +1,190 @@
+"""Linux Security Module (LSM) hook framework.
+
+Mirrors the architecture the paper builds on (section 3.2): the core
+kernel calls out to registered security modules at well-defined hook
+points; modules can deny an operation outright, explicitly allow an
+operation that the default capability check would refuse, or pass.
+
+The hook vocabulary below is the union of stock hooks AppArmor uses
+and the hooks *Protego adds* for the 8 syscalls whose capability
+checks were previously hard-coded (mount, umount, setuid, setgid,
+socket, bind, ioctl, exec validation for setuid-on-exec).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, List, Optional, TYPE_CHECKING
+
+from repro.kernel.capabilities import Capability
+from repro.kernel.errno import Errno, SyscallError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.inode import Inode
+    from repro.kernel.task import Task
+
+
+class HookResult(enum.Enum):
+    """Tri-state decision from a security hook.
+
+    PASS  — the module has no opinion; fall through to the next module
+            and ultimately to the default (capability/DAC) policy.
+    ALLOW — the module affirmatively authorizes the operation even if
+            the default capability check would deny it. This is the
+            mechanism by which Protego lets an unprivileged user mount
+            a whitelisted CD-ROM.
+    DENY  — reject, regardless of capabilities.
+    """
+
+    PASS = "pass"
+    ALLOW = "allow"
+    DENY = "deny"
+
+
+class SetuidDecision:
+    """Decision for the setuid/setgid hooks.
+
+    Protego may *defer* a uid transition until exec (the paper's
+    setuid-on-exec, section 4.3); ``pending`` then carries the parked
+    transition for the task's security blob.
+    """
+
+    def __init__(self, result: HookResult, pending: Any = None, needs_auth: bool = False):
+        self.result = result
+        self.pending = pending
+        self.needs_auth = needs_auth
+
+    @classmethod
+    def passthrough(cls) -> "SetuidDecision":
+        return cls(HookResult.PASS)
+
+    @classmethod
+    def allow(cls) -> "SetuidDecision":
+        return cls(HookResult.ALLOW)
+
+    @classmethod
+    def deny(cls) -> "SetuidDecision":
+        return cls(HookResult.DENY)
+
+    @classmethod
+    def defer(cls, pending: Any, needs_auth: bool = False) -> "SetuidDecision":
+        return cls(HookResult.ALLOW, pending=pending, needs_auth=needs_auth)
+
+
+class SecurityModule:
+    """Base security module: every hook defaults to PASS.
+
+    Subclasses (AppArmor baseline, Protego) override only the hooks
+    they police — exactly how LSMs are structured in Linux.
+    """
+
+    name = "base"
+
+    # ---- process lifetime -------------------------------------------------
+    def task_alloc(self, task: "Task") -> None:
+        """A new task was created (fork); initialize security blob."""
+
+    def bprm_check(self, task: "Task", path: str, inode: "Inode", argv: List[str]) -> HookResult:
+        """exec(2) is about to run *path*. Protego validates pending
+        setuid-on-exec transitions here."""
+        return HookResult.PASS
+
+    def bprm_committing_creds(self, task: "Task", path: str, inode: "Inode") -> None:
+        """The exec is definitely happening; adjust blob state."""
+
+    # ---- capability override ----------------------------------------------
+    def capable(self, task: "Task", cap: Capability) -> HookResult:
+        """Asked whenever the kernel would check a capability."""
+        return HookResult.PASS
+
+    # ---- files --------------------------------------------------------------
+    def inode_permission(self, task: "Task", path: str, inode: "Inode", mask: int) -> HookResult:
+        return HookResult.PASS
+
+    def file_open(self, task: "Task", path: str, inode: "Inode", flags: int) -> HookResult:
+        return HookResult.PASS
+
+    # ---- mounts --------------------------------------------------------------
+    def sb_mount(
+        self, task: "Task", source: str, mountpoint: str, fstype: str,
+        flags: int, options: str,
+    ) -> HookResult:
+        return HookResult.PASS
+
+    def sb_umount(self, task: "Task", mountpoint: str) -> HookResult:
+        return HookResult.PASS
+
+    # ---- credentials -----------------------------------------------------------
+    def task_fix_setuid(self, task: "Task", target_uid: int) -> SetuidDecision:
+        return SetuidDecision.passthrough()
+
+    def task_fix_setgid(self, task: "Task", target_gid: int) -> SetuidDecision:
+        return SetuidDecision.passthrough()
+
+    # ---- networking ---------------------------------------------------------
+    def socket_create(self, task: "Task", family: str, sock_type: str, protocol: str) -> HookResult:
+        return HookResult.PASS
+
+    def socket_bind(self, task: "Task", socket: Any, port: int) -> HookResult:
+        return HookResult.PASS
+
+    # ---- ioctl ----------------------------------------------------------------
+    def dev_ioctl(self, task: "Task", device: Any, cmd: str, arg: Any) -> HookResult:
+        return HookResult.PASS
+
+    # ---- routing ----------------------------------------------------------------
+    def route_add(self, task: "Task", destination: str, device: str) -> HookResult:
+        return HookResult.PASS
+
+
+class LSMChain:
+    """The kernel's ordered list of security modules.
+
+    Semantics: for each hook, DENY from any module wins; otherwise
+    ALLOW from any module wins; otherwise PASS (default policy
+    applies). This matches how Protego composes with its AppArmor
+    base: AppArmor confines, Protego authorizes specific object
+    accesses.
+    """
+
+    def __init__(self, modules: Optional[List[SecurityModule]] = None):
+        self.modules: List[SecurityModule] = list(modules or [])
+
+    def register(self, module: SecurityModule) -> None:
+        self.modules.append(module)
+
+    def find(self, name: str) -> Optional[SecurityModule]:
+        for module in self.modules:
+            if module.name == name:
+                return module
+        return None
+
+    def _combine(self, results: List[HookResult]) -> HookResult:
+        if HookResult.DENY in results:
+            return HookResult.DENY
+        if HookResult.ALLOW in results:
+            return HookResult.ALLOW
+        return HookResult.PASS
+
+    def call(self, hook: str, *args: Any) -> HookResult:
+        results = [getattr(m, hook)(*args) for m in self.modules]
+        return self._combine(results)
+
+    def call_setuid(self, hook: str, task: "Task", target: int) -> SetuidDecision:
+        decision = SetuidDecision.passthrough()
+        for module in self.modules:
+            this = getattr(module, hook)(task, target)
+            if this.result is HookResult.DENY:
+                return this
+            if this.result is HookResult.ALLOW:
+                decision = this
+        return decision
+
+    def notify(self, hook: str, *args: Any) -> None:
+        for module in self.modules:
+            getattr(module, hook)(*args)
+
+
+def deny_errno(context: str = "") -> SyscallError:
+    """The canonical LSM denial."""
+    return SyscallError(Errno.EPERM, context)

@@ -1,0 +1,30 @@
+"""Simulated network stack: sockets, routing, netfilter.
+
+Implements the three privileged networking areas the paper studies
+(section 4.1): raw/packet socket creation, PPP route manipulation, and
+binding to ports below 1024 — plus the packet send path through
+netfilter that Protego extends to police unprivileged raw sockets.
+"""
+
+from repro.kernel.net.netfilter import NetfilterTable, Rule, Verdict
+from repro.kernel.net.packets import ICMPType, Packet
+from repro.kernel.net.routing import Route, RouteConflictError, RoutingTable
+from repro.kernel.net.socket import AddressFamily, Socket, SocketType
+from repro.kernel.net.stack import NetworkInterface, NetworkStack, RemoteHost
+
+__all__ = [
+    "AddressFamily",
+    "ICMPType",
+    "NetfilterTable",
+    "NetworkInterface",
+    "NetworkStack",
+    "Packet",
+    "RemoteHost",
+    "Route",
+    "RouteConflictError",
+    "RoutingTable",
+    "Rule",
+    "Socket",
+    "SocketType",
+    "Verdict",
+]

@@ -1,0 +1,153 @@
+"""Netfilter: rule chains evaluated on the packet paths.
+
+Protego's raw-socket design (paper, sections 2 and 4.1.1): any user
+may create a raw or packet socket, but outgoing packets from
+*unprivileged* raw sockets traverse additional netfilter rules that
+whitelist safe packet shapes (ICMP echo, traceroute probes, ARP) and
+drop anything that could spoof another process's TCP/UDP socket.
+
+The ``applies_to_unprivileged_raw_only`` flag models the paper's
+"modest extensions to the Linux netfilter framework" (the 100-line
+netfilter component of Table 2): stock netfilter cannot scope a rule
+to packets from capability-less raw sockets.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Iterable, List, Optional
+
+from repro.kernel.net.packets import HeaderOrigin, ICMPType, Packet, Protocol
+from repro.kernel.net.socket import Socket
+
+
+class Verdict(str, enum.Enum):
+    ACCEPT = "accept"
+    DROP = "drop"
+
+
+class Chain(str, enum.Enum):
+    OUTPUT = "OUTPUT"
+    INPUT = "INPUT"
+    # Protego's unprivileged-raw default rules live in their own
+    # chain, consulted only when no administrator OUTPUT rule matched —
+    # so "the rules may be changed by the administrator through the
+    # iptables utility" (section 4.1.1) without fighting rule order.
+    PROTEGO_RAW = "PROTEGO_RAW"
+
+
+@dataclasses.dataclass
+class Rule:
+    """One netfilter rule. ``None`` fields match anything."""
+
+    verdict: Verdict
+    chain: Chain = Chain.OUTPUT
+    protocol: Optional[Protocol] = None
+    icmp_types: Optional[frozenset] = None
+    dst_port: Optional[int] = None
+    dst_ports: Optional[frozenset] = None
+    owner_uid: Optional[int] = None
+    header_origin: Optional[HeaderOrigin] = None
+    spoofed_transport: Optional[bool] = None
+    applies_to_unprivileged_raw_only: bool = False
+    comment: str = ""
+
+    def matches(self, packet: Packet, socket: Optional[Socket]) -> bool:
+        if self.applies_to_unprivileged_raw_only:
+            if socket is None or not socket.unprivileged_raw:
+                return False
+        if self.protocol is not None and packet.protocol != self.protocol:
+            return False
+        if self.icmp_types is not None and packet.icmp_type not in self.icmp_types:
+            return False
+        if self.dst_port is not None and packet.dst_port != self.dst_port:
+            return False
+        if self.dst_ports is not None and packet.dst_port not in self.dst_ports:
+            return False
+        if self.owner_uid is not None and packet.sender_uid != self.owner_uid:
+            return False
+        if self.header_origin is not None and packet.header_origin != self.header_origin:
+            return False
+        if self.spoofed_transport is not None and packet.is_spoofed_transport() != self.spoofed_transport:
+            return False
+        return True
+
+
+class NetfilterTable:
+    """Ordered rule lists per chain, with per-chain default policy."""
+
+    def __init__(self):
+        self._chains = {chain: [] for chain in Chain}
+        self.policy = {chain: Verdict.ACCEPT for chain in Chain}
+        self.stats = {"evaluated": 0, "dropped": 0, "accepted": 0}
+
+    def append(self, rule: Rule) -> None:
+        self._chains[rule.chain].append(rule)
+
+    def extend(self, rules: Iterable[Rule]) -> None:
+        for rule in rules:
+            self.append(rule)
+
+    def flush(self, chain: Optional[Chain] = None) -> None:
+        chains = [chain] if chain else list(Chain)
+        for c in chains:
+            self._chains[c].clear()
+
+    def rules(self, chain: Chain = Chain.OUTPUT) -> List[Rule]:
+        return list(self._chains[chain])
+
+    def evaluate_detailed(self, chain: Chain, packet: Packet,
+                          socket: Optional[Socket] = None):
+        """Walk the chain; first matching rule wins, else chain
+        policy. Returns (verdict, matched-a-rule)."""
+        self.stats["evaluated"] += 1
+        verdict, matched = self.policy[chain], False
+        for rule in self._chains[chain]:
+            if rule.matches(packet, socket):
+                verdict, matched = rule.verdict, True
+                break
+        if verdict is Verdict.DROP:
+            self.stats["dropped"] += 1
+        else:
+            self.stats["accepted"] += 1
+        return verdict, matched
+
+    def evaluate(self, chain: Chain, packet: Packet,
+                 socket: Optional[Socket] = None) -> Verdict:
+        verdict, _matched = self.evaluate_detailed(chain, packet, socket)
+        return verdict
+
+
+def default_protego_output_rules() -> List[Rule]:
+    """The default policy mined from the studied setuid binaries.
+
+    Unprivileged raw sockets may emit: ICMP echo requests/replies and
+    traceroute-style probes (ICMP with any TTL), and ARP requests
+    (arping). Everything else from an unprivileged raw socket — in
+    particular user-crafted TCP/UDP segments — is dropped.
+    """
+    safe_icmp = frozenset(
+        {ICMPType.ECHO_REQUEST, ICMPType.ECHO_REPLY, ICMPType.TIME_EXCEEDED,
+         ICMPType.DEST_UNREACHABLE}
+    )
+    return [
+        Rule(
+            Verdict.ACCEPT,
+            protocol=Protocol.ICMP,
+            icmp_types=safe_icmp,
+            applies_to_unprivileged_raw_only=True,
+            comment="safe ICMP from unprivileged raw sockets (ping/traceroute/mtr)",
+        ),
+        Rule(
+            Verdict.ACCEPT,
+            protocol=Protocol.ARP,
+            applies_to_unprivileged_raw_only=True,
+            comment="ARP probes (arping)",
+        ),
+        Rule(
+            Verdict.DROP,
+            applies_to_unprivileged_raw_only=True,
+            comment="default-deny unprivileged raw socket traffic",
+        ),
+    ]

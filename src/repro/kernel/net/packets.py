@@ -1,0 +1,104 @@
+"""Packet model.
+
+A packet records which layer headers userspace crafted: with TCP/UDP
+sockets the kernel builds all headers; with a raw socket userspace
+supplies the IP header; with a packet socket it supplies the MAC
+header too (the paper's raw-vs-packet distinction, section 4.1.1).
+This is the information the Protego netfilter extension polices — a
+compromised ping must not emit packets that *appear* to come from
+another process's TCP/UDP socket.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import itertools
+from typing import Optional
+
+_packet_ids = itertools.count(1)
+
+
+class Protocol(str, enum.Enum):
+    ICMP = "icmp"
+    TCP = "tcp"
+    UDP = "udp"
+    ARP = "arp"
+    SMTP = "smtp"  # application-level tag used by the mail workload
+    CUSTOM = "custom"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class ICMPType(enum.IntEnum):
+    ECHO_REPLY = 0
+    DEST_UNREACHABLE = 3
+    ECHO_REQUEST = 8
+    TIME_EXCEEDED = 11
+
+
+class HeaderOrigin(str, enum.Enum):
+    """Who built the protocol headers."""
+
+    KERNEL = "kernel"        # normal TCP/UDP socket
+    USER_IP = "user-ip"      # raw socket: user supplied the IP header
+    USER_MAC = "user-mac"    # packet socket: user supplied MAC header
+
+
+@dataclasses.dataclass
+class Packet:
+    """One simulated packet."""
+
+    protocol: Protocol
+    src_ip: str
+    dst_ip: str
+    src_port: int = 0
+    dst_port: int = 0
+    icmp_type: Optional[ICMPType] = None
+    ttl: int = 64
+    payload: bytes = b""
+    header_origin: HeaderOrigin = HeaderOrigin.KERNEL
+    # The credentials of the sender at send time, as netfilter's owner
+    # match sees them.
+    sender_uid: int = 0
+    packet_id: int = dataclasses.field(default_factory=lambda: next(_packet_ids))
+
+    def is_spoofed_transport(self) -> bool:
+        """True when a user-built header claims a TCP/UDP identity.
+
+        A raw/packet socket emitting TCP or UDP segments is exactly the
+        spoofing case the paper's security-concern column describes:
+        the packet appears to come from a socket owned by another
+        process.
+        """
+        return (
+            self.header_origin is not HeaderOrigin.KERNEL
+            and self.protocol in (Protocol.TCP, Protocol.UDP)
+        )
+
+    def reply_template(self) -> "Packet":
+        """An addressed-back empty reply (used by echo responders)."""
+        return Packet(
+            protocol=self.protocol,
+            src_ip=self.dst_ip,
+            dst_ip=self.src_ip,
+            src_port=self.dst_port,
+            dst_port=self.src_port,
+            ttl=64,
+        )
+
+
+def icmp_echo_request(src_ip: str, dst_ip: str, payload: bytes = b"", ttl: int = 64,
+                      header_origin: HeaderOrigin = HeaderOrigin.USER_IP,
+                      sender_uid: int = 0) -> Packet:
+    return Packet(
+        protocol=Protocol.ICMP,
+        src_ip=src_ip,
+        dst_ip=dst_ip,
+        icmp_type=ICMPType.ECHO_REQUEST,
+        ttl=ttl,
+        payload=payload,
+        header_origin=header_origin,
+        sender_uid=sender_uid,
+    )

@@ -1,0 +1,102 @@
+"""Routing table with conflict detection.
+
+The paper's PPP policy (section 4.1.2): an unprivileged user may add a
+route over a ppp link *only if the new address range was not
+previously reachable* — i.e. the new route must not conflict with any
+existing route. The conflict predicate lives here so both the kernel
+policy (Protego LSM) and the legacy pppd userspace check can share it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import ipaddress
+from typing import List, Optional
+
+from repro.kernel.errno import Errno, SyscallError
+
+
+class RouteConflictError(SyscallError):
+    """A new route overlaps an existing reachable range."""
+
+    def __init__(self, context: str):
+        super().__init__(Errno.EEXIST, context)
+
+
+@dataclasses.dataclass(frozen=True)
+class Route:
+    """destination network -> device (optionally via gateway)."""
+
+    destination: str          # CIDR, e.g. "10.8.0.0/24" or "0.0.0.0/0"
+    device: str               # interface name, e.g. "ppp0"
+    gateway: str = ""         # next hop, empty for link-local
+    added_by_uid: int = 0
+
+    def network(self) -> ipaddress.IPv4Network:
+        return ipaddress.ip_network(self.destination, strict=False)
+
+    def is_default(self) -> bool:
+        return self.network().prefixlen == 0
+
+
+class RoutingTable:
+    """An ordered route set with longest-prefix-match lookup."""
+
+    def __init__(self):
+        self._routes: List[Route] = []
+
+    def routes(self) -> List[Route]:
+        return list(self._routes)
+
+    def conflicts_with(self, candidate: Route) -> Optional[Route]:
+        """First existing route whose range overlaps *candidate*.
+
+        The default route does not count as making everything
+        "previously reachable" — otherwise no PPP client behind a
+        gateway could ever add its peer route, which is not the
+        behaviour pppd implements. Only specific (non-default)
+        overlapping routes conflict.
+        """
+        cand_net = candidate.network()
+        for route in self._routes:
+            if route.is_default():
+                continue
+            if route.network().overlaps(cand_net):
+                return route
+        return None
+
+    def add(self, route: Route, check_conflict: bool = False) -> None:
+        if check_conflict:
+            existing = self.conflicts_with(route)
+            if existing is not None:
+                raise RouteConflictError(
+                    f"{route.destination} overlaps existing {existing.destination}"
+                )
+        self._routes.append(route)
+
+    def remove(self, destination: str, device: str = "") -> Route:
+        for route in self._routes:
+            if route.destination == destination and (not device or route.device == device):
+                self._routes.remove(route)
+                return route
+        raise SyscallError(Errno.ESRCH, f"no route {destination}")
+
+    def remove_by_device(self, device: str) -> List[Route]:
+        """Drop all routes through *device* (link teardown)."""
+        dropped = [r for r in self._routes if r.device == device]
+        self._routes = [r for r in self._routes if r.device != device]
+        return dropped
+
+    def lookup(self, dst_ip: str) -> Optional[Route]:
+        address = ipaddress.ip_address(dst_ip)
+        best: Optional[Route] = None
+        best_len = -1
+        for route in self._routes:
+            net = route.network()
+            if address in net and net.prefixlen > best_len:
+                best = route
+                best_len = net.prefixlen
+        return best
+
+    def __len__(self) -> int:
+        return len(self._routes)

@@ -1,0 +1,70 @@
+"""Pseudo-filesystems: /proc and /sys.
+
+Protego exposes its policy configuration through files in /proc
+(Figure 1: the trusted daemon writes /etc/fstab policy into the LSM
+via a /proc file) and replaces the privileged dm-crypt ioctl with a
+/sys file that discloses only the public device set (Table 4).
+
+A pseudo-file is an inode whose reads and writes are delegated to
+callbacks, so kernel components can parse policy grammars on write.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.kernel import modes
+from repro.kernel.errno import Errno, SyscallError
+from repro.kernel.inode import Inode, make_dir
+from repro.kernel.vfs import Filesystem, split_path
+
+
+class PseudoFilesystem(Filesystem):
+    """A filesystem whose files are backed by callbacks."""
+
+    def __init__(self, fstype: str):
+        super().__init__(fstype, source=fstype)
+
+    def _ensure_dir(self, path: str) -> Inode:
+        current = self.root
+        for name in split_path("/" + path.strip("/")):
+            if name not in current.entries:
+                current.entries[name] = make_dir()
+            current = current.entries[name]
+            if not current.is_dir():
+                raise SyscallError(Errno.ENOTDIR, name)
+        return current
+
+    def register(
+        self,
+        path: str,
+        read_fn: Optional[Callable[[], bytes]] = None,
+        write_fn: Optional[Callable[[bytes], None]] = None,
+        mode: int = 0o444,
+        uid: int = 0,
+        gid: int = 0,
+    ) -> Inode:
+        """Create a callback-backed file at *path* (relative to the
+        pseudo-fs root)."""
+        path = path.strip("/")
+        directory, _, leaf = path.rpartition("/")
+        parent = self._ensure_dir(directory) if directory else self.root
+        if leaf in parent.entries:
+            raise SyscallError(Errno.EEXIST, path)
+        inode = Inode(
+            modes.S_IFREG | mode,
+            uid=uid,
+            gid=gid,
+            read_fn=read_fn or (lambda: b""),
+            write_fn=write_fn,
+        )
+        parent.entries[leaf] = inode
+        return inode
+
+
+def make_procfs() -> PseudoFilesystem:
+    return PseudoFilesystem("proc")
+
+
+def make_sysfs() -> PseudoFilesystem:
+    return PseudoFilesystem("sysfs")

@@ -1,0 +1,862 @@
+"""The syscall layer.
+
+Each method takes the calling :class:`~repro.kernel.task.Task` first,
+mirroring the implicit ``current`` of a real kernel. Policy decisions
+follow the paper's architecture exactly:
+
+1. LSM hooks run first and may DENY outright or ALLOW an operation
+   the default policy would refuse (Protego's object-based policies);
+2. otherwise the stock capability/DAC checks apply.
+
+The eight system calls the paper changes — socket, bind, mount,
+umount, setuid, setgid, ioctl, and the exec-side enforcement of
+setuid-on-exec — are all here, each with its LSM call site.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.kernel import modes
+from repro.kernel.capabilities import Capability
+from repro.kernel.cred import Credentials
+from repro.kernel.devices import BlockDevice, Device, DmCryptDevice, Modem
+from repro.kernel.errno import Errno, SyscallError
+from repro.kernel.fdtable import OpenFile
+from repro.kernel.inode import (
+    Inode,
+    make_block_device,
+    make_char_device,
+    make_dir,
+    make_file,
+    make_symlink,
+)
+from repro.kernel.lsm import HookResult
+from repro.kernel.net.packets import Packet
+from repro.kernel.net.routing import Route
+from repro.kernel.net.socket import (
+    AddressFamily,
+    Socket,
+    SocketState,
+    SocketType,
+    PRIVILEGED_PORT_MAX,
+)
+from repro.kernel.task import Task
+from repro.kernel.vfs import Filesystem, normalize
+
+
+@dataclasses.dataclass(frozen=True)
+class StatResult:
+    """What stat(2) reports."""
+
+    ino: int
+    mode: int
+    uid: int
+    gid: int
+    size: int
+    nlink: int
+
+
+class SyscallMixin:
+    """Syscall implementations; mixed into :class:`Kernel`.
+
+    Expects the host class to provide: ``vfs``, ``lsm``, ``net``,
+    ``devices``, ``tasks``, ``binaries``, ``audit``, ``clock``
+    and the helpers ``tick()``, ``capable()``, ``log_audit()``.
+    """
+
+    # ==================================================================
+    # Capability check (single funnel, so LSMs can veto)
+    # ==================================================================
+    def capable(self, task: Task, cap: Capability) -> bool:
+        result = self.lsm.call("capable", task, cap)
+        if result is HookResult.DENY:
+            return False
+        if result is HookResult.ALLOW:
+            return True
+        return task.cred.has_cap(cap)
+
+    def require_capable(self, task: Task, cap: Capability, what: str) -> None:
+        if not self.capable(task, cap):
+            raise SyscallError(Errno.EPERM, f"{what} requires {cap.name}")
+
+    # ==================================================================
+    # Files
+    # ==================================================================
+    def sys_open(self, task: Task, path: str, flags: int = modes.O_RDONLY,
+                 mode: int = 0o644) -> int:
+        self.tick()
+        path = self._resolve_at(task, path)
+        accmode = flags & modes.O_ACCMODE
+        mask = {modes.O_RDONLY: modes.R_OK, modes.O_WRONLY: modes.W_OK,
+                modes.O_RDWR: modes.R_OK | modes.W_OK}[accmode]
+        if (flags & modes.O_CREAT and flags & modes.O_EXCL
+                and self.vfs.exists(path)):
+            raise SyscallError(Errno.EEXIST, path)
+        if flags & modes.O_CREAT and not self.vfs.exists(path):
+            parent, leaf = self.vfs.resolve_parent(path)
+            self.vfs.dac_permission(task.cred, parent, modes.W_OK | modes.X_OK)
+            inode = make_file(
+                b"", uid=task.cred.fsuid, gid=task.cred.fsgid,
+                perm=mode & ~0o022,
+            )
+            parent.entries[leaf] = inode
+        else:
+            inode = self.vfs.path_permission(task.cred, path, mask)
+        if inode.is_dir() and accmode != modes.O_RDONLY:
+            raise SyscallError(Errno.EISDIR, path)
+        lsm_result = self.lsm.call("file_open", task, path, inode, flags)
+        if lsm_result is HookResult.DENY:
+            raise SyscallError(Errno.EACCES, f"lsm denied open of {path}")
+        if flags & modes.O_TRUNC and inode.is_regular() and inode.read_fn is None:
+            # Pseudo-files (procfs/sysfs) are not truncated on open:
+            # only an explicit write reaches their handler.
+            inode.write_bytes(b"")
+        open_file = OpenFile(inode, flags, path)
+        if flags & modes.O_APPEND:
+            open_file.offset = inode.size()
+        return task.fdtable.install(open_file)
+
+    def sys_read(self, task: Task, fd: int, size: int = -1) -> bytes:
+        self.tick()
+        open_file = task.fdtable.get(fd)
+        if not open_file.readable():
+            raise SyscallError(Errno.EBADF, f"fd {fd} not readable")
+        if open_file.inode.is_dir():
+            raise SyscallError(Errno.EISDIR, open_file.path)
+        data = open_file.inode.read_bytes()
+        if size < 0:
+            chunk = data[open_file.offset:]
+        else:
+            chunk = data[open_file.offset:open_file.offset + size]
+        open_file.offset += len(chunk)
+        return chunk
+
+    def sys_write(self, task: Task, fd: int, payload: bytes) -> int:
+        self.tick()
+        open_file = task.fdtable.get(fd)
+        if not open_file.writable():
+            raise SyscallError(Errno.EBADF, f"fd {fd} not writable")
+        inode = open_file.inode
+        if inode.write_fn is not None:
+            inode.write_bytes(payload)
+            return len(payload)
+        if inode.read_fn is not None:
+            # A read-only pseudo-file (e.g. the /sys dm metadata): no
+            # write handler exists, even for root.
+            raise SyscallError(Errno.EACCES, f"{open_file.path} is read-only")
+        data = inode.data
+        end = open_file.offset + len(payload)
+        if len(data) < end:
+            data.extend(b"\x00" * (end - len(data)))
+        data[open_file.offset:end] = payload
+        open_file.offset = end
+        inode.mtime += 1
+        return len(payload)
+
+    def sys_close(self, task: Task, fd: int) -> None:
+        self.tick()
+        open_file = task.fdtable.get(fd)
+        sock = getattr(open_file, "socket", None)
+        if sock is not None:
+            getattr(sock, "stack", self.net).release_socket(sock)
+            sock.close()
+        task.fdtable.close(fd)
+
+    def sys_stat(self, task: Task, path: str) -> StatResult:
+        self.tick()
+        path = self._resolve_at(task, path)
+        inode = self.vfs.resolve(path)
+        return StatResult(inode.ino, inode.mode, inode.uid, inode.gid,
+                          inode.size(), inode.nlink)
+
+    def sys_access(self, task: Task, path: str, mask: int) -> bool:
+        self.tick()
+        try:
+            self.vfs.path_permission(task.cred, self._resolve_at(task, path), mask)
+            return True
+        except SyscallError:
+            return False
+
+    def sys_mkdir(self, task: Task, path: str, mode: int = 0o755) -> None:
+        self.tick()
+        path = self._resolve_at(task, path)
+        parent, leaf = self.vfs.resolve_parent(path)
+        self.vfs.dac_permission(task.cred, parent, modes.W_OK | modes.X_OK)
+        if leaf in parent.entries:
+            raise SyscallError(Errno.EEXIST, path)
+        parent.entries[leaf] = make_dir(uid=task.cred.fsuid, gid=task.cred.fsgid, perm=mode)
+
+    def sys_unlink(self, task: Task, path: str) -> None:
+        self.tick()
+        path = self._resolve_at(task, path)
+        parent, leaf = self.vfs.resolve_parent(path)
+        self.vfs.dac_permission(task.cred, parent, modes.W_OK | modes.X_OK)
+        victim = parent.lookup(leaf)
+        if victim.is_dir():
+            raise SyscallError(Errno.EISDIR, path)
+        if parent.mode & modes.S_ISVTX:
+            if (task.cred.fsuid not in (victim.uid, parent.uid)
+                    and not self.capable(task, Capability.CAP_FOWNER)):
+                raise SyscallError(Errno.EACCES, f"sticky dir protects {path}")
+        parent.unlink(leaf)
+
+    def sys_symlink(self, task: Task, target: str, linkpath: str) -> None:
+        self.tick()
+        linkpath = self._resolve_at(task, linkpath)
+        parent, leaf = self.vfs.resolve_parent(linkpath)
+        self.vfs.dac_permission(task.cred, parent, modes.W_OK | modes.X_OK)
+        if leaf in parent.entries:
+            raise SyscallError(Errno.EEXIST, linkpath)
+        parent.entries[leaf] = make_symlink(target, uid=task.cred.fsuid, gid=task.cred.fsgid)
+
+    def sys_chmod(self, task: Task, path: str, mode: int) -> None:
+        self.tick()
+        inode = self.vfs.resolve(self._resolve_at(task, path))
+        if task.cred.fsuid != inode.uid and not self.capable(task, Capability.CAP_FOWNER):
+            raise SyscallError(Errno.EPERM, f"chmod {path}")
+        inode.mode = (inode.mode & modes.S_IFMT) | (mode & modes.PERM_MASK)
+        inode.mtime += 1
+
+    def sys_chown(self, task: Task, path: str, uid: int, gid: int = -1) -> None:
+        self.tick()
+        inode = self.vfs.resolve(self._resolve_at(task, path))
+        if uid != -1 and uid != inode.uid:
+            self.require_capable(task, Capability.CAP_CHOWN, f"chown {path}")
+        if gid != -1 and gid != inode.gid:
+            if not (task.cred.fsuid == inode.uid and task.cred.in_group(gid)):
+                self.require_capable(task, Capability.CAP_CHOWN, f"chgrp {path}")
+        if uid != -1:
+            inode.uid = uid
+            # Linux clears setuid on ownership change.
+            inode.mode &= ~(modes.S_ISUID | modes.S_ISGID)
+        if gid != -1:
+            inode.gid = gid
+        inode.mtime += 1
+
+    def sys_link(self, task: Task, target: str, linkpath: str) -> None:
+        """Hard link: same inode, another name; nlink bookkeeping."""
+        self.tick()
+        target = self._resolve_at(task, target)
+        linkpath = self._resolve_at(task, linkpath)
+        inode = self.vfs.resolve(target)
+        if inode.is_dir():
+            raise SyscallError(Errno.EISDIR, target)
+        parent, leaf = self.vfs.resolve_parent(linkpath)
+        self.vfs.dac_permission(task.cred, parent, modes.W_OK | modes.X_OK)
+        parent.link(leaf, inode)
+
+    def sys_rename(self, task: Task, old_path: str, new_path: str) -> None:
+        """rename(2); both parents need write permission; an existing
+        regular-file destination is replaced, as Linux does."""
+        self.tick()
+        old_path = self._resolve_at(task, old_path)
+        new_path = self._resolve_at(task, new_path)
+        old_parent, old_leaf = self.vfs.resolve_parent(old_path)
+        self.vfs.dac_permission(task.cred, old_parent, modes.W_OK | modes.X_OK)
+        new_parent, new_leaf = self.vfs.resolve_parent(new_path)
+        self.vfs.dac_permission(task.cred, new_parent, modes.W_OK | modes.X_OK)
+        inode = old_parent.lookup(old_leaf)
+        existing = new_parent.entries.get(new_leaf)
+        if existing is not None:
+            if existing.is_dir() and not inode.is_dir():
+                raise SyscallError(Errno.EISDIR, new_path)
+            if existing.is_dir() and inode.is_dir() and existing.entries:
+                raise SyscallError(Errno.ENOTEMPTY, new_path)
+            new_parent.unlink(new_leaf)
+        old_parent.unlink(old_leaf)
+        new_parent.link(new_leaf, inode)
+
+    def sys_rmdir(self, task: Task, path: str) -> None:
+        self.tick()
+        path = self._resolve_at(task, path)
+        parent, leaf = self.vfs.resolve_parent(path)
+        self.vfs.dac_permission(task.cred, parent, modes.W_OK | modes.X_OK)
+        victim = parent.lookup(leaf)
+        if not victim.is_dir():
+            raise SyscallError(Errno.ENOTDIR, path)
+        if victim.entries:
+            raise SyscallError(Errno.ENOTEMPTY, path)
+        if self.vfs.mount_at(path) is not None:
+            raise SyscallError(Errno.EBUSY, path)
+        parent.unlink(leaf)
+
+    def sys_readdir(self, task: Task, path: str) -> List[str]:
+        self.tick()
+        path = self._resolve_at(task, path)
+        inode = self.vfs.path_permission(task.cred, path, modes.R_OK)
+        if not inode.is_dir():
+            raise SyscallError(Errno.ENOTDIR, path)
+        return sorted(inode.entries)
+
+    def sys_chdir(self, task: Task, path: str) -> None:
+        self.tick()
+        path = self._resolve_at(task, path)
+        if not self.vfs.resolve(path).is_dir():
+            raise SyscallError(Errno.ENOTDIR, path)
+        self.vfs.path_permission(task.cred, path, modes.X_OK)
+        task.cwd = path
+
+    def _resolve_at(self, task: Task, path: str) -> str:
+        if not path.startswith("/"):
+            base = task.cwd.rstrip("/")
+            path = f"{base}/{path}"
+        return normalize(path)
+
+    # -- whole-file helpers (what read()/write() loops amount to) -------
+    def read_file(self, task: Task, path: str) -> bytes:
+        fd = self.sys_open(task, path, modes.O_RDONLY)
+        try:
+            return self.sys_read(task, fd)
+        finally:
+            self.sys_close(task, fd)
+
+    def write_file(self, task: Task, path: str, payload: bytes,
+                   create: bool = True, append: bool = False) -> None:
+        flags = modes.O_WRONLY
+        if create:
+            flags |= modes.O_CREAT
+        if append:
+            flags |= modes.O_APPEND
+        else:
+            flags |= modes.O_TRUNC
+        fd = self.sys_open(task, path, flags)
+        try:
+            self.sys_write(task, fd, payload)
+        finally:
+            self.sys_close(task, fd)
+
+    # ==================================================================
+    # Untouched-by-Protego syscalls (lmbench's baseline rows)
+    # ==================================================================
+    def sys_getpid(self, task: Task) -> int:
+        """The null syscall: pure kernel-entry cost. Inside a pid
+        namespace, the namespaced pid is reported."""
+        self.tick()
+        pidns = task.namespaces.get("pid")
+        if pidns is not None:
+            ns_pid = pidns.ns_pid(task.pid)
+            if ns_pid is not None:
+                return ns_pid
+        return task.pid
+
+    def sys_signal(self, task: Task, signum: int, handler) -> None:
+        """Install a signal handler (sig install row)."""
+        self.tick()
+        task.security.setdefault("signals", {})[signum] = handler
+
+    def sys_kill(self, task: Task, target_pid: int, signum: int) -> None:
+        """Deliver a signal; runs the handler synchronously
+        (sig overhead row)."""
+        self.tick()
+        target = self.tasks.get(target_pid)
+        if target is None:
+            raise SyscallError(Errno.ESRCH, str(target_pid))
+        handler = target.security.get("signals", {}).get(signum)
+        if handler is not None:
+            handler(signum)
+
+    def sys_fault(self, task: Task) -> None:
+        """A protection-fault round trip (prot fault row): enter the
+        kernel, walk the 'fault' path, return."""
+        self.tick()
+
+    def sys_pipe(self, task: Task) -> Tuple[int, int]:
+        """An in-memory pipe: returns (read fd, write fd)."""
+        self.tick()
+        buffer = make_file(perm=0o600)
+        read_end = OpenFile(buffer, modes.O_RDONLY, "pipe:[r]")
+        write_end = OpenFile(buffer, modes.O_WRONLY, "pipe:[w]")
+        return task.fdtable.install(read_end), task.fdtable.install(write_end)
+
+    # ==================================================================
+    # Mount / umount  (paper section 4.2, Figure 1)
+    # ==================================================================
+    def sys_mount(self, task: Task, source: str, mountpoint: str,
+                  fstype: str = "auto", flags: int = 0, options: str = "") -> None:
+        self.tick()
+        mountpoint = self._resolve_at(task, mountpoint)
+        mountns = task.namespaces.get("mount")
+        if mountns is not None:
+            # Inside a mount namespace every mount is private: it can
+            # never alter the host tree (the paper's section 6 point).
+            userns = task.namespaces.get("user")
+            if not (self.capable(task, Capability.CAP_SYS_ADMIN)
+                    or (userns is not None and userns.inside_is_root())):
+                raise SyscallError(Errno.EPERM, "mount in namespace requires "
+                                                "namespace root")
+            fs = self._filesystem_for(source, fstype, flags)
+            mountns.attach(mountpoint, fs)
+            self.log_audit("mount.ns", task, f"{source} -> {mountpoint}")
+            return
+        lsm_result = self.lsm.call(
+            "sb_mount", task, source, mountpoint, fstype, flags, options
+        )
+        if lsm_result is HookResult.DENY:
+            self.log_audit("mount.denied", task, f"{source} -> {mountpoint}")
+            raise SyscallError(Errno.EPERM, f"mount {source} on {mountpoint} denied by policy")
+        if lsm_result is not HookResult.ALLOW:
+            try:
+                self.require_capable(task, Capability.CAP_SYS_ADMIN, "mount")
+            except SyscallError:
+                self.log_audit("mount.denied", task, f"{source} -> {mountpoint}")
+                raise
+        fs = self._filesystem_for(source, fstype, flags)
+        self.vfs.attach(mountpoint, fs, flags, mounter_uid=task.cred.ruid)
+        self.log_audit("mount", task, f"{source} -> {mountpoint} ({fs.fstype})")
+
+    def sys_umount(self, task: Task, mountpoint: str) -> None:
+        self.tick()
+        mountpoint = self._resolve_at(task, mountpoint)
+        mountns = task.namespaces.get("mount")
+        if mountns is not None:
+            mountns.detach(mountpoint)
+            self.log_audit("umount.ns", task, mountpoint)
+            return
+        lsm_result = self.lsm.call("sb_umount", task, mountpoint)
+        if lsm_result is HookResult.DENY:
+            raise SyscallError(Errno.EPERM, f"umount {mountpoint} denied by policy")
+        if lsm_result is not HookResult.ALLOW:
+            self.require_capable(task, Capability.CAP_SYS_ADMIN, "umount")
+        self.vfs.detach(mountpoint)
+        self.log_audit("umount", task, mountpoint)
+
+    def _filesystem_for(self, source: str, fstype: str, flags: int) -> Filesystem:
+        """Build the filesystem instance mount(2) grafts in.
+
+        Block-device sources take their type from the device; other
+        sources (tmpfs, proc) are synthesized.
+        """
+        if source.startswith("/dev/"):
+            inode = self.vfs.resolve(source)
+            device = inode.device
+            if not isinstance(device, BlockDevice):
+                raise SyscallError(Errno.ENOTBLK, source)
+            if device.ejected:
+                raise SyscallError(Errno.ENXIO, f"{source} ejected")
+            fs = Filesystem(device.fstype if fstype == "auto" else fstype,
+                            source=source, flags=flags)
+            return fs
+        return Filesystem(fstype if fstype != "auto" else "tmpfs", source=source, flags=flags)
+
+    # ==================================================================
+    # Credentials  (paper section 4.3)
+    # ==================================================================
+    def sys_setuid(self, task: Task, uid: int) -> None:
+        """setuid(2) with Protego's deferred-transition extension."""
+        self.tick()
+        decision = self.lsm.call_setuid("task_fix_setuid", task, uid)
+        if decision.result is HookResult.DENY:
+            self.log_audit("setuid.denied", task, f"-> {uid}")
+            raise SyscallError(Errno.EPERM, f"setuid({uid}) denied by policy")
+        if decision.result is HookResult.ALLOW:
+            if decision.pending is not None:
+                # Park the transition; exec will validate the binary.
+                task.setsec("protego", "pending_setuid", decision.pending)
+                self.log_audit("setuid.deferred", task, f"-> {uid}")
+                return
+            task.cred = task.cred.with_uids(ruid=uid, euid=uid, suid=uid)
+            if uid == 0:
+                # A policy-authorized transition to root regains the
+                # full capability sets, but only *after* every check
+                # has succeeded (the paper's ordering requirement).
+                full = Credentials.for_root()
+                task.cred = task.cred.with_caps(full.cap_permitted, full.cap_effective)
+            else:
+                task.cred = task.cred.drop_all_caps()
+            self.log_audit("setuid", task, f"-> {uid}")
+            return
+        # Stock Linux policy.
+        if self.capable(task, Capability.CAP_SETUID):
+            task.cred = task.cred.with_uids(ruid=uid, euid=uid, suid=uid)
+            if uid != 0:
+                # setuid(nonroot) from root drops capability sets.
+                task.cred = task.cred.drop_all_caps()
+            self.log_audit("setuid", task, f"-> {uid}")
+            return
+        if uid in (task.cred.ruid, task.cred.suid):
+            task.cred = task.cred.with_uids(euid=uid)
+            self.log_audit("setuid", task, f"euid -> {uid}")
+            return
+        raise SyscallError(Errno.EPERM, f"setuid({uid})")
+
+    def sys_setgid(self, task: Task, gid: int) -> None:
+        self.tick()
+        decision = self.lsm.call_setuid("task_fix_setgid", task, gid)
+        if decision.result is HookResult.DENY:
+            raise SyscallError(Errno.EPERM, f"setgid({gid}) denied by policy")
+        if decision.result is HookResult.ALLOW:
+            if decision.pending is not None:
+                task.setsec("protego", "pending_setgid", decision.pending)
+                self.log_audit("setgid.deferred", task, f"-> {gid}")
+                return
+            task.cred = task.cred.with_gids(rgid=gid, egid=gid, sgid=gid)
+            self.log_audit("setgid", task, f"-> {gid}")
+            return
+        if self.capable(task, Capability.CAP_SETGID):
+            task.cred = task.cred.with_gids(rgid=gid, egid=gid, sgid=gid)
+            return
+        if gid in (task.cred.rgid, task.cred.sgid):
+            task.cred = task.cred.with_gids(egid=gid)
+            return
+        raise SyscallError(Errno.EPERM, f"setgid({gid})")
+
+    def sys_setgroups(self, task: Task, groups: List[int]) -> None:
+        self.tick()
+        self.require_capable(task, Capability.CAP_SETGID, "setgroups")
+        task.cred = task.cred.with_groups(groups)
+
+    # ==================================================================
+    # Processes
+    # ==================================================================
+    def sys_fork(self, parent: Task) -> Task:
+        self.tick()
+        child = Task(self._next_pid(), parent.cred, parent=parent, comm=parent.comm)
+        child.cwd = parent.cwd
+        child.environ = dict(parent.environ)
+        child.exe_path = parent.exe_path
+        child.fdtable = parent.fdtable.copy_for_fork()
+        child.tty = parent.tty
+        child.security = {mod: dict(state) for mod, state in parent.security.items()}
+        child.namespaces = dict(parent.namespaces)
+        pidns = child.namespaces.get("pid")
+        if pidns is not None:
+            pidns.enroll(child.pid)
+        parent.children.append(child)
+        self.tasks[child.pid] = child
+        self.lsm.notify("task_alloc", child)
+        return child
+
+    def sys_execve(self, task: Task, path: str, argv: Optional[List[str]] = None,
+                   env: Optional[Dict[str, str]] = None, run: bool = True) -> int:
+        """exec(2): setuid-bit semantics plus LSM validation.
+
+        With ``run=True`` (the default) the registered program body is
+        executed synchronously and its exit status returned, which
+        keeps driving code simple and benchmarks cheap.
+        """
+        self.tick()
+        argv = list(argv or [path])
+        path = self._resolve_at(task, path)
+        inode = self.vfs.path_permission(task.cred, path, modes.X_OK)
+        if inode.is_dir():
+            raise SyscallError(Errno.EISDIR, path)
+
+        lsm_result = self.lsm.call("bprm_check", task, path, inode, argv)
+        if lsm_result is HookResult.DENY:
+            self.log_audit("exec.denied", task, path)
+            raise SyscallError(Errno.EACCES, f"exec of {path} denied by policy")
+
+        # Environment scrubbing boundary: exec resets to the provided env.
+        if env is not None:
+            task.environ = dict(env)
+
+        # setuid/setgid bit semantics.
+        mount = self.vfs.mount_covering(path)
+        nosuid = bool(mount and mount.fs.is_nosuid())
+        if inode.is_setuid() and not nosuid:
+            task.cred = task.cred.with_uids(euid=inode.uid)
+            task.cred = dataclasses.replace(task.cred, suid=inode.uid)
+            if inode.uid == 0:
+                # A setuid-root exec regains the full capability sets —
+                # the very over-privilege the paper is about.
+                full_cred = Credentials.for_root()
+                task.cred = task.cred.with_caps(
+                    full_cred.cap_permitted, full_cred.cap_effective,
+                )
+        if inode.is_setgid() and not nosuid:
+            task.cred = task.cred.with_gids(egid=inode.gid)
+        if inode.file_caps is not None and not nosuid:
+            # The setcap mechanism (section 3.1): the binary grants
+            # specific capabilities instead of full root — still a
+            # subject-based, coarser-than-policy grant.
+            task.cred = task.cred.with_caps(
+                permitted=task.cred.cap_permitted.union(inode.file_caps),
+                effective=task.cred.cap_effective.union(inode.file_caps),
+            )
+
+        task.fdtable.drop_cloexec()
+        task.exe_path = path
+        task.comm = path.rsplit("/", 1)[-1]
+        self.lsm.notify("bprm_committing_creds", task, path, inode)
+        self.log_audit("exec", task, path)
+
+        if not run:
+            return 0
+        program = self.binaries.get(path)
+        if program is None:
+            return 0
+        return program.run(self, task, argv)
+
+    def sys_exit(self, task: Task, status: int = 0) -> None:
+        self.tick()
+        task.exit_status = status
+        task.fdtable.close_all()
+
+    def sys_wait(self, parent: Task) -> Tuple[int, int]:
+        self.tick()
+        for child in parent.children:
+            if child.exit_status is not None:
+                parent.children.remove(child)
+                self.tasks.pop(child.pid, None)
+                return child.pid, child.exit_status
+        raise SyscallError(Errno.ECHILD, "no exited children")
+
+    def spawn(self, parent: Task, path: str, argv: Optional[List[str]] = None,
+              env: Optional[Dict[str, str]] = None) -> Tuple[Task, int]:
+        """fork + execve + run; returns (child task, exit status)."""
+        child = self.sys_fork(parent)
+        try:
+            status = self.sys_execve(child, path, argv, env)
+        except SyscallError:
+            self.sys_exit(child, 127)
+            raise
+        if child.exit_status is None:
+            self.sys_exit(child, status)
+        return child, child.exit_status
+
+    def sys_setcap(self, task: Task, path: str, caps) -> None:
+        """setcap(8)'s kernel side: attach file capabilities to a
+        binary (requires CAP_SETFCAP). Section 3.1's alternative to
+        the setuid bit — and section 3.2's cautionary tale: the grant
+        is still per-binary and coarse."""
+        self.tick()
+        self.require_capable(task, Capability.CAP_SETFCAP, "setcap")
+        inode = self.vfs.resolve(self._resolve_at(task, path))
+        if not inode.is_regular():
+            raise SyscallError(Errno.EINVAL, path)
+        inode.file_caps = caps
+        self.log_audit("setcap", task, f"{path} += {len(caps)} caps")
+
+    # ==================================================================
+    # Namespaces  (paper sections 4.6 and 6)
+    # ==================================================================
+    def sys_unshare(self, task: Task, kinds) -> None:
+        """unshare(2): move *task* into fresh namespaces.
+
+        Policy follows the kernel timeline the paper describes: before
+        3.8 any namespace requires CAP_SYS_ADMIN (hence setuid sandbox
+        helpers); from 3.8 an unprivileged task may create a *user*
+        namespace, and once it is root inside one, the other kinds.
+        """
+        from repro.kernel.namespaces import (
+            NAMESPACE_KINDS,
+            MountNamespace,
+            NetNamespace,
+            PidNamespace,
+            UserNamespace,
+        )
+        self.tick()
+        kinds = list(kinds)
+        for kind in kinds:
+            if kind not in NAMESPACE_KINDS:
+                raise SyscallError(Errno.EINVAL, f"namespace kind {kind!r}")
+        if not self.version.supports_namespaces():
+            raise SyscallError(Errno.ENOSYS, "kernel lacks namespaces")
+        privileged = self.capable(task, Capability.CAP_SYS_ADMIN)
+        in_userns = "user" in task.namespaces
+        wants_userns = "user" in kinds
+        if not privileged:
+            if wants_userns and not self.version.supports_unprivileged_userns():
+                raise SyscallError(
+                    Errno.EPERM,
+                    f"unprivileged user namespaces need >= 3.8 (this is "
+                    f"{self.version})")
+            if not wants_userns and not in_userns:
+                raise SyscallError(Errno.EPERM, "namespace requires privilege "
+                                                "or a user namespace")
+        if wants_userns:
+            task.namespaces["user"] = UserNamespace(owner_uid=task.cred.ruid)
+        for kind in kinds:
+            if kind == "user":
+                continue
+            namespace = {"mount": MountNamespace, "net": NetNamespace,
+                         "pid": PidNamespace}[kind]()
+            task.namespaces[kind] = namespace
+            if kind == "pid":
+                namespace.enroll(task.pid)
+        self.log_audit("unshare", task, ",".join(kinds))
+
+    def _net_for(self, task: Task):
+        """The network stack this task's sockets live in."""
+        netns = task.namespaces.get("net")
+        return netns.stack if netns is not None else self.net
+
+    # ==================================================================
+    # Networking  (paper section 4.1)
+    # ==================================================================
+    def sys_socket(self, task: Task, family: AddressFamily, sock_type: SocketType,
+                   protocol: str = "") -> Socket:
+        self.tick()
+        protocol = protocol or {
+            SocketType.STREAM: "tcp", SocketType.DGRAM: "udp",
+            SocketType.RAW: "icmp", SocketType.PACKET: "all",
+        }[sock_type]
+        stack = self._net_for(task)
+        in_netns = stack is not self.net
+        unprivileged_raw = False
+        if sock_type.requires_net_raw() and not in_netns:
+            lsm_result = self.lsm.call(
+                "socket_create", task, family.value, sock_type.value, protocol
+            )
+            if lsm_result is HookResult.DENY:
+                raise SyscallError(Errno.EPERM, "raw socket denied by policy")
+            if lsm_result is HookResult.ALLOW:
+                unprivileged_raw = not task.cred.has_cap(Capability.CAP_NET_RAW)
+            else:
+                self.require_capable(task, Capability.CAP_NET_RAW, "raw/packet socket")
+        # Inside a network namespace the task holds CAP_NET_RAW *over
+        # that namespace*: raw sockets are free, but they only ever
+        # touch the fake network.
+        sock = Socket(family, sock_type, protocol, task.cred.euid, task.pid,
+                      task.exe_path, unprivileged_raw=unprivileged_raw)
+        sock.stack = stack
+        if sock_type in (SocketType.RAW, SocketType.PACKET):
+            stack.register_raw_listener(sock)
+        open_file = OpenFile(make_file(perm=0o600), modes.O_RDWR, f"socket:[{sock.sock_id}]")
+        open_file.socket = sock  # type: ignore[attr-defined]
+        fd = task.fdtable.install(open_file)
+        sock.fd = fd  # type: ignore[attr-defined]
+        self.log_audit("socket", task, f"{sock_type.value}/{protocol}"
+                       + (" (unprivileged-raw)" if unprivileged_raw else ""))
+        return sock
+
+    def sys_bind(self, task: Task, sock: Socket, ip: str, port: int) -> None:
+        self.tick()
+        stack = getattr(sock, "stack", self.net)
+        if 0 < port < PRIVILEGED_PORT_MAX and stack is self.net:
+            lsm_result = self.lsm.call("socket_bind", task, sock, port)
+            if lsm_result is HookResult.DENY:
+                self.log_audit("bind.denied", task, f"port {port}")
+                raise SyscallError(Errno.EACCES, f"bind to port {port} denied by policy")
+            if lsm_result is not HookResult.ALLOW:
+                self.require_capable(task, Capability.CAP_NET_BIND_SERVICE,
+                                     f"bind to port {port}")
+        stack.bind_socket(sock, ip, port)
+        self.log_audit("bind", task, f"{sock.protocol}:{port}")
+
+    def sys_listen(self, task: Task, sock: Socket, backlog: int = 128) -> None:
+        self.tick()
+        if sock.state is not SocketState.BOUND:
+            raise SyscallError(Errno.EINVAL, "socket not bound")
+        sock.state = SocketState.LISTENING
+
+    def sys_connect(self, task: Task, sock: Socket, ip: str, port: int) -> None:
+        self.tick()
+        stack = getattr(sock, "stack", self.net)
+        if sock.local_port == 0:
+            stack.bind_socket(sock, "0.0.0.0", 0)
+        stack.connect(sock, ip, port)
+
+    def sys_accept(self, task: Task, sock: Socket) -> Socket:
+        self.tick()
+        if sock.state is not SocketState.LISTENING:
+            raise SyscallError(Errno.EINVAL, "socket not listening")
+        if not sock.backlog:
+            raise SyscallError(Errno.EAGAIN, "no pending connections")
+        return sock.backlog.pop(0)
+
+    def sys_sendto(self, task: Task, sock: Socket, packet: Packet) -> List[Packet]:
+        self.tick()
+        packet.sender_uid = task.cred.euid
+        peer = getattr(sock, "peer", None)
+        if sock.family is AddressFamily.AF_UNIX and peer is not None:
+            # Local IPC never touches the packet filter.
+            peer.enqueue(packet)
+            return [packet]
+        return getattr(sock, "stack", self.net).send(packet, sock)
+
+    def sys_recvfrom(self, task: Task, sock: Socket) -> Packet:
+        self.tick()
+        return sock.dequeue()
+
+    # ==================================================================
+    # ioctl  (paper Table 4: pppd modem/route config, dm-crypt metadata)
+    # ==================================================================
+    def sys_ioctl(self, task: Task, device: Device, cmd: str, arg: object = None) -> object:
+        self.tick()
+        lsm_result = self.lsm.call("dev_ioctl", task, device, cmd, arg)
+        if lsm_result is HookResult.DENY:
+            self.log_audit("ioctl.denied", task, f"{device.name} {cmd}")
+            raise SyscallError(Errno.EPERM, f"ioctl {cmd} on {device.name} denied by policy")
+        allowed_by_lsm = lsm_result is HookResult.ALLOW
+        handler = getattr(self, f"_ioctl_{cmd.lower()}", None)
+        if handler is None:
+            raise SyscallError(Errno.ENOTTY, cmd)
+        return handler(task, device, arg, allowed_by_lsm)
+
+    def _ioctl_modem_config(self, task: Task, device: Device, arg: object,
+                            allowed_by_lsm: bool) -> object:
+        if not isinstance(device, Modem):
+            raise SyscallError(Errno.ENOTTY, device.name)
+        if not allowed_by_lsm:
+            self.require_capable(task, Capability.CAP_NET_ADMIN, "modem config")
+        option, value = arg
+        device.acquire(task.pid)
+        device.configure(option, value)
+        return None
+
+    def _ioctl_dm_table_status(self, task: Task, device: Device, arg: object,
+                               allowed_by_lsm: bool) -> object:
+        """The legacy dm ioctl: discloses devices *and* the key, so it
+        demands CAP_SYS_ADMIN regardless of LSM policy (the paper's
+        point: the interface itself forces privilege — Protego
+        abandons it for a /sys file rather than hooking it)."""
+        if not isinstance(device, DmCryptDevice):
+            raise SyscallError(Errno.ENOTTY, device.name)
+        self.require_capable(task, Capability.CAP_SYS_ADMIN, "DM_TABLE_STATUS")
+        return device.legacy_ioctl_table()
+
+    def _ioctl_eject(self, task: Task, device: Device, arg: object,
+                     allowed_by_lsm: bool) -> object:
+        if not isinstance(device, BlockDevice):
+            raise SyscallError(Errno.ENOTTY, device.name)
+        if not allowed_by_lsm:
+            self.require_capable(task, Capability.CAP_SYS_ADMIN, "eject")
+        # A mounted medium cannot be ejected (the drive is locked).
+        source = f"/dev/{device.name}"
+        for mount in self.vfs.mounts.values():
+            if mount.fs.source == source:
+                raise SyscallError(Errno.EBUSY, f"{device.name} is mounted")
+        device.eject()
+        return None
+
+    def _ioctl_vidmode(self, task: Task, device: Device, arg: object,
+                       allowed_by_lsm: bool) -> object:
+        """Legacy (pre-KMS) video mode set: root only."""
+        if not allowed_by_lsm:
+            self.require_capable(task, Capability.CAP_SYS_ADMIN, "set video mode")
+        resolution, refresh = arg
+        device.set_mode(resolution, refresh)
+        return None
+
+    def _ioctl_kms_switch(self, task: Task, device: Device, arg: object,
+                          allowed_by_lsm: bool) -> object:
+        """KMS console switch: kernel-managed, no privilege needed
+        (section 4.5 — the interface redesign obviates the setuid X)."""
+        return device.kms_switch(arg)
+
+    # ==================================================================
+    # Routing  (paper section 4.1.2)
+    # ==================================================================
+    def sys_route_add(self, task: Task, destination: str, device: str,
+                      gateway: str = "") -> None:
+        self.tick()
+        route = Route(destination, device, gateway, added_by_uid=task.cred.ruid)
+        lsm_result = self.lsm.call("route_add", task, destination, device)
+        if lsm_result is HookResult.DENY:
+            self.log_audit("route.denied", task, destination)
+            raise SyscallError(Errno.EPERM, f"route {destination} denied by policy")
+        if lsm_result is HookResult.ALLOW:
+            # Protego's object policy: the route must not conflict.
+            self.net.routing.add(route, check_conflict=True)
+        else:
+            self.require_capable(task, Capability.CAP_NET_ADMIN, "route add")
+            self.net.routing.add(route, check_conflict=False)
+        self.log_audit("route.add", task, f"{destination} dev {device}")
+
+    def sys_route_del(self, task: Task, destination: str, device: str = "") -> None:
+        self.tick()
+        self.require_capable(task, Capability.CAP_NET_ADMIN, "route del")
+        self.net.routing.remove(destination, device)

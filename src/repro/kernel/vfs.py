@@ -1,0 +1,229 @@
+"""Virtual filesystem: path resolution, mounts, DAC permission checks.
+
+The VFS owns the namespace: a root filesystem plus a mount table
+grafting other filesystems onto directories (the object of the paper's
+motivating ``mount`` example). Path resolution follows symlinks with a
+loop limit and crosses mountpoints exactly as Linux's walk does, so
+"mount over /etc" attacks behave faithfully.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import posixpath
+from typing import Dict, List, Optional, Tuple
+
+from repro.kernel import modes
+from repro.kernel.capabilities import Capability
+from repro.kernel.cred import Credentials
+from repro.kernel.errno import Errno, SyscallError
+from repro.kernel.inode import Inode, make_dir
+
+MAX_SYMLINK_DEPTH = 40
+
+_fs_ids = itertools.count(1)
+
+
+class Filesystem:
+    """One mounted (or mountable) filesystem instance."""
+
+    def __init__(self, fstype: str, source: str = "", flags: int = 0):
+        self.fs_id = next(_fs_ids)
+        self.fstype = fstype
+        self.source = source
+        self.flags = flags
+        self.root = make_dir()
+
+    def is_readonly(self) -> bool:
+        return bool(self.flags & modes.MS_RDONLY)
+
+    def is_nosuid(self) -> bool:
+        return bool(self.flags & modes.MS_NOSUID)
+
+    def __repr__(self) -> str:
+        return f"Filesystem({self.fstype!r}, source={self.source!r})"
+
+
+@dataclasses.dataclass
+class Mount:
+    """One row of the mount table."""
+
+    mountpoint: str
+    fs: Filesystem
+    flags: int
+    mounter_uid: int
+
+
+def normalize(path: str) -> str:
+    """Collapse ``.``/``..``/double slashes into a canonical abs path."""
+    if not path.startswith("/"):
+        raise SyscallError(Errno.EINVAL, f"relative path {path!r}")
+    return posixpath.normpath(path)
+
+
+def split_path(path: str) -> List[str]:
+    norm = normalize(path)
+    if norm == "/":
+        return []
+    return norm.strip("/").split("/")
+
+
+class VFS:
+    """The kernel's file namespace."""
+
+    def __init__(self):
+        self.rootfs = Filesystem("rootfs", source="rootfs")
+        self.mounts: Dict[str, Mount] = {}
+
+    # ------------------------------------------------------------------
+    # Mount table
+    # ------------------------------------------------------------------
+    def attach(self, mountpoint: str, fs: Filesystem, flags: int = 0, mounter_uid: int = 0) -> None:
+        """Graft *fs* onto *mountpoint* (the mechanism under mount(2)).
+
+        Policy (capabilities, Protego whitelists) lives in the syscall
+        layer and LSM; this is the bare mechanism.
+        """
+        mountpoint = normalize(mountpoint)
+        if mountpoint != "/":
+            inode = self.resolve(mountpoint)
+            if not inode.is_dir():
+                raise SyscallError(Errno.ENOTDIR, mountpoint)
+        if mountpoint in self.mounts:
+            raise SyscallError(Errno.EBUSY, mountpoint)
+        self.mounts[mountpoint] = Mount(mountpoint, fs, flags, mounter_uid)
+
+    def detach(self, mountpoint: str) -> Mount:
+        mountpoint = normalize(mountpoint)
+        try:
+            return self.mounts.pop(mountpoint)
+        except KeyError:
+            raise SyscallError(Errno.EINVAL, f"not mounted: {mountpoint}") from None
+
+    def mount_at(self, mountpoint: str) -> Optional[Mount]:
+        return self.mounts.get(normalize(mountpoint))
+
+    def mount_covering(self, path: str) -> Optional[Mount]:
+        """The innermost mount whose mountpoint is a prefix of *path*."""
+        path = normalize(path)
+        best = None
+        for mp, mount in self.mounts.items():
+            if path == mp or path.startswith(mp.rstrip("/") + "/"):
+                if best is None or len(mp) > len(best.mountpoint):
+                    best = mount
+        return best
+
+    # ------------------------------------------------------------------
+    # Path resolution
+    # ------------------------------------------------------------------
+    def resolve(self, path: str, follow_final_symlink: bool = True) -> Inode:
+        inode, _parent, _name = self._walk(path, follow_final_symlink)
+        return inode
+
+    def resolve_parent(self, path: str) -> Tuple[Inode, str]:
+        """Resolve the parent directory of *path*; return (dir, leafname)."""
+        norm = normalize(path)
+        if norm == "/":
+            raise SyscallError(Errno.EEXIST, "/")
+        parent_path, leaf = posixpath.split(norm)
+        parent = self.resolve(parent_path)
+        if not parent.is_dir():
+            raise SyscallError(Errno.ENOTDIR, parent_path)
+        return parent, leaf
+
+    def _walk(
+        self, path: str, follow_final_symlink: bool, _depth: int = 0
+    ) -> Tuple[Inode, Optional[Inode], str]:
+        if _depth > MAX_SYMLINK_DEPTH:
+            raise SyscallError(Errno.ELOOP, path)
+        components = split_path(path)
+        current = self.rootfs.root
+        mount = self.mounts.get("/")
+        if mount is not None:
+            current = mount.fs.root
+        parent: Optional[Inode] = None
+        walked = ""
+        for index, name in enumerate(components):
+            if not current.is_dir():
+                raise SyscallError(Errno.ENOTDIR, walked or "/")
+            child = current.lookup(name)
+            walked = walked + "/" + name
+            covering = self.mounts.get(walked)
+            if covering is not None:
+                child = covering.fs.root
+            is_last = index == len(components) - 1
+            if child.is_symlink() and (follow_final_symlink or not is_last):
+                target = child.symlink_target
+                if not target.startswith("/"):
+                    target = posixpath.join(posixpath.dirname(walked) or "/", target)
+                rest = components[index + 1:]
+                full = posixpath.join(target, *rest) if rest else target
+                return self._walk(full, follow_final_symlink, _depth + 1)
+            parent, current = current, child
+        return current, parent, components[-1] if components else "/"
+
+    def exists(self, path: str) -> bool:
+        try:
+            self.resolve(path)
+            return True
+        except SyscallError:
+            return False
+
+    # ------------------------------------------------------------------
+    # Discretionary access control
+    # ------------------------------------------------------------------
+    def dac_permission(self, cred: Credentials, inode: Inode, mask: int) -> None:
+        """Classic owner/group/other permission check plus DAC caps.
+
+        Raises EACCES when *cred* may not access *inode* with *mask*
+        (an ``R_OK``/``W_OK``/``X_OK`` combination), mirroring
+        ``generic_permission()``.
+        """
+        if mask == modes.F_OK:
+            return
+        if inode.uid == cred.fsuid:
+            granted = (inode.mode >> 6) & 0o7
+        elif cred.in_group(inode.gid):
+            granted = (inode.mode >> 3) & 0o7
+        else:
+            granted = inode.mode & 0o7
+        if granted & mask == mask:
+            return
+        # CAP_DAC_OVERRIDE bypasses rwx except execute on non-executables.
+        if cred.has_cap(Capability.CAP_DAC_OVERRIDE):
+            if not (mask & modes.X_OK) or inode.is_dir() or (inode.mode & 0o111):
+                return
+        # CAP_DAC_READ_SEARCH bypasses read, and search on directories.
+        if cred.has_cap(Capability.CAP_DAC_READ_SEARCH):
+            if mask == modes.R_OK:
+                return
+            if inode.is_dir() and not (mask & modes.W_OK):
+                return
+        raise SyscallError(Errno.EACCES, f"dac denied mask={mask} on ino {inode.ino}")
+
+    def path_permission(self, cred: Credentials, path: str, mask: int) -> Inode:
+        """Walk *path* checking execute (search) on every directory,
+        then *mask* on the final inode. Returns the final inode."""
+        components = split_path(path)
+        current = self.rootfs.root
+        if "/" in self.mounts:
+            current = self.mounts["/"].fs.root
+        walked = ""
+        for index, name in enumerate(components):
+            self.dac_permission(cred, current, modes.X_OK)
+            child = current.lookup(name)
+            walked = walked + "/" + name
+            covering = self.mounts.get(walked)
+            if covering is not None:
+                child = covering.fs.root
+            if child.is_symlink():
+                rest = components[index + 1:]
+                target = child.symlink_target
+                if not target.startswith("/"):
+                    target = posixpath.join(posixpath.dirname(walked) or "/", target)
+                full = posixpath.join(target, *rest) if rest else target
+                return self.path_permission(cred, full, mask)
+            current = child
+        self.dac_permission(cred, current, mask)
+        return current

@@ -1,0 +1,19 @@
+"""The studied userspace utilities.
+
+Every binary from the paper's study (section 4, Table 4) implemented
+against the simulated kernel, each with two personalities:
+
+* **legacy** — the stock behaviour: installed setuid-root, performs
+  its policy checks in userspace while holding full root privilege;
+* **Protego** — installed without the setuid bit; the hard-coded
+  "must be root" checks are removed and the kernel's Protego LSM
+  enforces the policy instead.
+
+Programs are installed into a kernel's /bin and executed through
+``execve``, so the setuid bit, credential changes, and LSM hooks apply
+to them exactly as to real binaries.
+"""
+
+from repro.userspace.program import Program, install_program
+
+__all__ = ["Program", "install_program"]

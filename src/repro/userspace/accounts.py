@@ -1,0 +1,156 @@
+"""chsh, chfn, vipw — account-record editors (paper section 4.4).
+
+A user may change her own shell or GECOS field; the kernel only
+protects the whole database file, so the legacy binaries are setuid
+root. Protego fragments the database: the user's own /etc/passwds/
+fragment is writable by plain DAC, and the daemon validates and syncs
+(uid/gid fields are immutable on sync-back).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+from repro.config.passwd_db import format_passwd, parse_passwd
+from repro.core.authdb import PASSWD_FRAGMENT_DIR, UserDatabase
+from repro.kernel.errno import SyscallError
+from repro.kernel.kernel import Kernel
+from repro.kernel.task import Task
+from repro.userspace.program import EXIT_FAILURE, EXIT_OK, EXIT_PERM, EXIT_USAGE, Program
+
+SHELLS_PATH = "/etc/shells"
+
+
+class _AccountFieldProgram(Program):
+    """Common machinery for chsh/chfn."""
+
+    field = "shell"
+
+    def main(self, kernel: Kernel, task: Task, argv: List[str]) -> int:
+        if len(argv) != 2:
+            self.error(task, f"usage: {self.name()} <new-{self.field}>")
+            return EXIT_USAGE
+        new_value = argv[1]
+        self.vulnerable_point(kernel, task)
+        userdb = UserDatabase(kernel)
+        invoker = userdb.lookup_uid(task.cred.ruid)
+        if invoker is None:
+            self.error(task, f"{self.name()}: unknown user")
+            return EXIT_FAILURE
+        if not self.validate(kernel, task, new_value):
+            self.error(task, f"{self.name()}: {new_value!r} is not valid")
+            return EXIT_FAILURE
+
+        if self.protego_mode:
+            path = f"{PASSWD_FRAGMENT_DIR}/{invoker.name}"
+            try:
+                entry = parse_passwd(kernel.read_file(task, path).decode())[0]
+                entry = self.apply(entry, new_value)
+                kernel.write_file(task, path, format_passwd([entry]).encode(),
+                                  create=False)
+            except SyscallError as err:
+                self.error(task, f"{self.name()}: {err.errno_value.name}")
+                return EXIT_PERM
+            return EXIT_OK
+
+        # Legacy: rewrite the shared /etc/passwd with root.
+        entries = [
+            self.apply(e, new_value) if e.name == invoker.name else e
+            for e in userdb.passwd_entries()
+        ]
+        try:
+            userdb.write_passwd(entries, task)
+        except SyscallError as err:
+            self.error(task, f"{self.name()}: {err.errno_value.name}")
+            return EXIT_PERM
+        finally:
+            self.drop_privileges(kernel, task)
+        return EXIT_OK
+
+    def validate(self, kernel: Kernel, task: Task, value: str) -> bool:
+        return True
+
+    def apply(self, entry, value):
+        raise NotImplementedError
+
+
+class ChshProgram(_AccountFieldProgram):
+    default_path = "/usr/bin/chsh"
+    legacy_setuid_root = True
+    field = "shell"
+
+    def validate(self, kernel: Kernel, task: Task, value: str) -> bool:
+        """Only shells listed in /etc/shells are allowed — the check
+        CVE-2005-1335-era bugs got wrong."""
+        try:
+            shells = kernel.read_file(task, SHELLS_PATH).decode().split()
+        except SyscallError:
+            return False
+        return value in shells
+
+    def apply(self, entry, value):
+        return dataclasses.replace(entry, shell=value)
+
+
+class ChfnProgram(_AccountFieldProgram):
+    default_path = "/usr/bin/chfn"
+    legacy_setuid_root = True
+    field = "gecos"
+
+    def validate(self, kernel: Kernel, task: Task, value: str) -> bool:
+        # Colons and newlines would corrupt the record format.
+        return ":" not in value and "\n" not in value
+
+    def apply(self, entry, value):
+        return dataclasses.replace(entry, gecos=value)
+
+
+class VipwProgram(Program):
+    """vipw: direct database editing.
+
+    Legacy: root edits the shared file. Protego (Table 2: "+40 lines —
+    modified to edit per-user files instead of a shared database
+    file"): edits the caller's fragment.
+
+    Invocation: ``vipw <user> <field> <value>`` with field one of
+    shell/gecos/home.
+    """
+
+    default_path = "/usr/sbin/vipw"
+    legacy_setuid_root = False  # root-only admin tool in both modes
+
+    EDITABLE = ("shell", "gecos", "home")
+
+    def main(self, kernel: Kernel, task: Task, argv: List[str]) -> int:
+        if len(argv) != 4 or argv[2] not in self.EDITABLE:
+            self.error(task, "usage: vipw <user> <shell|gecos|home> <value>")
+            return EXIT_USAGE
+        username, field, value = argv[1], argv[2], argv[3]
+        self.vulnerable_point(kernel, task)
+        if self.protego_mode:
+            path = f"{PASSWD_FRAGMENT_DIR}/{username}"
+            try:
+                entry = parse_passwd(kernel.read_file(task, path).decode())[0]
+                entry = dataclasses.replace(entry, **{field: value})
+                kernel.write_file(task, path, format_passwd([entry]).encode(),
+                                  create=False)
+            except SyscallError as err:
+                self.error(task, f"vipw: {err.errno_value.name}")
+                return EXIT_PERM
+            return EXIT_OK
+        userdb = UserDatabase(kernel)
+        entries = userdb.passwd_entries()
+        if not any(e.name == username for e in entries):
+            self.error(task, f"vipw: no such user {username}")
+            return EXIT_FAILURE
+        updated = [
+            dataclasses.replace(e, **{field: value}) if e.name == username else e
+            for e in entries
+        ]
+        try:
+            userdb.write_passwd(updated, task)
+        except SyscallError as err:
+            self.error(task, f"vipw: {err.errno_value.name}")
+            return EXIT_PERM
+        return EXIT_OK

@@ -1,0 +1,58 @@
+"""dmcrypt-get-device (paper Table 4, eject package).
+
+Reports the physical device(s) underneath an encrypted block device.
+
+Legacy: the DM_TABLE_STATUS ioctl discloses both the device set *and*
+the encryption key, so the binary must be setuid root — a pure
+interface-design failure.
+
+Protego: a 4-line change (Table 2) switches to /sys, which discloses
+only the public device set; no privilege required. The Debian eject
+maintainers agreed to adopt this change (paper section 1).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.kernel.errno import SyscallError
+from repro.kernel.kernel import Kernel
+from repro.kernel.task import Task
+from repro.userspace.program import EXIT_FAILURE, EXIT_OK, EXIT_PERM, EXIT_USAGE, Program
+
+
+class DmcryptGetDeviceProgram(Program):
+    default_path = "/usr/lib/eject/dmcrypt-get-device"
+    legacy_setuid_root = True
+
+    def main(self, kernel: Kernel, task: Task, argv: List[str]) -> int:
+        if len(argv) != 2:
+            self.error(task, "usage: dmcrypt-get-device <dm-name>")
+            return EXIT_USAGE
+        name = argv[1]
+        self.vulnerable_point(kernel, task)
+
+        if self.protego_mode:
+            # The /sys path: public metadata only, plain file read.
+            sys_path = f"/sys/block/{name}/dm/devices"
+            try:
+                payload = kernel.read_file(task, sys_path).decode()
+            except SyscallError as err:
+                self.error(task, f"dmcrypt-get-device: {err.errno_value.name}")
+                return EXIT_FAILURE
+            for device in payload.split():
+                self.out(task, device)
+            return EXIT_OK
+
+        # Legacy: the privileged ioctl — the key is now in our memory.
+        try:
+            device = kernel.devices.get(name)
+            metadata = kernel.sys_ioctl(task, device, "DM_TABLE_STATUS")
+        except SyscallError as err:
+            self.error(task, f"dmcrypt-get-device: {err.errno_value.name}")
+            return EXIT_PERM
+        finally:
+            self.drop_privileges(kernel, task)
+        for underlying in metadata.underlying_devices:
+            self.out(task, underlying)
+        return EXIT_OK

@@ -1,0 +1,227 @@
+"""The long-tail utilities from the installation study (Table 3):
+fping, tcptraceroute, lppasswd, and the openssh client's host-based
+authentication (the consumer of ssh-keysign).
+
+Each follows the same pattern as the core set: a legacy personality
+that needs the setuid bit, and a Protego personality that runs
+unprivileged under kernel policy.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List
+
+from repro.kernel.errno import SyscallError
+from repro.kernel.kernel import Kernel
+from repro.kernel.net.packets import (
+    HeaderOrigin,
+    ICMPType,
+    Packet,
+    Protocol,
+    icmp_echo_request,
+)
+from repro.kernel.net.socket import AddressFamily, SocketType
+from repro.kernel.task import Task
+from repro.userspace.program import EXIT_FAILURE, EXIT_OK, EXIT_PERM, EXIT_USAGE, Program
+from repro.userspace.ping import _source_ip
+
+
+class FpingProgram(Program):
+    """fping: ping a list of hosts, report alive/unreachable."""
+
+    default_path = "/usr/bin/fping"
+    legacy_setuid_root = True
+
+    def main(self, kernel: Kernel, task: Task, argv: List[str]) -> int:
+        hosts = argv[1:]
+        if not hosts:
+            self.error(task, "usage: fping <host> [host...]")
+            return EXIT_USAGE
+        try:
+            sock = kernel.sys_socket(task, AddressFamily.AF_INET,
+                                     SocketType.RAW, "icmp")
+        except SyscallError as err:
+            self.error(task, f"fping: socket: {err.errno_value.name}")
+            return EXIT_FAILURE
+        self.vulnerable_point(kernel, task)
+        if not self.protego_mode:
+            self.drop_privileges(kernel, task)
+        alive = 0
+        for host in hosts:
+            probe = icmp_echo_request(_source_ip(kernel), host)
+            try:
+                kernel.sys_sendto(task, sock, probe)
+            except SyscallError:
+                self.out(task, f"{host} is unreachable")
+                continue
+            got_reply = False
+            while sock.has_data():
+                reply = kernel.sys_recvfrom(task, sock)
+                if reply.icmp_type is ICMPType.ECHO_REPLY:
+                    got_reply = True
+            if got_reply:
+                alive += 1
+                self.out(task, f"{host} is alive")
+            else:
+                self.out(task, f"{host} is unreachable")
+        kernel.sys_close(task, sock.fd)
+        return EXIT_OK if alive else EXIT_FAILURE
+
+
+class TcptracerouteProgram(Program):
+    """tcptraceroute: traceroute with TCP SYN probes — which makes it
+    exactly the spoofed-transport case Protego's netfilter rules
+    police. The Protego build falls back to ICMP probes (the safe
+    packet shape), mirroring how such tools adapt."""
+
+    default_path = "/usr/bin/tcptraceroute"
+    legacy_setuid_root = True
+    MAX_HOPS = 30
+
+    def main(self, kernel: Kernel, task: Task, argv: List[str]) -> int:
+        if len(argv) < 2:
+            self.error(task, "usage: tcptraceroute <host> [port]")
+            return EXIT_USAGE
+        destination = argv[1]
+        port = int(argv[2]) if len(argv) > 2 else 80
+        try:
+            sock = kernel.sys_socket(task, AddressFamily.AF_INET,
+                                     SocketType.RAW,
+                                     "icmp" if self.protego_mode else "tcp")
+        except SyscallError as err:
+            self.error(task, f"tcptraceroute: socket: {err.errno_value.name}")
+            return EXIT_FAILURE
+        self.vulnerable_point(kernel, task)
+        if not self.protego_mode:
+            self.drop_privileges(kernel, task)
+        for ttl in range(1, self.MAX_HOPS + 1):
+            if self.protego_mode:
+                probe = icmp_echo_request(_source_ip(kernel), destination, ttl=ttl)
+            else:
+                probe = Packet(Protocol.TCP, _source_ip(kernel), destination,
+                               dst_port=port, ttl=ttl,
+                               header_origin=HeaderOrigin.USER_IP)
+            try:
+                kernel.sys_sendto(task, sock, probe)
+            except SyscallError as err:
+                self.error(task, f"tcptraceroute: {err.errno_value.name}")
+                kernel.sys_close(task, sock.fd)
+                return EXIT_PERM
+            reached = False
+            while sock.has_data():
+                reply = kernel.sys_recvfrom(task, sock)
+                if reply.icmp_type is ICMPType.TIME_EXCEEDED:
+                    self.out(task, f"{ttl}  {reply.src_ip}")
+                elif reply.icmp_type is ICMPType.ECHO_REPLY or (
+                        reply.protocol is Protocol.TCP):
+                    self.out(task, f"{ttl}  {reply.src_ip}  [open]")
+                    reached = True
+            if reached:
+                kernel.sys_close(task, sock.fd)
+                return EXIT_OK
+        kernel.sys_close(task, sock.fd)
+        return EXIT_FAILURE
+
+
+class LppasswdProgram(Program):
+    """lppasswd: the CUPS printing password database (Table 4's
+    credential-database row).
+
+    Legacy: /etc/cups/passwd.md5 is root-owned; the setuid binary
+    rewrites the whole file. Protego: per-user fragments under
+    /etc/cups/passwds/, plain DAC.
+    """
+
+    default_path = "/usr/bin/lppasswd"
+    legacy_setuid_root = True
+    LEGACY_DB = "/etc/cups/passwd.md5"
+    FRAGMENT_DIR = "/etc/cups/passwds"
+
+    def main(self, kernel: Kernel, task: Task, argv: List[str]) -> int:
+        if len(argv) != 2:
+            self.error(task, "usage: lppasswd <new-password>")
+            return EXIT_USAGE
+        new_password = argv[1]
+        self.vulnerable_point(kernel, task)
+        from repro.core.authdb import UserDatabase
+        userdb = UserDatabase(kernel)
+        invoker = userdb.lookup_uid(task.cred.ruid)
+        if invoker is None:
+            self.error(task, "lppasswd: unknown user")
+            return EXIT_FAILURE
+        digest = hashlib.md5(f"{invoker.name}:{new_password}".encode()).hexdigest()
+        record = f"{invoker.name}:{digest}\n"
+
+        if self.protego_mode:
+            path = f"{self.FRAGMENT_DIR}/{invoker.name}"
+            try:
+                kernel.write_file(task, path, record.encode(), create=False)
+            except SyscallError as err:
+                self.error(task, f"lppasswd: {err.errno_value.name}")
+                return EXIT_PERM
+            return EXIT_OK
+
+        # Legacy: read-modify-write the shared file with root.
+        try:
+            current = kernel.read_file(task, self.LEGACY_DB).decode()
+        except SyscallError:
+            current = ""
+        lines = [l for l in current.splitlines()
+                 if l and not l.startswith(f"{invoker.name}:")]
+        lines.append(record.strip())
+        try:
+            kernel.write_file(task, self.LEGACY_DB,
+                              ("\n".join(lines) + "\n").encode())
+        except SyscallError as err:
+            self.error(task, f"lppasswd: {err.errno_value.name}")
+            return EXIT_PERM
+        finally:
+            self.drop_privileges(kernel, task)
+        return EXIT_OK
+
+
+class SshClientProgram(Program):
+    """ssh with host-based authentication: the consumer of ssh-keysign
+    (openssh-client, 99.53% installed — Table 3).
+
+    The client itself is unprivileged in both systems; what changes is
+    how the host-key signature is obtained: the *ssh-keysign child*
+    is setuid on legacy Linux and merely binary-ACL'ed on Protego.
+
+    Invocation: ``ssh -o HostbasedAuthentication=yes <host>``.
+    """
+
+    default_path = "/usr/bin/ssh"
+    legacy_setuid_root = False
+
+    def main(self, kernel: Kernel, task: Task, argv: List[str]) -> int:
+        hostbased = "HostbasedAuthentication=yes" in argv
+        host = argv[-1] if len(argv) >= 2 else ""
+        if not host or host.startswith("-"):
+            self.error(task, "usage: ssh [-o opt] <host>")
+            return EXIT_USAGE
+        self.vulnerable_point(kernel, task)
+        signature = ""
+        if hostbased:
+            keysign = "/usr/lib/openssh/ssh-keysign"
+            try:
+                child, status = kernel.spawn(
+                    task, keysign, ["ssh-keysign", f"user@{host}"])
+            except SyscallError as err:
+                self.error(task, f"ssh: ssh-keysign: {err.errno_value.name}")
+                return EXIT_PERM
+            if status != 0 or not child.stdout:
+                self.error(task, "ssh: host-based authentication failed")
+                return EXIT_PERM
+            signature = child.stdout[-1]
+            kernel.sys_wait(task)
+        sock = kernel.sys_socket(task, AddressFamily.AF_INET, SocketType.STREAM)
+        try:
+            kernel.sys_connect(task, sock, host, 22)
+        except SyscallError as err:
+            self.error(task, f"ssh: connect to {host}: {err.errno_value.name}")
+            return EXIT_FAILURE
+        self.out(task, f"ssh: connected to {host}"
+                       + (f" (hostbased sig {signature[:12]}...)" if signature else ""))
+        return EXIT_OK

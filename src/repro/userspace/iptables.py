@@ -1,0 +1,117 @@
+"""iptables with the Protego raw-socket extension (Table 2: 175 lines).
+
+Administrators manage the packet filter; the Protego extension adds
+the ``--unprivileged-raw`` match so rules can be scoped to traffic
+from capability-less raw sockets (section 4.1.1: "the rules may be
+changed by the administrator through the iptables utility").
+
+Supported grammar (a practical subset)::
+
+    iptables -A OUTPUT [-p icmp|tcp|udp|arp] [--dport N]
+             [--icmp-type N] [--unprivileged-raw] -j ACCEPT|DROP
+    iptables -F [OUTPUT|INPUT]
+    iptables -L [OUTPUT|INPUT]
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.kernel.capabilities import Capability
+from repro.kernel.kernel import Kernel
+from repro.kernel.net.netfilter import Chain, Rule, Verdict
+from repro.kernel.net.packets import ICMPType, Protocol
+from repro.kernel.task import Task
+from repro.userspace.program import EXIT_FAILURE, EXIT_OK, EXIT_PERM, EXIT_USAGE, Program
+
+
+class IptablesProgram(Program):
+    default_path = "/sbin/iptables"
+    legacy_setuid_root = False  # administration tool, never setuid
+
+    def main(self, kernel: Kernel, task: Task, argv: List[str]) -> int:
+        if not kernel.capable(task, Capability.CAP_NET_ADMIN):
+            self.error(task, "iptables: Permission denied (you must be root)")
+            return EXIT_PERM
+        args = argv[1:]
+        if not args:
+            self.error(task, "iptables: no command specified")
+            return EXIT_USAGE
+        if args[0] == "-F":
+            chain = Chain(args[1]) if len(args) > 1 else None
+            kernel.net.netfilter.flush(chain)
+            return EXIT_OK
+        if args[0] == "-L":
+            chain = Chain(args[1]) if len(args) > 1 else Chain.OUTPUT
+            for rule in kernel.net.netfilter.rules(chain):
+                self.out(task, self._render(rule))
+            return EXIT_OK
+        if args[0] == "-A":
+            rule = self._parse_append(args)
+            if rule is None:
+                self.error(task, "iptables: bad rule specification")
+                return EXIT_USAGE
+            kernel.net.netfilter.append(rule)
+            return EXIT_OK
+        self.error(task, f"iptables: unknown command {args[0]}")
+        return EXIT_USAGE
+
+    # ------------------------------------------------------------------
+    def _parse_append(self, args: List[str]) -> Optional[Rule]:
+        if len(args) < 2:
+            return None
+        try:
+            chain = Chain(args[1])
+        except ValueError:
+            return None
+        protocol = None
+        dst_port = None
+        icmp_types = None
+        unprivileged_raw = False
+        verdict = None
+        i = 2
+        while i < len(args):
+            arg = args[i]
+            if arg == "-p" and i + 1 < len(args):
+                try:
+                    protocol = Protocol(args[i + 1])
+                except ValueError:
+                    return None
+                i += 2
+            elif arg == "--dport" and i + 1 < len(args):
+                dst_port = int(args[i + 1])
+                i += 2
+            elif arg == "--icmp-type" and i + 1 < len(args):
+                icmp_types = frozenset({ICMPType(int(args[i + 1]))})
+                i += 2
+            elif arg == "--unprivileged-raw":
+                unprivileged_raw = True
+                i += 1
+            elif arg == "-j" and i + 1 < len(args):
+                try:
+                    verdict = Verdict(args[i + 1].lower())
+                except ValueError:
+                    return None
+                i += 2
+            else:
+                return None
+        if verdict is None:
+            return None
+        return Rule(
+            verdict, chain=chain, protocol=protocol, dst_port=dst_port,
+            icmp_types=icmp_types,
+            applies_to_unprivileged_raw_only=unprivileged_raw,
+            comment="admin rule via iptables",
+        )
+
+    def _render(self, rule: Rule) -> str:
+        parts = [rule.verdict.value.upper()]
+        if rule.protocol:
+            parts.append(f"-p {rule.protocol.value}")
+        if rule.dst_port is not None:
+            parts.append(f"--dport {rule.dst_port}")
+        if rule.applies_to_unprivileged_raw_only:
+            parts.append("--unprivileged-raw")
+        if rule.comment:
+            parts.append(f"# {rule.comment}")
+        return " ".join(parts)

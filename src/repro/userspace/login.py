@@ -1,0 +1,64 @@
+"""login — session establishment.
+
+Trusted in both systems (the paper's authentication utility is
+refactored from login and newgrp); the difference is invocation, not
+trust. Runs as root (spawned by getty/init), authenticates the user
+at the terminal, and transitions the session task to the user.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.auth.passwords import verify_password
+from repro.core.authdb import UserDatabase
+from repro.core.recency import stamp_authentication
+from repro.kernel.errno import SyscallError
+from repro.kernel.kernel import Kernel
+from repro.kernel.task import Task
+from repro.userspace.program import EXIT_FAILURE, EXIT_OK, EXIT_PERM, EXIT_USAGE, Program
+
+
+class LoginProgram(Program):
+    default_path = "/bin/login"
+    legacy_setuid_root = True
+
+    def main(self, kernel: Kernel, task: Task, argv: List[str]) -> int:
+        if len(argv) != 2:
+            self.error(task, "usage: login <username>")
+            return EXIT_USAGE
+        username = argv[1]
+        # login's CVE surface: the username/environment parsing.
+        self.vulnerable_point(kernel, task)
+        if task.tty is None:
+            self.error(task, "login: no terminal")
+            return EXIT_FAILURE
+        userdb = UserDatabase(kernel)
+        user = userdb.lookup_user(username)
+        shadow = userdb.shadow_for(username)
+        if user is None or shadow is None:
+            self.error(task, "login: Login incorrect")
+            return EXIT_PERM
+        task.tty.write_line("Password:")
+        try:
+            password = task.tty.read_line()
+        except SyscallError:
+            return EXIT_PERM
+        if not verify_password(password, shadow.password_hash):
+            self.error(task, "login: Login incorrect")
+            return EXIT_PERM
+        try:
+            kernel.sys_setgid(task, user.gid)
+            kernel.sys_setgroups(task, userdb.gids_for(username))
+            kernel.sys_setuid(task, user.uid)
+        except SyscallError as err:
+            self.error(task, f"login: {err.errno_value.name}")
+            return EXIT_FAILURE
+        # A fresh login counts as a fresh authentication.
+        stamp_authentication(task, kernel.now())
+        task.cwd = user.home or "/"
+        task.environ = {"HOME": user.home, "USER": username,
+                        "LOGNAME": username, "SHELL": user.shell,
+                        "PATH": "/usr/bin:/bin"}
+        self.out(task, f"login: session for {username} on {task.tty.name}")
+        return EXIT_OK

@@ -1,0 +1,116 @@
+"""exim4 / sensible-mda — mail service on a privileged port
+(paper section 4.1.3).
+
+Legacy: the server starts with root (or a setuid helper) solely to
+bind port 25, then drops to the Debian-exim user.
+
+Protego: the server runs as its unprivileged service account from the
+start; /etc/bind maps 25/tcp to (/usr/sbin/exim4, Debian-exim), so
+the bind succeeds with no capability — and *only* that binary/uid
+pair can take the port, so a malicious web server cannot masquerade
+as the mail system.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.kernel.errno import SyscallError
+from repro.kernel.kernel import Kernel
+from repro.kernel.net.socket import AddressFamily, SocketType
+from repro.kernel.task import Task
+from repro.userspace.program import EXIT_FAILURE, EXIT_OK, EXIT_PERM, EXIT_USAGE, Program
+
+MAIL_SPOOL_DIR = "/var/mail"
+SMTP_PORT = 25
+
+
+class EximProgram(Program):
+    default_path = "/usr/sbin/exim4"
+    legacy_setuid_root = True
+
+    #: The unprivileged service account exim drops to / runs as.
+    SERVICE_USER_UID = 101
+
+    def main(self, kernel: Kernel, task: Task, argv: List[str]) -> int:
+        if len(argv) < 2 or argv[1] != "--listen":
+            self.error(task, "usage: exim4 --listen")
+            return EXIT_USAGE
+        if task.cred.ruid not in (0, self.SERVICE_USER_UID):
+            # exim refuses daemon mode from arbitrary real uids (the
+            # userspace check its setuid build relies on); on Protego
+            # the /etc/bind grant makes the same call fail in the
+            # kernel, so the check is redundant but harmless.
+            self.error(task, "exim4: permission denied: daemon mode is root/exim only")
+            return EXIT_PERM
+        self.vulnerable_point(kernel, task)
+        try:
+            sock = kernel.sys_socket(task, AddressFamily.AF_INET, SocketType.STREAM)
+            kernel.sys_bind(task, sock, "0.0.0.0", SMTP_PORT)
+            kernel.sys_listen(task, sock)
+        except SyscallError as err:
+            self.error(task, f"exim4: bind: {err.errno_value.name}")
+            return EXIT_PERM
+        if not self.protego_mode and task.cred.euid == 0:
+            # The classic post-bind privilege drop: gid, groups, then
+            # uid — the ordering "Setuid Demystified" teaches.
+            from repro.core.authdb import UserDatabase
+            userdb = UserDatabase(kernel)
+            service = userdb.lookup_uid(self.SERVICE_USER_UID)
+            if service is not None:
+                kernel.sys_setgroups(task, userdb.gids_for(service.name))
+                kernel.sys_setgid(task, service.gid)
+            kernel.sys_setuid(task, self.SERVICE_USER_UID)
+        self.out(task, f"exim4: listening on port {SMTP_PORT} "
+                       f"(euid={task.cred.euid})")
+        # Keep a handle so the workload driver can deliver into us.
+        task.setsec("exim", "listen_socket", sock)
+        return EXIT_OK
+
+    # ------------------------------------------------------------------
+    # Message delivery: invoked by the Postal-style workload driver on
+    # the listening task (the accept/parse/spool loop of a real MTA).
+    # ------------------------------------------------------------------
+    def deliver(self, kernel: Kernel, task: Task, sender: str, recipient: str,
+                body: str) -> bool:
+        self.vulnerable_point(kernel, task)
+        if not kernel.vfs.exists(MAIL_SPOOL_DIR):
+            try:
+                kernel.sys_mkdir(task, MAIL_SPOOL_DIR, 0o775)
+            except SyscallError:
+                return False
+        spool = f"{MAIL_SPOOL_DIR}/{recipient}"
+        message = f"From: {sender}\nTo: {recipient}\n\n{body}\n.\n"
+        try:
+            kernel.write_file(task, spool, message.encode(), append=True)
+        except SyscallError as err:
+            # The paper's stance on delivery problems: log loudly.
+            self.error(task, f"exim4: delivery to {recipient} failed: "
+                             f"{err.errno_value.name} (check spool permissions)")
+            return False
+        return True
+
+
+class SensibleMdaProgram(Program):
+    """The consolidated setuid mail-delivery helper (section 3.1's
+    consolidation technique): delivers one message for local mail.
+
+    Invocation: ``sensible-mda <sender> <recipient> <body>``.
+    """
+
+    default_path = "/usr/sbin/sensible-mda"
+    legacy_setuid_root = True
+
+    def main(self, kernel: Kernel, task: Task, argv: List[str]) -> int:
+        if len(argv) != 4:
+            self.error(task, "usage: sensible-mda <sender> <recipient> <body>")
+            return EXIT_USAGE
+        sender, recipient, body = argv[1:4]
+        self.vulnerable_point(kernel, task)
+        helper = EximProgram(protego_mode=self.protego_mode)
+        helper.path = self.path
+        ok = helper.deliver(kernel, task, sender, recipient, body)
+        task.stdout.extend([])
+        if not self.protego_mode:
+            self.drop_privileges(kernel, task)
+        return EXIT_OK if ok else EXIT_FAILURE

@@ -1,0 +1,91 @@
+"""Small helper binaries: shells, editors, and probes used by the
+delegation machinery, the functional tests, and the exploit study."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.kernel.errno import SyscallError
+from repro.kernel.kernel import Kernel
+from repro.kernel.task import Task
+from repro.userspace.program import EXIT_FAILURE, EXIT_OK, Program
+
+
+class TrueProgram(Program):
+    """/bin/true — does nothing, successfully."""
+
+    default_path = "/bin/true"
+
+    def main(self, kernel: Kernel, task: Task, argv: List[str]) -> int:
+        return EXIT_OK
+
+
+class ShellProgram(Program):
+    """/bin/sh — records that a shell ran and with which credentials
+    (the classic exploit target: "spawn a root shell")."""
+
+    default_path = "/bin/sh"
+
+    def main(self, kernel: Kernel, task: Task, argv: List[str]) -> int:
+        self.out(task, f"sh: uid={task.cred.ruid} euid={task.cred.euid} "
+                       f"caps={len(task.cred.cap_effective)}")
+        return EXIT_OK
+
+
+class WhoamiProgram(Program):
+    """/usr/bin/whoami — prints the effective uid."""
+
+    default_path = "/usr/bin/whoami"
+
+    def main(self, kernel: Kernel, task: Task, argv: List[str]) -> int:
+        self.out(task, str(task.cred.euid))
+        return EXIT_OK
+
+
+class LprProgram(Program):
+    """/usr/bin/lpr — the paper's canonical delegated command: print
+    a file with the delegating user's credentials."""
+
+    default_path = "/usr/bin/lpr"
+    SPOOL_DIR = "/var/spool/lpd"
+
+    def main(self, kernel: Kernel, task: Task, argv: List[str]) -> int:
+        document = argv[1] if len(argv) > 1 else "-"
+        if not kernel.vfs.exists(self.SPOOL_DIR):
+            try:
+                kernel.sys_mkdir(task, "/var/spool", 0o755)
+            except SyscallError:
+                pass
+            try:
+                kernel.sys_mkdir(task, self.SPOOL_DIR, 0o1777)
+            except SyscallError as err:
+                self.error(task, f"lpr: {err.errno_value.name}")
+                return EXIT_FAILURE
+        job = f"{self.SPOOL_DIR}/job-{task.pid}"
+        try:
+            kernel.write_file(task, job,
+                              f"document={document} uid={task.cred.euid}\n".encode())
+        except SyscallError as err:
+            self.error(task, f"lpr: {err.errno_value.name}")
+            return EXIT_FAILURE
+        self.out(task, f"lpr: queued {document} as uid {task.cred.euid}")
+        return EXIT_OK
+
+
+class EditorProgram(Program):
+    """/usr/bin/editor — sudoedit's target; appends a marker line to
+    the file named in argv (a stand-in for an interactive edit)."""
+
+    default_path = "/usr/bin/editor"
+
+    def main(self, kernel: Kernel, task: Task, argv: List[str]) -> int:
+        if len(argv) < 2:
+            return EXIT_FAILURE
+        path = argv[1]
+        try:
+            kernel.write_file(task, path, b"# edited\n", append=True)
+        except SyscallError as err:
+            self.error(task, f"editor: {err.errno_value.name}")
+            return EXIT_FAILURE
+        self.out(task, f"editor: modified {path}")
+        return EXIT_OK

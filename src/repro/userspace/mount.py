@@ -1,0 +1,189 @@
+"""mount, umount, fusermount, eject (paper sections 2 and 4.2).
+
+Legacy behaviour (Figure 1, left): the binaries are setuid root; when
+invoked by a non-root real uid they parse /etc/fstab themselves and
+refuse anything that is not a "user"/"users" entry, then issue the
+privileged mount(2) with their effective root.
+
+Protego behaviour (Figure 1, right): no setuid bit, no userspace
+policy check — the binary simply issues mount(2) and the kernel's
+whitelist decides. Table 2 records this as "-25 lines: disable
+hard-coded root uid checks".
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.config.fstab import parse_fstab, user_mountable_entries
+from repro.kernel.errno import SyscallError
+from repro.kernel.kernel import Kernel
+from repro.kernel.task import Task
+from repro.userspace.program import (
+    EXIT_FAILURE,
+    EXIT_OK,
+    EXIT_PERM,
+    EXIT_USAGE,
+    Program,
+)
+
+FSTAB_PATH = "/etc/fstab"
+
+
+def parse_mount_argv(argv: List[str]) -> Optional[Tuple[str, str, str, str]]:
+    """``mount <device> <mountpoint> [-t type] [-o opts]``."""
+    positional: List[str] = []
+    fstype, options = "auto", ""
+    i = 1
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "-t" and i + 1 < len(argv):
+            fstype = argv[i + 1]
+            i += 2
+        elif arg == "-o" and i + 1 < len(argv):
+            options = argv[i + 1]
+            i += 2
+        else:
+            positional.append(arg)
+            i += 1
+    if len(positional) != 2:
+        return None
+    return positional[0], positional[1], fstype, options
+
+
+class MountProgram(Program):
+    default_path = "/bin/mount"
+    legacy_setuid_root = True
+
+    def main(self, kernel: Kernel, task: Task, argv: List[str]) -> int:
+        parsed = parse_mount_argv(argv)
+        if parsed is None:
+            self.error(task, "usage: mount <device> <mountpoint> [-t type] [-o opts]")
+            return EXIT_USAGE
+        source, mountpoint, fstype, options = parsed
+        # Input parsing is where mount's historical CVEs lived
+        # (CVE-2006-2183 etc.); a legacy exploit fires with euid 0.
+        self.vulnerable_point(kernel, task)
+
+        if not self.protego_mode and task.cred.ruid != 0:
+            # Legacy userspace policy: the fstab "user" check.
+            if not self._fstab_permits(kernel, task, source, mountpoint, options):
+                self.error(task, f"mount: only root can mount {source} on {mountpoint}")
+                return EXIT_PERM
+        try:
+            kernel.sys_mount(task, source, mountpoint, fstype, options=options)
+        except SyscallError as err:
+            self.error(task, f"mount: {err.errno_value.name}")
+            return EXIT_PERM
+        finally:
+            if not self.protego_mode:
+                self.drop_privileges(kernel, task)
+        self.out(task, f"mounted {source} on {mountpoint}")
+        return EXIT_OK
+
+    def _fstab_permits(self, kernel: Kernel, task: Task, source: str,
+                       mountpoint: str, options: str) -> bool:
+        try:
+            text = kernel.read_file(task, FSTAB_PATH).decode()
+        except SyscallError:
+            return False
+        for entry in user_mountable_entries(parse_fstab(text)):
+            if entry.device == source and entry.mountpoint == mountpoint:
+                requested = {o for o in options.split(",") if o and o != "defaults"}
+                if requested.issubset(set(entry.options)):
+                    return True
+        return False
+
+
+class UmountProgram(Program):
+    default_path = "/bin/umount"
+    legacy_setuid_root = True
+
+    def main(self, kernel: Kernel, task: Task, argv: List[str]) -> int:
+        if len(argv) != 2:
+            self.error(task, "usage: umount <mountpoint>")
+            return EXIT_USAGE
+        mountpoint = argv[1]
+        self.vulnerable_point(kernel, task)
+
+        if not self.protego_mode and task.cred.ruid != 0:
+            if not self._legacy_umount_permitted(kernel, task, mountpoint):
+                self.error(task, f"umount: only root can unmount {mountpoint}")
+                return EXIT_PERM
+        try:
+            kernel.sys_umount(task, mountpoint)
+        except SyscallError as err:
+            self.error(task, f"umount: {err.errno_value.name}")
+            return EXIT_PERM
+        finally:
+            if not self.protego_mode:
+                self.drop_privileges(kernel, task)
+        self.out(task, f"unmounted {mountpoint}")
+        return EXIT_OK
+
+    def _legacy_umount_permitted(self, kernel: Kernel, task: Task,
+                                 mountpoint: str) -> bool:
+        mount = kernel.vfs.mount_at(mountpoint)
+        try:
+            text = kernel.read_file(task, FSTAB_PATH).decode()
+        except SyscallError:
+            return False
+        for entry in user_mountable_entries(parse_fstab(text)):
+            if entry.mountpoint == mountpoint:
+                if entry.any_user_may_umount():
+                    return True
+                return mount is not None and mount.mounter_uid == task.cred.ruid
+        return False
+
+
+class FusermountProgram(Program):
+    """FUSE mount helper: same policy shape as mount, fixed fstype."""
+
+    default_path = "/bin/fusermount"
+    legacy_setuid_root = True
+
+    def main(self, kernel: Kernel, task: Task, argv: List[str]) -> int:
+        if len(argv) != 3:
+            self.error(task, "usage: fusermount <source> <mountpoint>")
+            return EXIT_USAGE
+        source, mountpoint = argv[1], argv[2]
+        self.vulnerable_point(kernel, task)
+        if not self.protego_mode and task.cred.ruid != 0:
+            helper = MountProgram(protego_mode=False)
+            if not helper._fstab_permits(kernel, task, source, mountpoint, ""):
+                self.error(task, "fusermount: mountpoint not permitted")
+                return EXIT_PERM
+        try:
+            kernel.sys_mount(task, source, mountpoint, "fuse")
+        except SyscallError as err:
+            self.error(task, f"fusermount: {err.errno_value.name}")
+            return EXIT_PERM
+        finally:
+            if not self.protego_mode:
+                self.drop_privileges(kernel, task)
+        return EXIT_OK
+
+
+class EjectProgram(Program):
+    """eject(1); the package also ships dmcrypt-get-device (see
+    :mod:`repro.userspace.dmcrypt`)."""
+
+    default_path = "/usr/bin/eject"
+    legacy_setuid_root = True
+
+    def main(self, kernel: Kernel, task: Task, argv: List[str]) -> int:
+        if len(argv) != 2:
+            self.error(task, "usage: eject <device>")
+            return EXIT_USAGE
+        self.vulnerable_point(kernel, task)
+        try:
+            device = kernel.devices.get(argv[1])
+            kernel.sys_ioctl(task, device, "EJECT")
+        except SyscallError as err:
+            self.error(task, f"eject: {err.errno_value.name}")
+            return EXIT_FAILURE
+        finally:
+            if not self.protego_mode:
+                self.drop_privileges(kernel, task)
+        self.out(task, f"ejected {argv[1]}")
+        return EXIT_OK

@@ -1,0 +1,124 @@
+"""Filesystem-specific mount helpers: mount.nfs, mount.cifs,
+mount.ecryptfs (the nfs-common, cifs-utils, and ecryptfs-utils
+packages of Table 3, and kppp's pppd frontend).
+
+mount(8) delegates to /sbin/mount.<type> for network and stacked
+filesystems; each helper ships setuid root in the studied
+distributions. Their policy story is the mount story (§4.2): on
+Protego the same fstab-derived kernel whitelist authorizes them, so
+none needs the bit — the helpers' *parsing* (historically network
+paths, ecryptfs option strings) simply stops being privileged.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.kernel.errno import SyscallError
+from repro.kernel.kernel import Kernel
+from repro.kernel.task import Task
+from repro.userspace.mount import MountProgram
+from repro.userspace.program import EXIT_OK, EXIT_PERM, EXIT_USAGE, Program
+
+
+class _TypedMountHelper(Program):
+    """Common machinery for mount.<fstype> helpers."""
+
+    fstype = "auto"
+    source_hint = ""
+
+    def valid_source(self, source: str) -> bool:
+        return True
+
+    def main(self, kernel: Kernel, task: Task, argv: List[str]) -> int:
+        if len(argv) < 3:
+            self.error(task, f"usage: {self.name()} <{self.source_hint or 'source'}> "
+                             f"<mountpoint> [-o opts]")
+            return EXIT_USAGE
+        source, mountpoint = argv[1], argv[2]
+        options = ""
+        if "-o" in argv:
+            options = argv[argv.index("-o") + 1]
+        if not self.valid_source(source):
+            self.error(task, f"{self.name()}: bad {self.source_hint} {source!r}")
+            return EXIT_USAGE
+        # Source/option parsing is this family's CVE surface
+        # (historically: NFS path handling, ecryptfs option strings).
+        self.vulnerable_point(kernel, task)
+        if not self.protego_mode and task.cred.ruid != 0:
+            helper = MountProgram(protego_mode=False)
+            if not helper._fstab_permits(kernel, task, source, mountpoint, options):
+                self.error(task, f"{self.name()}: only root can mount "
+                                 f"{source} on {mountpoint}")
+                return EXIT_PERM
+        try:
+            kernel.sys_mount(task, source, mountpoint, self.fstype,
+                             options=options)
+        except SyscallError as err:
+            self.error(task, f"{self.name()}: {err.errno_value.name}")
+            return EXIT_PERM
+        finally:
+            if not self.protego_mode:
+                self.drop_privileges(kernel, task)
+        self.out(task, f"{self.name()}: mounted {source} on {mountpoint}")
+        return EXIT_OK
+
+
+class MountNfsProgram(_TypedMountHelper):
+    """nfs-common's mount.nfs (13.46% of surveyed systems)."""
+
+    default_path = "/sbin/mount.nfs"
+    legacy_setuid_root = True
+    fstype = "nfs"
+    source_hint = "server:/export"
+
+    def valid_source(self, source: str) -> bool:
+        return ":" in source and not source.startswith("/")
+
+
+class MountCifsProgram(_TypedMountHelper):
+    """cifs-utils' mount.cifs (3.43%)."""
+
+    default_path = "/sbin/mount.cifs"
+    legacy_setuid_root = True
+    fstype = "cifs"
+    source_hint = "//server/share"
+
+    def valid_source(self, source: str) -> bool:
+        return source.startswith("//")
+
+
+class MountEcryptfsProgram(_TypedMountHelper):
+    """ecryptfs-utils' mount.ecryptfs (11.08%): a stacked filesystem —
+    the source is a local lower directory."""
+
+    default_path = "/sbin/mount.ecryptfs"
+    legacy_setuid_root = True
+    fstype = "ecryptfs"
+    source_hint = "lower-directory"
+
+    def valid_source(self, source: str) -> bool:
+        return source.startswith("/")
+
+
+class KpppProgram(Program):
+    """kppp (9.85%): the KDE dialer — a frontend that execs pppd.
+
+    Setuid in the distribution only so it can launch pppd; on Protego
+    it is an ordinary program whose child pppd the kernel polices.
+    """
+
+    default_path = "/usr/bin/kppp"
+    legacy_setuid_root = True
+
+    def main(self, kernel: Kernel, task: Task, argv: List[str]) -> int:
+        if len(argv) < 3:
+            self.error(task, "usage: kppp <modem> <local>:<remote>")
+            return EXIT_USAGE
+        self.vulnerable_point(kernel, task)
+        pppd_argv = ["pppd"] + argv[1:]
+        try:
+            return kernel.sys_execve(task, "/usr/sbin/pppd", pppd_argv)
+        except SyscallError as err:
+            self.error(task, f"kppp: {err.errno_value.name}")
+            return EXIT_PERM

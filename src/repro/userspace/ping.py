@@ -1,0 +1,204 @@
+"""ping, arping, mtr (paper section 4.1.1).
+
+Legacy: setuid root, creates the raw socket with CAP_NET_RAW, then
+drops privileges (the privilege bracketing the paper credits for the
+low historical escalation rate). Protego: no privilege at all — any
+user's raw socket works, but its outgoing packets traverse the extra
+netfilter rules, so only safe ICMP/ARP leaves the machine.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.kernel.errno import SyscallError
+from repro.kernel.kernel import Kernel
+from repro.kernel.net.packets import HeaderOrigin, ICMPType, Packet, Protocol, icmp_echo_request
+from repro.kernel.net.socket import AddressFamily, SocketType
+from repro.kernel.task import Task
+from repro.userspace.program import EXIT_FAILURE, EXIT_OK, EXIT_USAGE, Program
+
+
+def _source_ip(kernel: Kernel) -> str:
+    for iface in kernel.net.interfaces.values():
+        if iface.name != "lo" and iface.up:
+            return iface.ip
+    return "127.0.0.1"
+
+
+class PingProgram(Program):
+    default_path = "/bin/ping"
+    legacy_setuid_root = True
+
+    def main(self, kernel: Kernel, task: Task, argv: List[str]) -> int:
+        args = [a for a in argv[1:] if not a.startswith("-")]
+        count = 1
+        if "-c" in argv:
+            count = int(argv[argv.index("-c") + 1])
+            args = [a for a in args if a != str(count)]
+        if len(args) != 1:
+            self.error(task, "usage: ping [-c count] <host>")
+            return EXIT_USAGE
+        destination = args[0]
+        try:
+            sock = kernel.sys_socket(task, AddressFamily.AF_INET, SocketType.RAW, "icmp")
+        except SyscallError as err:
+            self.error(task, f"ping: socket: {err.errno_value.name}")
+            return EXIT_FAILURE
+        # Historical ping CVEs (1999-1208, 2001-0499, ...) were in the
+        # packet/option parsing that runs after socket creation.
+        self.vulnerable_point(kernel, task)
+        if not self.protego_mode:
+            self.drop_privileges(kernel, task)
+
+        received = 0
+        for seq in range(count):
+            request = icmp_echo_request(
+                _source_ip(kernel), destination,
+                payload=f"seq={seq}".encode(),
+                header_origin=HeaderOrigin.USER_IP,
+            )
+            try:
+                kernel.sys_sendto(task, sock, request)
+            except SyscallError as err:
+                self.error(task, f"ping: sendto: {err.errno_value.name}")
+                kernel.sys_close(task, sock.fd)
+                return EXIT_FAILURE
+            while sock.has_data():
+                reply = kernel.sys_recvfrom(task, sock)
+                if reply.icmp_type is ICMPType.ECHO_REPLY:
+                    received += 1
+                    self.out(task, f"64 bytes from {reply.src_ip}: icmp_seq={seq}")
+        kernel.sys_close(task, sock.fd)
+        self.out(task, f"{count} packets transmitted, {received} received")
+        return EXIT_OK if received else EXIT_FAILURE
+
+
+class ArpingProgram(Program):
+    default_path = "/usr/bin/arping"
+    legacy_setuid_root = True
+
+    def main(self, kernel: Kernel, task: Task, argv: List[str]) -> int:
+        if len(argv) != 2:
+            self.error(task, "usage: arping <host>")
+            return EXIT_USAGE
+        try:
+            sock = kernel.sys_socket(task, AddressFamily.AF_PACKET, SocketType.PACKET, "arp")
+        except SyscallError as err:
+            self.error(task, f"arping: socket: {err.errno_value.name}")
+            return EXIT_FAILURE
+        self.vulnerable_point(kernel, task)
+        if not self.protego_mode:
+            self.drop_privileges(kernel, task)
+        probe = Packet(
+            protocol=Protocol.ARP,
+            src_ip=_source_ip(kernel),
+            dst_ip=argv[1],
+            header_origin=HeaderOrigin.USER_MAC,
+        )
+        try:
+            kernel.sys_sendto(task, sock, probe)
+        except SyscallError as err:
+            self.error(task, f"arping: sendto: {err.errno_value.name}")
+            return EXIT_FAILURE
+        finally:
+            kernel.sys_close(task, sock.fd)
+        self.out(task, f"ARP probe sent to {argv[1]}")
+        return EXIT_OK
+
+
+class TracerouteProgram(Program):
+    """iputils-tracepath/traceroute6-alike: raise TTL until the echo
+    reply arrives, printing each TIME_EXCEEDED hop."""
+
+    default_path = "/usr/bin/traceroute"
+    legacy_setuid_root = True
+    MAX_HOPS = 30
+
+    def main(self, kernel: Kernel, task: Task, argv: List[str]) -> int:
+        if len(argv) != 2:
+            self.error(task, "usage: traceroute <host>")
+            return EXIT_USAGE
+        destination = argv[1]
+        try:
+            sock = kernel.sys_socket(task, AddressFamily.AF_INET, SocketType.RAW, "icmp")
+        except SyscallError as err:
+            self.error(task, f"traceroute: socket: {err.errno_value.name}")
+            return EXIT_FAILURE
+        self.vulnerable_point(kernel, task)
+        if not self.protego_mode:
+            self.drop_privileges(kernel, task)
+        status = EXIT_FAILURE
+        for ttl in range(1, self.MAX_HOPS + 1):
+            probe = icmp_echo_request(_source_ip(kernel), destination, ttl=ttl)
+            try:
+                kernel.sys_sendto(task, sock, probe)
+            except SyscallError as err:
+                self.error(task, f"traceroute: {err.errno_value.name}")
+                break
+            reached = False
+            while sock.has_data():
+                reply = kernel.sys_recvfrom(task, sock)
+                if reply.icmp_type is ICMPType.TIME_EXCEEDED:
+                    self.out(task, f"{ttl}  {reply.src_ip}")
+                elif reply.icmp_type is ICMPType.ECHO_REPLY:
+                    self.out(task, f"{ttl}  {reply.src_ip}  (reached)")
+                    reached = True
+            if reached:
+                status = EXIT_OK
+                break
+        kernel.sys_close(task, sock.fd)
+        return status
+
+
+class MtrProgram(Program):
+    """mtr-tiny: repeated traceroute rounds with per-hop counters."""
+
+    default_path = "/usr/bin/mtr"
+    legacy_setuid_root = True
+
+    ROUNDS = 3
+    MAX_HOPS = 30
+
+    def main(self, kernel: Kernel, task: Task, argv: List[str]) -> int:
+        args = [a for a in argv[1:] if a != "-r"]
+        if len(args) != 1:
+            self.error(task, "usage: mtr [-r] <host>")
+            return EXIT_USAGE
+        destination = args[0]
+        # Like the real mtr, the raw socket is created once, while
+        # privileged on legacy systems, and reused for every round.
+        try:
+            sock = kernel.sys_socket(task, AddressFamily.AF_INET, SocketType.RAW, "icmp")
+        except SyscallError as err:
+            self.error(task, f"mtr: socket: {err.errno_value.name}")
+            return EXIT_FAILURE
+        self.vulnerable_point(kernel, task)
+        if not self.protego_mode:
+            self.drop_privileges(kernel, task)
+        seen: dict = {}
+        for _round in range(self.ROUNDS):
+            for ttl in range(1, self.MAX_HOPS + 1):
+                probe = icmp_echo_request(_source_ip(kernel), destination, ttl=ttl)
+                try:
+                    kernel.sys_sendto(task, sock, probe)
+                except SyscallError as err:
+                    self.error(task, f"mtr: {err.errno_value.name}")
+                    kernel.sys_close(task, sock.fd)
+                    return EXIT_FAILURE
+                reached = False
+                while sock.has_data():
+                    reply = kernel.sys_recvfrom(task, sock)
+                    if reply.icmp_type is ICMPType.TIME_EXCEEDED:
+                        seen[reply.src_ip] = seen.get(reply.src_ip, 0) + 1
+                    elif reply.icmp_type is ICMPType.ECHO_REPLY:
+                        seen[reply.src_ip] = seen.get(reply.src_ip, 0) + 1
+                        reached = True
+                if reached:
+                    break
+            else:
+                kernel.sys_close(task, sock.fd)
+                return EXIT_FAILURE
+        kernel.sys_close(task, sock.fd)
+        self.out(task, f"mtr: {len(seen)} hops, {self.ROUNDS} rounds")
+        return EXIT_OK

@@ -1,0 +1,139 @@
+"""pkexec and dbus-daemon-launch-helper (paper section 4.3, Table 4).
+
+Legacy: both are setuid root. pkexec evaluates the PolicyKit rules in
+userspace (with root already in hand — CVE-2011-1485's TOCTOU lived
+exactly there) and then setuid+execs; the dbus helper launches system
+services as their service users.
+
+Protego: neither binary is privileged. The monitoring daemon
+explicates the PolicyKit/D-Bus configuration as extended sudoers
+rules, so both helpers reduce to a plain setuid(2)+exec that the
+kernel validates — the same path as sudo.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.auth.passwords import verify_password
+from repro.config.polkit import parse_dbus_services, parse_polkit_rules
+from repro.core.authdb import UserDatabase
+from repro.kernel.errno import SyscallError
+from repro.kernel.kernel import Kernel
+from repro.kernel.task import Task
+from repro.userspace.program import EXIT_FAILURE, EXIT_OK, EXIT_PERM, EXIT_USAGE, Program
+
+POLKIT_RULES_PATH = "/etc/polkit-1/rules"
+DBUS_SERVICES_PATH = "/etc/dbus-1/system-services"
+
+
+class PkexecProgram(Program):
+    default_path = "/usr/bin/pkexec"
+    legacy_setuid_root = True
+
+    def main(self, kernel: Kernel, task: Task, argv: List[str]) -> int:
+        if len(argv) < 2:
+            self.error(task, "usage: pkexec <command> [args...]")
+            return EXIT_USAGE
+        command_argv = argv[1:]
+        # Argument/environment handling: CVE-2011-1485, CVE-2011-4945.
+        self.vulnerable_point(kernel, task)
+
+        if self.protego_mode:
+            try:
+                kernel.sys_setuid(task, 0)
+                return kernel.sys_execve(task, command_argv[0], command_argv)
+            except SyscallError:
+                self.error(task, "pkexec: not authorized")
+                return EXIT_PERM
+
+        return self._legacy_flow(kernel, task, command_argv)
+
+    def _legacy_flow(self, kernel: Kernel, task: Task,
+                     command_argv: List[str]) -> int:
+        userdb = UserDatabase(kernel)
+        invoker = userdb.lookup_uid(task.cred.ruid)
+        if invoker is None:
+            self.error(task, "pkexec: who are you?")
+            return EXIT_FAILURE
+        try:
+            rules = parse_polkit_rules(
+                kernel.read_file(task, POLKIT_RULES_PATH).decode())
+        except (SyscallError, ValueError):
+            self.error(task, "pkexec: no policy")
+            return EXIT_PERM
+        rule = next((r for r in rules if r.command == command_argv[0]), None)
+        if rule is None or rule.auth == "no":
+            self.error(task, f"pkexec: not authorized to run {command_argv[0]}")
+            return EXIT_PERM
+        if rule.auth == "auth_admin":
+            groups = userdb.group_names_for(invoker.name)
+            if rule.admin_group not in groups and task.cred.ruid != 0:
+                self.error(task, "pkexec: admin authentication required")
+                return EXIT_PERM
+        if rule.auth in ("auth_self", "auth_admin") and task.cred.ruid != 0:
+            if not self._authenticate(kernel, task, userdb, invoker.name):
+                self.error(task, "pkexec: authentication failed")
+                return EXIT_PERM
+        try:
+            kernel.sys_setuid(task, 0)
+            return kernel.sys_execve(task, command_argv[0], command_argv)
+        except SyscallError as err:
+            self.error(task, f"pkexec: {err.errno_value.name}")
+            return EXIT_FAILURE
+
+    def _authenticate(self, kernel: Kernel, task: Task, userdb: UserDatabase,
+                      username: str) -> bool:
+        shadow = userdb.shadow_for(username)
+        if shadow is None or task.tty is None:
+            return False
+        for _attempt in range(3):
+            task.tty.write_line(f"==== AUTHENTICATING FOR {username} ====")
+            try:
+                password = task.tty.read_line()
+            except SyscallError:
+                return False
+            if verify_password(password, shadow.password_hash):
+                return True
+        return False
+
+
+class DbusLaunchHelperProgram(Program):
+    """dbus-daemon-launch-helper: activate a system service.
+
+    Invocation: ``dbus-daemon-launch-helper <service-name>``.
+    """
+
+    default_path = "/usr/lib/dbus-1.0/dbus-daemon-launch-helper"
+    legacy_setuid_root = True
+
+    def main(self, kernel: Kernel, task: Task, argv: List[str]) -> int:
+        if len(argv) != 2:
+            self.error(task, "usage: dbus-daemon-launch-helper <service>")
+            return EXIT_USAGE
+        service_name = argv[1]
+        # Service-file parsing under privilege: CVE-2012-3524's home.
+        self.vulnerable_point(kernel, task)
+        try:
+            services = parse_dbus_services(
+                kernel.read_file(kernel.init, DBUS_SERVICES_PATH).decode())
+        except (SyscallError, ValueError):
+            self.error(task, "dbus-daemon-launch-helper: no services")
+            return EXIT_FAILURE
+        service = next((s for s in services if s.name == service_name), None)
+        if service is None:
+            self.error(task, f"dbus-daemon-launch-helper: unknown service "
+                             f"{service_name}")
+            return EXIT_FAILURE
+        userdb = UserDatabase(kernel)
+        user = userdb.lookup_user(service.user)
+        if user is None:
+            self.error(task, f"dbus-daemon-launch-helper: unknown user "
+                             f"{service.user}")
+            return EXIT_FAILURE
+        try:
+            kernel.sys_setuid(task, user.uid)
+            return kernel.sys_execve(task, service.binary, [service.binary])
+        except SyscallError as err:
+            self.error(task, f"dbus-daemon-launch-helper: {err.errno_value.name}")
+            return EXIT_PERM

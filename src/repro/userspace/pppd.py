@@ -1,0 +1,138 @@
+"""pppd — the point-to-point protocol daemon (paper section 4.1.2).
+
+Legacy: setuid root so it can be launched on demand; when invoked by a
+non-root user it accepts only safe session options (a userspace check
+against /etc/ppp/options), configures the modem and routing tables
+with its effective root, then drops privilege.
+
+Protego: no privilege. /dev/ppp has permissive file permissions
+(replacing a capability check with device file permissions), the
+modem-config ioctl is authorized by the LSM for safe options on
+permitted devices, and route additions go through the kernel's
+no-conflict policy.
+
+Invocation: ``pppd <modem> <local-ip>:<remote-ip> [route=<cidr>]
+[opt=value ...]``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.config.pppoptions import parse_ppp_options
+from repro.kernel.devices import Modem
+from repro.kernel.errno import SyscallError
+from repro.kernel.kernel import Kernel
+from repro.kernel.task import Task
+from repro.userspace.program import EXIT_FAILURE, EXIT_OK, EXIT_PERM, EXIT_USAGE, Program
+
+PPP_OPTIONS_PATH = "/etc/ppp/options"
+PPP_DEVICE_PATH = "/dev/ppp"
+
+
+def parse_pppd_argv(argv: List[str]) -> Optional[Tuple[str, str, str, Optional[str], Dict[str, str]]]:
+    if len(argv) < 3 or ":" not in argv[2]:
+        return None
+    modem_name = argv[1]
+    local_ip, remote_ip = argv[2].split(":", 1)
+    route = None
+    options: Dict[str, str] = {}
+    for arg in argv[3:]:
+        if arg.startswith("route="):
+            route = arg[len("route="):]
+        elif "=" in arg:
+            key, value = arg.split("=", 1)
+            options[key] = value
+        else:
+            options[arg] = ""
+    return modem_name, local_ip, remote_ip, route, options
+
+
+class PppdProgram(Program):
+    default_path = "/usr/sbin/pppd"
+    legacy_setuid_root = True
+
+    def main(self, kernel: Kernel, task: Task, argv: List[str]) -> int:
+        parsed = parse_pppd_argv(argv)
+        if parsed is None:
+            self.error(task, "usage: pppd <modem> <local>:<remote> [route=cidr] [opt=val]")
+            return EXIT_USAGE
+        modem_name, local_ip, remote_ip, route, options = parsed
+        # Option parsing under privilege: pppd's CVE surface.
+        self.vulnerable_point(kernel, task)
+
+        policy = self._load_options(kernel, task)
+
+        if not self.protego_mode and task.cred.ruid != 0:
+            # Legacy userspace checks for unprivileged invokers.
+            for option in options:
+                if not policy.option_allowed_for_user(option):
+                    self.error(task, f"pppd: option {option!r} is privileged")
+                    return EXIT_PERM
+            if route is not None and not policy.allow_unprivileged_routes:
+                self.error(task, "pppd: user routes not permitted")
+                return EXIT_PERM
+
+        # Open /dev/ppp: on Protego the device permissions themselves
+        # authorize (mode 0666); on legacy only root passes DAC 0600.
+        try:
+            fd = kernel.sys_open(task, PPP_DEVICE_PATH, flags=2)  # O_RDWR
+        except SyscallError as err:
+            self.error(task, f"pppd: /dev/ppp: {err.errno_value.name}")
+            return EXIT_PERM
+
+        try:
+            modem = kernel.devices.get(modem_name)
+        except SyscallError:
+            self.error(task, f"pppd: no modem {modem_name}")
+            kernel.sys_close(task, fd)
+            return EXIT_FAILURE
+        if not isinstance(modem, Modem):
+            self.error(task, f"pppd: {modem_name} is not a modem")
+            kernel.sys_close(task, fd)
+            return EXIT_FAILURE
+
+        try:
+            for option, value in options.items():
+                kernel.sys_ioctl(task, modem, "MODEM_CONFIG", (option, value))
+        except SyscallError as err:
+            self.error(task, f"pppd: modem config: {err.errno_value.name}")
+            kernel.sys_close(task, fd)
+            return EXIT_PERM
+
+        unit = kernel.devices.find("ppp").new_unit() if kernel.devices.find("ppp") else 0
+        iface_name = f"ppp{unit}"
+        kernel.net.add_interface(iface_name, local_ip, wire_cost=2)
+        self.out(task, f"pppd: link {iface_name} {local_ip} -> {remote_ip}")
+
+        if route is not None:
+            rejected = False
+            if not self.protego_mode and task.cred.ruid != 0:
+                # Legacy pppd enforces the no-conflict rule itself for
+                # unprivileged invokers (the kernel, seeing euid 0,
+                # would happily install a conflicting route).
+                from repro.kernel.net.routing import Route
+                candidate = Route(route, iface_name, added_by_uid=task.cred.ruid)
+                if kernel.net.routing.conflicts_with(candidate) is not None:
+                    self.error(task, "pppd: route rejected (conflict); tty-only link")
+                    rejected = True
+            if not rejected:
+                try:
+                    kernel.sys_route_add(task, route, iface_name)
+                    self.out(task, f"pppd: route {route} via {iface_name}")
+                except SyscallError as err:
+                    # A conflicting route: the link stays up as a
+                    # tty-only connection (the paper's fallback).
+                    self.error(task, f"pppd: route rejected ({err.errno_value.name}); "
+                                     "tty-only link")
+        if not self.protego_mode:
+            self.drop_privileges(kernel, task)
+        kernel.sys_close(task, fd)
+        return EXIT_OK
+
+    def _load_options(self, kernel: Kernel, task: Task):
+        try:
+            text = kernel.read_file(kernel.init, PPP_OPTIONS_PATH).decode()
+        except SyscallError:
+            text = ""
+        return parse_ppp_options(text)

@@ -1,0 +1,69 @@
+"""chromium-sandbox (paper sections 4.6 and 6, Table 8).
+
+The sandbox helper that launches a renderer inside mount/net/pid
+namespaces. Its privilege story tracks the kernel timeline:
+
+* on kernels before 3.8 the helper must be setuid root (creating any
+  namespace needs CAP_SYS_ADMIN) — one of the 21 *new* setuid binaries
+  Ubuntu added while pruning old ones;
+* on 3.8+ kernels the helper creates a user namespace first and needs
+  no privilege at all — which is why Table 8 classifies the 6
+  chroot/namespace binaries as solved by newer kernels, not by
+  Protego.
+
+Invocation: ``chromium-sandbox <renderer-binary> [args...]``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.kernel.errno import SyscallError
+from repro.kernel.kernel import Kernel
+from repro.kernel.task import Task
+from repro.userspace.program import EXIT_FAILURE, EXIT_OK, EXIT_PERM, EXIT_USAGE, Program
+
+
+class ChromiumSandboxProgram(Program):
+    default_path = "/usr/lib/chromium/chromium-sandbox"
+    legacy_setuid_root = True
+
+    def main(self, kernel: Kernel, task: Task, argv: List[str]) -> int:
+        if len(argv) < 2:
+            self.error(task, "usage: chromium-sandbox <renderer> [args...]")
+            return EXIT_USAGE
+        renderer_argv = argv[1:]
+        self.vulnerable_point(kernel, task)
+
+        kinds: List[str] = []
+        if not self.protego_mode and task.cred.euid == 0:
+            # Legacy setuid helper: privileged unshare, then drop.
+            kinds = ["mount", "net", "pid"]
+        else:
+            # 3.8+ path: user namespace first, everything else inside.
+            kinds = ["user", "mount", "net", "pid"]
+        try:
+            kernel.sys_unshare(task, kinds)
+        except SyscallError as err:
+            self.error(task, f"chromium-sandbox: unshare: {err.errno_value.name}")
+            return EXIT_PERM
+
+        # A private /proc and a private tmp for the renderer — set up
+        # before the privilege drop, as the real helper does.
+        try:
+            kernel.sys_mount(task, "proc", "/proc", "proc")
+            kernel.sys_mount(task, "tmpfs", "/tmp", "tmpfs")
+        except SyscallError as err:
+            self.error(task, f"chromium-sandbox: mount: {err.errno_value.name}")
+            return EXIT_FAILURE
+        if not self.protego_mode:
+            self.drop_privileges(kernel, task)
+
+        ns_pid = kernel.sys_getpid(task)
+        self.out(task, f"sandbox: pid {ns_pid} in namespaces "
+                       f"{sorted(task.namespaces)} (euid={task.cred.euid})")
+        try:
+            return kernel.sys_execve(task, renderer_argv[0], renderer_argv)
+        except SyscallError as err:
+            self.error(task, f"chromium-sandbox: exec: {err.errno_value.name}")
+            return EXIT_FAILURE

@@ -1,0 +1,54 @@
+"""ssh-keysign (paper Table 4, section 4.6).
+
+Signs a user's public key with the host's private key for host-based
+authentication. One of the two binaries that genuinely must read a
+secret.
+
+Legacy: the host key is root-owned 0600 and the binary is setuid.
+
+Protego: the key file carries a *binary ACL* — only the ssh-keysign
+executable may open it, enforced by the LSM regardless of uid; the
+binary itself runs unprivileged. A compromised ssh-keysign can still
+leak the key (the paper's acknowledged residual trust), but no other
+compromised program can, and ssh-keysign holds no other privilege.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List
+
+from repro.kernel.errno import SyscallError
+from repro.kernel.kernel import Kernel
+from repro.kernel.task import Task
+from repro.userspace.program import EXIT_FAILURE, EXIT_OK, EXIT_PERM, EXIT_USAGE, Program
+
+HOST_KEY_PATH = "/etc/ssh/ssh_host_key"
+
+
+def sign_blob(host_key: bytes, payload: bytes) -> str:
+    """A stand-in HMAC-ish signature: hash(key || payload)."""
+    return hashlib.sha256(host_key + payload).hexdigest()
+
+
+class SshKeysignProgram(Program):
+    default_path = "/usr/lib/openssh/ssh-keysign"
+    legacy_setuid_root = True
+
+    def main(self, kernel: Kernel, task: Task, argv: List[str]) -> int:
+        if len(argv) != 2:
+            self.error(task, "usage: ssh-keysign <pubkey-blob>")
+            return EXIT_USAGE
+        pubkey_blob = argv[1].encode()
+        self.vulnerable_point(kernel, task)
+        try:
+            host_key = kernel.read_file(task, HOST_KEY_PATH)
+        except SyscallError as err:
+            self.error(task, f"ssh-keysign: host key: {err.errno_value.name}")
+            return EXIT_PERM
+        finally:
+            if not self.protego_mode:
+                self.drop_privileges(kernel, task)
+        signature = sign_blob(host_key, pubkey_blob)
+        self.out(task, signature)
+        return EXIT_OK

@@ -1,0 +1,141 @@
+"""su and newgrp (paper section 4.3).
+
+su asks for the *target* user's password — authentication and
+authorization in one. newgrp exports password-protected groups.
+
+Legacy: both are setuid root; they verify the password themselves
+while holding full privilege, then setuid/setgid.
+
+Protego: unprivileged. su's policy is explicated as an extended
+sudoers rule (``ALL ALL=(ALL) TARGETPW: ALL``); the kernel's
+delegation hook runs the trusted authentication service against the
+target's password and applies the transition. newgrp becomes a bare
+setgid(2): membership is authorization, non-members of
+password-protected groups are authenticated by the kernel-launched
+service.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.auth.passwords import verify_password
+from repro.core.authdb import UserDatabase
+from repro.kernel.errno import SyscallError
+from repro.kernel.kernel import Kernel
+from repro.kernel.task import Task
+from repro.userspace.program import EXIT_FAILURE, EXIT_OK, EXIT_PERM, EXIT_USAGE, Program
+
+
+class SuProgram(Program):
+    default_path = "/bin/su"
+    legacy_setuid_root = True
+
+    def main(self, kernel: Kernel, task: Task, argv: List[str]) -> int:
+        target_name = argv[1] if len(argv) > 1 else "root"
+        self.vulnerable_point(kernel, task)
+        userdb = UserDatabase(kernel)
+        target = userdb.lookup_user(target_name)
+        if target is None:
+            self.error(task, f"su: user {target_name} does not exist")
+            return EXIT_FAILURE
+
+        if self.protego_mode:
+            try:
+                kernel.sys_setuid(task, target.uid)
+            except SyscallError:
+                self.error(task, "su: Authentication failure")
+                return EXIT_PERM
+            if task.cred.euid != target.uid:
+                # The transition was parked (some rule restricted it);
+                # exec of the login shell is the commit point — the
+                # authentication service prompts here if an applicable
+                # rule still needs the target's password.
+                try:
+                    kernel.sys_execve(task, target.shell or "/bin/sh",
+                                      [target.shell or "/bin/sh"])
+                except SyscallError:
+                    self.error(task, "su: Authentication failure")
+                    return EXIT_PERM
+            self.out(task, f"su: switched to {target_name}")
+            return EXIT_OK
+
+        # Legacy: verify the target's password in userspace (euid 0).
+        if task.cred.ruid != 0:
+            shadow = userdb.shadow_for(target_name)
+            if shadow is None or task.tty is None:
+                self.error(task, "su: Authentication failure")
+                return EXIT_PERM
+            task.tty.write_line("Password:")
+            try:
+                password = task.tty.read_line()
+            except SyscallError:
+                self.error(task, "su: Authentication failure")
+                return EXIT_PERM
+            if not verify_password(password, shadow.password_hash):
+                self.error(task, "su: Authentication failure")
+                return EXIT_PERM
+        try:
+            kernel.sys_setuid(task, target.uid)
+        except SyscallError as err:
+            self.error(task, f"su: {err.errno_value.name}")
+            return EXIT_FAILURE
+        self.out(task, f"su: switched to {target_name}")
+        return EXIT_OK
+
+
+class NewgrpProgram(Program):
+    default_path = "/usr/bin/newgrp"
+    legacy_setuid_root = True
+
+    def main(self, kernel: Kernel, task: Task, argv: List[str]) -> int:
+        if len(argv) != 2:
+            self.error(task, "usage: newgrp <group>")
+            return EXIT_USAGE
+        group_name = argv[1]
+        # newgrp's historical CVEs (1999-0050, 2000-0730, ...) were in
+        # the group/password handling done while euid 0.
+        self.vulnerable_point(kernel, task)
+        userdb = UserDatabase(kernel)
+        group = userdb.lookup_group(group_name)
+        if group is None:
+            self.error(task, f"newgrp: group {group_name} does not exist")
+            return EXIT_FAILURE
+
+        if self.protego_mode:
+            try:
+                kernel.sys_setgid(task, group.gid)
+            except SyscallError:
+                self.error(task, "newgrp: Permission denied")
+                return EXIT_PERM
+            self.out(task, f"newgrp: now in group {group_name}")
+            return EXIT_OK
+
+        # Legacy: membership check or group password, in userspace.
+        invoker = userdb.lookup_uid(task.cred.ruid)
+        member = invoker is not None and (
+            invoker.name in group.members or invoker.gid == group.gid
+        )
+        if not member and task.cred.ruid != 0:
+            if not group.password_hash or task.tty is None:
+                self.error(task, "newgrp: Permission denied")
+                return EXIT_PERM
+            task.tty.write_line("Password:")
+            try:
+                password = task.tty.read_line()
+            except SyscallError:
+                self.error(task, "newgrp: Permission denied")
+                return EXIT_PERM
+            if not verify_password(password, group.password_hash):
+                self.error(task, "newgrp: Permission denied")
+                return EXIT_PERM
+        try:
+            kernel.sys_setgid(task, group.gid)
+        except SyscallError as err:
+            self.error(task, f"newgrp: {err.errno_value.name}")
+            return EXIT_FAILURE
+        finally:
+            if task.cred.euid == 0 and task.cred.ruid != 0:
+                self.drop_privileges(kernel, task)
+        self.out(task, f"newgrp: now in group {group_name}")
+        return EXIT_OK

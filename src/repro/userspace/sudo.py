@@ -1,0 +1,179 @@
+"""sudo and sudoedit (paper section 4.3).
+
+Legacy: setuid root. The binary itself authenticates the invoker
+(5-minute timestamp under /var/run/sudo/), authorizes against
+/etc/sudoers, sanitizes the environment, and only then setuid()s and
+execs — all while already holding full root, which is exactly the
+least-privilege violation the paper studies.
+
+Protego: no privilege. sudo simply issues setuid(target); the kernel
+checks the delegation policy, runs the trusted authentication service
+if recency is stale, and — for command-restricted rules — parks the
+transition until the exec validates the binary.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.auth.passwords import verify_password
+from repro.config.sudoers import parse_sudoers
+from repro.core.authdb import UserDatabase
+from repro.core.delegation import scrub_environment
+from repro.kernel.errno import SyscallError
+from repro.kernel.kernel import Kernel
+from repro.kernel.task import Task
+from repro.userspace.program import EXIT_FAILURE, EXIT_OK, EXIT_PERM, EXIT_USAGE, Program
+
+SUDOERS_PATH = "/etc/sudoers"
+SUDOERS_DIR = "/etc/sudoers.d"
+TIMESTAMP_DIR = "/var/run/sudo"
+TIMESTAMP_WINDOW_TICKS = 300
+
+
+def parse_sudo_argv(argv: List[str]) -> Optional[Tuple[str, List[str]]]:
+    """``sudo [-u user] <command> [args...]`` -> (user, command argv)."""
+    target = "root"
+    rest = argv[1:]
+    if rest[:1] == ["-u"]:
+        if len(rest) < 3:
+            return None
+        target = rest[1]
+        rest = rest[2:]
+    if not rest:
+        return None
+    return target, rest
+
+
+class SudoProgram(Program):
+    default_path = "/usr/bin/sudo"
+    legacy_setuid_root = True
+
+    def main(self, kernel: Kernel, task: Task, argv: List[str]) -> int:
+        parsed = parse_sudo_argv(argv)
+        if parsed is None:
+            self.error(task, "usage: sudo [-u user] command [args...]")
+            return EXIT_USAGE
+        target_name, command_argv = parsed
+        # Environment/option parsing: the stage of CVE-2002-0184,
+        # CVE-2009-0034, CVE-2010-2956 — under legacy sudo this runs
+        # with euid 0.
+        self.vulnerable_point(kernel, task)
+
+        userdb = UserDatabase(kernel)
+        target = userdb.lookup_user(target_name)
+        if target is None:
+            self.error(task, f"sudo: unknown user {target_name}")
+            return EXIT_FAILURE
+
+        if self.protego_mode:
+            return self._protego_flow(kernel, task, target.uid, command_argv)
+        return self._legacy_flow(kernel, task, userdb, target.uid, target_name, command_argv)
+
+    # ------------------------------------------------------------------
+    def _protego_flow(self, kernel: Kernel, task: Task, target_uid: int,
+                      command_argv: List[str]) -> int:
+        try:
+            kernel.sys_setuid(task, target_uid)
+        except SyscallError:
+            self.error(task, "sudo: permission denied by kernel policy")
+            return EXIT_PERM
+        try:
+            return kernel.sys_execve(task, command_argv[0], command_argv)
+        except SyscallError:
+            self.error(task, f"sudo: {command_argv[0]}: not authorized")
+            return EXIT_PERM
+
+    # ------------------------------------------------------------------
+    def _legacy_flow(self, kernel: Kernel, task: Task, userdb: UserDatabase,
+                     target_uid: int, target_name: str,
+                     command_argv: List[str]) -> int:
+        invoker = userdb.lookup_uid(task.cred.ruid)
+        if invoker is None:
+            self.error(task, "sudo: who are you?")
+            return EXIT_FAILURE
+        policy = self._load_sudoers(kernel, task)
+        groups = userdb.group_names_for(invoker.name)
+        rule = policy.find_rule(invoker.name, groups, target_name, command_argv[0])
+        if rule is None and task.cred.ruid != 0:
+            self.error(task, f"sudo: {invoker.name} is not in the sudoers file")
+            return EXIT_PERM
+        if rule is not None and not rule.nopasswd and task.cred.ruid != 0:
+            if not self._check_timestamp(kernel, task):
+                if not self._authenticate(kernel, task, userdb, invoker.name):
+                    self.error(task, "sudo: 3 incorrect password attempts")
+                    return EXIT_PERM
+                self._write_timestamp(kernel, task)
+        task.environ = scrub_environment(task.environ)
+        try:
+            kernel.sys_setuid(task, target_uid)
+            return kernel.sys_execve(task, command_argv[0], command_argv)
+        except SyscallError as err:
+            self.error(task, f"sudo: {err.errno_value.name}")
+            return EXIT_FAILURE
+
+    def _load_sudoers(self, kernel: Kernel, task: Task):
+        text = ""
+        includes: List[str] = []
+        try:
+            text = kernel.read_file(task, SUDOERS_PATH).decode()
+        except SyscallError:
+            pass
+        if kernel.vfs.exists(SUDOERS_DIR):
+            for name in kernel.sys_readdir(task, SUDOERS_DIR):
+                try:
+                    includes.append(
+                        kernel.read_file(task, f"{SUDOERS_DIR}/{name}").decode()
+                    )
+                except SyscallError:
+                    continue
+        return parse_sudoers(text, includes)
+
+    def _timestamp_path(self, task: Task) -> str:
+        return f"{TIMESTAMP_DIR}/{task.cred.ruid}"
+
+    def _check_timestamp(self, kernel: Kernel, task: Task) -> bool:
+        try:
+            stamp = int(kernel.read_file(task, self._timestamp_path(task)).decode())
+        except (SyscallError, ValueError):
+            return False
+        return kernel.now() - stamp <= TIMESTAMP_WINDOW_TICKS
+
+    def _write_timestamp(self, kernel: Kernel, task: Task) -> None:
+        if not kernel.vfs.exists(TIMESTAMP_DIR):
+            try:
+                kernel.sys_mkdir(task, "/var/run", 0o755)
+            except SyscallError:
+                pass
+            kernel.sys_mkdir(task, TIMESTAMP_DIR, 0o700)
+        kernel.write_file(task, self._timestamp_path(task), str(kernel.now()).encode())
+
+    def _authenticate(self, kernel: Kernel, task: Task, userdb: UserDatabase,
+                      username: str) -> bool:
+        shadow = userdb.shadow_for(username)
+        if shadow is None or task.tty is None:
+            return False
+        for _attempt in range(3):
+            task.tty.write_line(f"[sudo] password for {username}:")
+            try:
+                password = task.tty.read_line()
+            except SyscallError:
+                return False
+            if verify_password(password, shadow.password_hash):
+                return True
+        return False
+
+
+class SudoeditProgram(SudoProgram):
+    """sudoedit: delegation restricted to editing one file; modelled
+    as sudo of the editor with the file as a validated argument."""
+
+    default_path = "/usr/bin/sudoedit"
+    legacy_setuid_root = True
+
+    def main(self, kernel: Kernel, task: Task, argv: List[str]) -> int:
+        if len(argv) < 2:
+            self.error(task, "usage: sudoedit <file>")
+            return EXIT_USAGE
+        editor_argv = ["sudo", "/usr/bin/editor"] + argv[1:]
+        return super().main(kernel, task, editor_argv)

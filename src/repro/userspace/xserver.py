@@ -1,0 +1,60 @@
+"""The X server (paper section 4.5).
+
+Legacy (pre-KMS): X is setuid root because configuring and context
+switching the video card requires 4 capabilities; a compromised X is a
+root compromise.
+
+With KMS the kernel owns mode setting and context switching; the X
+server merely draws into its framebuffer and asks the kernel to
+switch consoles — no privilege at all. The Protego build runs X
+without the setuid bit on a KMS driver.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.kernel.devices import VideoDevice
+from repro.kernel.errno import SyscallError
+from repro.kernel.kernel import Kernel
+from repro.kernel.task import Task
+from repro.userspace.program import EXIT_FAILURE, EXIT_OK, EXIT_PERM, EXIT_USAGE, Program
+
+
+class XServerProgram(Program):
+    default_path = "/usr/bin/X"
+    legacy_setuid_root = True
+
+    def main(self, kernel: Kernel, task: Task, argv: List[str]) -> int:
+        console = int(argv[argv.index("-vt") + 1]) if "-vt" in argv else 7
+        self.vulnerable_point(kernel, task)
+        card = kernel.devices.find("card0")
+        if not isinstance(card, VideoDevice):
+            self.error(task, "X: no video device")
+            return EXIT_FAILURE
+
+        if self.protego_mode:
+            # KMS path: the kernel context switches; we just draw.
+            try:
+                kernel.sys_ioctl(task, card, "KMS_SWITCH", console)
+            except SyscallError as err:
+                self.error(task, f"X: KMS: {err.errno_value.name}")
+                return EXIT_FAILURE
+            card.state.active_framebuffer = task.pid
+            self.out(task, f"X: KMS console {console}, fb={task.pid}, "
+                           f"euid={task.cred.euid}")
+            return EXIT_OK
+
+        # Legacy path: the server itself programs the card, which
+        # requires root; it must also save/restore state manually.
+        try:
+            kernel.sys_ioctl(task, card, "VIDMODE", ("1280x1024", 60))
+        except SyscallError as err:
+            self.error(task, f"X: cannot set video mode: {err.errno_value.name}")
+            return EXIT_PERM
+        card.state.active_framebuffer = task.pid
+        self.out(task, f"X: legacy mode set, fb={task.pid}, euid={task.cred.euid}")
+        # X stays root for the life of the session (it must be able to
+        # restore the console) — the paper's point about division of
+        # labor forcing trust.
+        return EXIT_OK

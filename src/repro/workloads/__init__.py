@@ -1,0 +1,21 @@
+"""Workload drivers reproducing the paper's evaluation (Table 5).
+
+* :mod:`repro.workloads.lmbench` — the lmbench 3.0-a9 microbenchmark
+  rows, including the 5 extra tests the paper adds for the modified
+  system calls;
+* :mod:`repro.workloads.kernel_compile` — a synthetic Linux-kernel
+  compile (the fork/exec/file-I/O mix of a build);
+* :mod:`repro.workloads.apachebench` — ApacheBench-style concurrent
+  web requests at 25/50/100/200 concurrency;
+* :mod:`repro.workloads.postal` — Postal-style mail throughput
+  against the simulated exim server.
+
+Each driver runs the identical operation sequence on a LINUX and a
+PROTEGO system and reports per-operation time plus relative overhead.
+Absolute times are simulator times, not hardware times; the
+reproduction target is the *shape* of the overhead column.
+"""
+
+from repro.workloads.harness import BenchResult, compare_modes, time_per_op
+
+__all__ = ["BenchResult", "compare_modes", "time_per_op"]

@@ -1,0 +1,150 @@
+"""Timing harness shared by the Table 5 workloads.
+
+The paper reports means with 95% confidence intervals; we do the
+same: each measurement repeats the operation batch several times and
+reports the mean per-operation microseconds and the half-width of the
+95% confidence interval over batches.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import time
+from typing import Callable, List, Optional, Tuple
+
+from repro.core import System, SystemMode
+
+#: Student's t for 95% two-sided at small degrees of freedom.
+_T_TABLE = {1: 12.71, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+            6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228}
+
+
+def _t_value(dof: int) -> float:
+    if dof <= 0:
+        return 0.0
+    return _T_TABLE.get(dof, 1.96)
+
+
+def _one_batch(op: Callable[[], None], iterations: int) -> float:
+    # A GC pause landing inside one system's batch but not the other's
+    # would masquerade as policy overhead; collect up front, then hold
+    # the collector off for the duration of the batch.
+    import gc
+    gc.collect()
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        start = time.perf_counter_ns()
+        for _ in range(iterations):
+            op()
+        return (time.perf_counter_ns() - start) / iterations / 1000.0
+    finally:
+        if was_enabled:
+            gc.enable()
+
+
+def _summarize(per_batch: List[float]) -> Tuple[float, float]:
+    """Median per-op microseconds and a 95% CI half-width.
+
+    The median resists the GC/allocator spikes a tracing interpreter
+    adds; the CI is still computed over all batches, as the paper's
+    lmbench runs report.
+    """
+    ordered = sorted(per_batch)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        median = ordered[mid]
+    else:
+        median = (ordered[mid - 1] + ordered[mid]) / 2
+    mean = sum(per_batch) / len(per_batch)
+    if len(per_batch) > 1:
+        variance = sum((x - mean) ** 2 for x in per_batch) / (len(per_batch) - 1)
+        half_width = _t_value(len(per_batch) - 1) * math.sqrt(variance / len(per_batch))
+    else:
+        half_width = 0.0
+    return median, half_width
+
+
+def time_per_op(op: Callable[[], None], iterations: int,
+                batches: int = 5) -> Tuple[float, float]:
+    """Median microseconds per call of *op*, with a 95% CI half-width."""
+    _one_batch(op, max(1, iterations // 4))  # warmup
+    per_batch = [_one_batch(op, iterations) for _ in range(batches)]
+    return _summarize(per_batch)
+
+
+def time_pair(linux_op: Callable[[], None], protego_op: Callable[[], None],
+              iterations: int, batches: int = 5) -> Tuple[Tuple[float, float],
+                                                          Tuple[float, float]]:
+    """Time two ops with interleaved batches so drift (GC pressure,
+    CPU frequency) hits both systems equally."""
+    _one_batch(linux_op, max(1, iterations // 4))
+    _one_batch(protego_op, max(1, iterations // 4))
+    linux_batches: List[float] = []
+    protego_batches: List[float] = []
+    for _ in range(batches):
+        linux_batches.append(_one_batch(linux_op, iterations))
+        protego_batches.append(_one_batch(protego_op, iterations))
+    return _summarize(linux_batches), _summarize(protego_batches)
+
+
+@dataclasses.dataclass
+class BenchResult:
+    """One Table 5 row: ours and the paper's, side by side."""
+
+    name: str
+    unit: str
+    linux_value: float
+    linux_ci: float
+    protego_value: float
+    protego_ci: float
+    paper_linux: Optional[float] = None
+    paper_protego: Optional[float] = None
+    paper_overhead_percent: Optional[float] = None
+    higher_is_better: bool = False
+
+    @property
+    def overhead_percent(self) -> float:
+        if self.linux_value == 0:
+            return 0.0
+        delta = (self.protego_value - self.linux_value) / self.linux_value
+        if self.higher_is_better:
+            delta = -delta
+        return round(delta * 100.0, 2)
+
+    def row(self) -> str:
+        """One report line, with the paper's +/- CI columns."""
+        paper = ""
+        if self.paper_overhead_percent is not None:
+            paper = f" (paper {self.paper_overhead_percent:+.2f}%)"
+        return (
+            f"{self.name:16s} {self.linux_value:10.3f} ±{self.linux_ci:7.3f} "
+            f"{self.protego_value:10.3f} ±{self.protego_ci:7.3f} "
+            f"{self.unit:6s} {self.overhead_percent:+7.2f}%{paper}"
+        )
+
+
+def compare_modes(
+    name: str,
+    make_op: Callable[[System], Callable[[], None]],
+    iterations: int,
+    unit: str = "us",
+    paper: Tuple[Optional[float], Optional[float], Optional[float]] = (None, None, None),
+    higher_is_better: bool = False,
+    batches: int = 5,
+) -> BenchResult:
+    """Run the same operation on fresh LINUX and PROTEGO systems."""
+    linux_system = System(SystemMode.LINUX)
+    protego_system = System(SystemMode.PROTEGO)
+    (linux_mean, linux_ci), (protego_mean, protego_ci) = time_pair(
+        make_op(linux_system), make_op(protego_system), iterations, batches)
+    paper_linux, paper_protego, paper_overhead = paper
+    return BenchResult(
+        name=name, unit=unit,
+        linux_value=linux_mean, linux_ci=linux_ci,
+        protego_value=protego_mean, protego_ci=protego_ci,
+        paper_linux=paper_linux, paper_protego=paper_protego,
+        paper_overhead_percent=paper_overhead,
+        higher_is_better=higher_is_better,
+    )

@@ -1,0 +1,75 @@
+"""Unit tests for the VulSAN-style attack-surface analysis."""
+
+import pytest
+
+from repro.analysis.attack_surface import (
+    ANY_USER,
+    ROOT,
+    build_privilege_graph,
+    compare_systems,
+    escalation_paths,
+    gated_transitions,
+    surface_summary,
+    ungated_channels_to_root,
+)
+from repro.core import System, SystemMode
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return compare_systems()
+
+
+class TestLinuxSurface:
+    def test_every_setuid_binary_is_a_channel(self, comparison):
+        linux = comparison["linux"]
+        assert linux["ungated_channels_to_root"] >= 20
+        assert "/bin/mount" in linux["ungated_binaries"]
+        assert "/usr/bin/sudo" in linux["ungated_binaries"]
+        assert "/bin/ping" in linux["ungated_binaries"]
+
+    def test_root_is_reachable(self, comparison):
+        assert comparison["linux"]["escalation_paths"] >= 1
+
+    def test_no_gated_transitions_without_protego(self, comparison):
+        assert comparison["linux"]["gated_transitions"] == 0
+
+
+class TestProtegoSurface:
+    def test_zero_ungated_channels(self, comparison):
+        assert comparison["protego"]["ungated_channels_to_root"] == 0
+        assert comparison["protego"]["ungated_binaries"] == []
+
+    def test_root_unreachable_without_gates(self, comparison):
+        assert comparison["protego"]["escalation_paths"] == 0
+
+    def test_delegation_appears_as_gated_transitions(self, comparison):
+        assert comparison["protego"]["gated_transitions"] >= 3
+
+
+class TestGraphMechanics:
+    def test_nonexec_setuid_binary_not_a_channel(self):
+        system = System(SystemMode.LINUX)
+        kernel = system.kernel
+        # The admin strips world-execute from sudo: channel gone.
+        kernel.sys_chmod(kernel.init, "/usr/bin/sudo", 0o4750)
+        graph = build_privilege_graph(system)
+        binaries = [c.get("binary") for c in ungated_channels_to_root(graph)]
+        assert "/usr/bin/sudo" not in binaries
+        assert "/bin/mount" in binaries
+
+    def test_reenabling_one_setuid_bit_on_protego_adds_one_channel(self):
+        """Section 4.6: re-enable setuid for one unsupported binary and
+        exactly that binary rejoins the attack surface."""
+        system = System(SystemMode.PROTEGO)
+        kernel = system.kernel
+        kernel.sys_chmod(kernel.init, "/bin/ping", 0o4755)
+        summary = surface_summary(system)
+        assert summary["ungated_channels_to_root"] == 1
+        assert summary["ungated_binaries"] == ["/bin/ping"]
+
+    def test_gated_edges_excluded_from_path_counting(self):
+        system = System(SystemMode.PROTEGO)
+        graph = build_privilege_graph(system)
+        assert gated_transitions(graph)
+        assert escalation_paths(graph, ANY_USER, ROOT) == 0

@@ -1,0 +1,44 @@
+"""Unit tests for the section 3.2 capability study."""
+
+from repro.analysis.capability_study import (
+    PAPER_SYS_ADMIN_CHECK_SHARE,
+    many_to_many_examples,
+    scan_capability_checks,
+    study_summary,
+    sys_admin_share,
+)
+from repro.kernel.capabilities import Capability
+
+
+class TestScan:
+    def test_scan_finds_check_sites(self):
+        counts = scan_capability_checks()
+        assert sum(counts.values()) >= 20
+        assert Capability.CAP_SYS_ADMIN in counts
+        assert Capability.CAP_NET_RAW in counts
+
+    def test_sys_admin_is_the_most_checked(self):
+        counts = scan_capability_checks()
+        top = max(counts, key=counts.get)
+        assert top is Capability.CAP_SYS_ADMIN
+
+    def test_sys_admin_share_same_ballpark_as_paper(self):
+        share = sys_admin_share()
+        assert 0.15 <= share <= 0.55
+        assert abs(share - PAPER_SYS_ADMIN_CHECK_SHARE) < 0.2
+
+    def test_empty_counts_share_is_zero(self):
+        assert sys_admin_share({}) == 0.0
+
+
+class TestSummary:
+    def test_summary_fields(self):
+        summary = study_summary()
+        assert summary["capability_count"] == 36
+        assert summary["distinct_capabilities_checked"] >= 8
+        assert summary["per_capability"]
+
+    def test_many_to_many_examples_match_paper(self):
+        examples = dict(many_to_many_examples())
+        assert examples["set the video mode (X server)"] == 4
+        assert examples["change a password"] == 6

@@ -1,0 +1,79 @@
+"""Unit tests for the CVE study (Table 6)."""
+
+import pytest
+
+from repro.analysis.cves import (
+    EXPLOIT_REPLAYS,
+    TABLE6_ROWS,
+    dataset_totals,
+    escalation_summary,
+    simulate_exploit,
+    table6,
+)
+from repro.core import SystemMode
+
+
+class TestDataset:
+    def test_totals_match_paper(self):
+        totals = dataset_totals()
+        assert totals["total_cves"] == 618
+        assert totals["escalation_cves"] == 40
+
+    def test_forty_replays_cover_every_listed_cve(self):
+        listed = {cve for row in TABLE6_ROWS for cve in row.escalation_cves}
+        replayed = {replay.cve_id for replay in EXPLOIT_REPLAYS}
+        assert listed == replayed
+        assert len(replayed) == 40
+
+    def test_stand_in_mappings_are_documented(self):
+        """CVEs replayed through a different binary than the named one
+        must carry a mapping note; dbus/pkexec now use their own
+        binaries and need none."""
+        for replay in EXPLOIT_REPLAYS:
+            if replay.cve_id in ("1999-0130", "1999-0203", "2000-0506"):
+                assert replay.mapping_note
+            if replay.cve_id == "2011-1485":
+                assert replay.binary == "/usr/bin/pkexec"
+            if replay.cve_id == "2012-3524":
+                assert "dbus" in replay.binary
+
+    def test_table6_shape(self):
+        rows = table6()
+        assert len(rows) == 18
+        ping = rows[0]
+        assert ping["utilities"] == "ping"
+        assert ping["total_cves"] == 84
+        assert ping["privilege_escalations"] == 4
+
+
+class TestReplaySemantics:
+    @pytest.mark.parametrize("cve", ["2001-0499", "2006-2183", "2009-0034",
+                                     "2005-0816", "2002-0517"])
+    def test_legacy_hijack_holds_root(self, cve):
+        replay = next(r for r in EXPLOIT_REPLAYS if r.cve_id == cve)
+        outcome = simulate_exploit(replay, SystemMode.LINUX)
+        assert outcome.hijacked_euid == 0
+        assert outcome.escalated
+
+    @pytest.mark.parametrize("cve", ["2001-0499", "2006-2183", "2009-0034",
+                                     "2005-0816", "2002-0517"])
+    def test_protego_hijack_holds_only_attacker_privilege(self, cve):
+        replay = next(r for r in EXPLOIT_REPLAYS if r.cve_id == cve)
+        outcome = simulate_exploit(replay, SystemMode.PROTEGO)
+        assert outcome.hijacked_euid == 1000  # the attacker herself
+        assert not outcome.escalated
+        assert not outcome.wrote_shadow
+        assert not outcome.gained_cap_sys_admin
+
+    def test_escalation_summary_on_subset(self):
+        subset = EXPLOIT_REPLAYS[:4]
+        summary = escalation_summary(subset)
+        assert summary["total_escalations"] == 4
+        assert summary["escalated_on_linux"] == 4
+        assert summary["deprivileged_on_protego"] == 4
+
+    def test_payload_never_silently_skipped(self):
+        """Every replay must actually reach its vulnerable point."""
+        replay = EXPLOIT_REPLAYS[0]
+        outcome = simulate_exploit(replay, SystemMode.LINUX)
+        assert outcome.hijacked_euid != -1

@@ -1,0 +1,44 @@
+"""Tests for the section 3.1 hardening-techniques study."""
+
+from repro.analysis.hardening import (
+    TECHNIQUES,
+    run_all_demos,
+    treadmill_summary,
+)
+
+
+class TestTechniqueDemos:
+    def test_three_techniques(self):
+        assert [t.name for t in TECHNIQUES] == [
+            "Consolidation", "File system permissions", "Capabilities"]
+
+    def test_consolidation_works_but_helper_stays_root(self):
+        results = TECHNIQUES[0].demo()
+        assert results["delivery_works"]
+        assert results["helper_still_runs_as_root"]
+
+    def test_file_permissions_work_but_cannot_express_syscalls(self):
+        results = TECHNIQUES[1].demo()
+        assert results["group_member_writes_spool"]
+        assert results["outsider_blocked"]
+        assert results["cannot_express_syscall_policy"]
+
+    def test_capabilities_reduce_but_stay_coarse(self):
+        results = TECHNIQUES[2].demo()
+        assert results["ping_works_without_setuid"]
+        assert results["compromise_no_longer_root"]
+        assert results["but_grant_still_coarse"]
+
+    def test_run_all_demos_shape(self):
+        rows = run_all_demos()
+        assert len(rows) == 3
+        for row in rows:
+            assert row["limitation"]
+            assert all(isinstance(v, bool) for v in row["results"].values())
+
+
+class TestTreadmill:
+    def test_paper_counts(self):
+        summary = treadmill_summary()
+        assert summary["eliminated_since_2008"] == 30
+        assert summary["new_setuid_binaries_last_3_years"] == 21

@@ -1,0 +1,56 @@
+"""Unit tests for the popularity-contest study (Table 3)."""
+
+from repro.analysis.popcon import (
+    DEBIAN_REPORTERS,
+    INVESTIGATED_PACKAGES,
+    PAPER_COVERAGE_PERCENT,
+    TABLE3_ROWS,
+    TOTAL_SETUID_PACKAGES,
+    UBUNTU_REPORTERS,
+    coverage_summary,
+    table3,
+    weighted_average_matches_paper,
+)
+
+
+class TestDataset:
+    def test_twenty_rows(self):
+        assert len(TABLE3_ROWS) == 20
+
+    def test_reporter_counts_match_paper(self):
+        assert UBUNTU_REPORTERS == 2_502_647
+        assert DEBIAN_REPORTERS == 134_020
+
+    def test_mount_is_most_installed(self):
+        assert TABLE3_ROWS[0].package == "mount"
+        assert TABLE3_ROWS[0].ubuntu_percent == 100.0
+
+    def test_82_setuid_packages(self):
+        assert TOTAL_SETUID_PACKAGES == 82
+
+
+class TestWeightedAverage:
+    def test_computation_matches_paper_column(self):
+        assert weighted_average_matches_paper()
+
+    def test_weighting_leans_toward_ubuntu(self):
+        # ppp: 99.54 Ubuntu / 45.65 Debian -> near the Ubuntu number.
+        row = next(r for r in table3() if r["package"] == "ppp")
+        assert 95.0 < row["weighted_average"] < 99.54
+
+    def test_weighted_average_between_extremes(self):
+        for row in table3():
+            low = min(row["ubuntu_percent"], row["debian_percent"])
+            high = max(row["ubuntu_percent"], row["debian_percent"])
+            assert low <= row["weighted_average"] <= high
+
+
+class TestCoverage:
+    def test_fifteen_investigated_packages(self):
+        assert len(INVESTIGATED_PACKAGES) == 15
+        assert "ecryptfs-utils" in INVESTIGATED_PACKAGES
+
+    def test_marginal_upper_bound_consistent_with_paper(self):
+        summary = coverage_summary()
+        assert summary["upper_bound_from_marginals"] >= PAPER_COVERAGE_PERCENT
+        assert summary["paper_coverage_percent"] == 89.5

@@ -1,0 +1,99 @@
+"""Unit tests for TCB accounting, the Table 4 study, and Table 8."""
+
+from repro.analysis.remaining import TABLE8_ROWS, summary, table8
+from repro.analysis.study import PT_CHOWN_NOTE, TABLE4_ROWS
+from repro.analysis.tcb import (
+    CHANGED_SYSCALLS,
+    DEPRIVILEGED_MODULES,
+    TABLE2_COMPONENTS,
+    count_loc,
+    count_module_loc,
+    table2,
+    tcb_shape_holds,
+    trusted_addition_summary,
+)
+
+
+class TestCountLoc:
+    def test_blank_and_comment_lines_ignored(self):
+        source = "x = 1\n\n# comment\ny = 2\n"
+        assert count_loc(source) == 2
+
+    def test_docstrings_ignored(self):
+        source = '"""Module doc\nspanning lines."""\n\ndef f():\n    """doc"""\n    return 1\n'
+        assert count_loc(source) == 2  # def line + return line
+
+    def test_inline_comments_kept(self):
+        assert count_loc("x = 1  # trailing\n") == 1
+
+    def test_module_counting(self):
+        assert count_module_loc(("core/protego.py",)) > 100
+
+
+class TestTable2:
+    def test_nine_components(self):
+        assert len(TABLE2_COMPONENTS) == 9
+        assert len(table2()) == 9
+
+    def test_every_component_has_existing_modules(self):
+        for row in table2():
+            assert row["measured_lines"] > 0, row["component"]
+
+    def test_sections_match_paper(self):
+        sections = {c.section for c in TABLE2_COMPONENTS}
+        assert sections == {"Kernel", "Trusted Services", "Utilities"}
+
+    def test_shape_claim(self):
+        assert tcb_shape_holds()
+        summary_data = trusted_addition_summary()
+        assert summary_data["policy_enforcement_lines"] < 1000
+
+    def test_eight_changed_syscalls(self):
+        assert len(CHANGED_SYSCALLS) == 8
+        assert "mount" in CHANGED_SYSCALLS and "bind" in CHANGED_SYSCALLS
+
+    def test_deprivileged_modules_exist(self):
+        assert count_module_loc(DEPRIVILEGED_MODULES) > 500
+
+
+class TestTable4Study:
+    def test_nine_rows_plus_ptchown_note(self):
+        assert len(TABLE4_ROWS) == 9
+        assert "pt_chown" in PT_CHOWN_NOTE
+
+    def test_every_row_documents_all_columns(self):
+        for row in TABLE4_ROWS:
+            assert row.kernel_policy and row.system_policy
+            assert row.security_concern and row.our_approach
+            assert row.used_by
+            assert callable(row.demo)
+
+    def test_interfaces_cover_the_eight_syscalls_story(self):
+        text = " ".join(row.interface for row in TABLE4_ROWS)
+        for keyword in ("socket", "ioctl", "bind", "mount", "setuid"):
+            assert keyword in text
+
+
+class TestTable8:
+    def test_totals(self):
+        s = summary()
+        assert s["remaining_binaries"] == 91
+        assert s["addressed_by_existing_abstractions"] == 77
+        assert s["requiring_future_work"] == 14
+
+    def test_row_counts_match_paper(self):
+        counts = {r.interface: r.binary_count for r in TABLE8_ROWS}
+        assert counts["socket"] == 14
+        assert counts["bind"] == 23
+        assert counts["mount"] == 3
+        assert counts["setuid, setgid"] == 24
+        assert counts["Video driver control state"] == 13
+        assert counts["chroot/namespace"] == 6
+        assert counts["miscellaneous"] == 8
+
+    def test_future_work_breakdown_sums_to_14(self):
+        s = summary()
+        assert sum(i["binaries"] for i in s["future_work_breakdown"]) == 14
+
+    def test_table8_rows_render(self):
+        assert len(table8()) == 7

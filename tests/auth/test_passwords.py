@@ -1,0 +1,38 @@
+"""Unit tests for password hashing."""
+
+from repro.auth.passwords import hash_password, lock_marker, verify_password
+
+
+class TestHashing:
+    def test_roundtrip(self):
+        stored = hash_password("hunter2")
+        assert verify_password("hunter2", stored)
+
+    def test_wrong_password_fails(self):
+        assert not verify_password("wrong", hash_password("hunter2"))
+
+    def test_salts_differ(self):
+        assert hash_password("x") != hash_password("x")
+
+    def test_fixed_salt_is_deterministic(self):
+        assert hash_password("x", "salt") == hash_password("x", "salt")
+
+    def test_crypt_format(self):
+        stored = hash_password("pw", "abcd")
+        assert stored.startswith("$5$abcd$")
+        assert len(stored.split("$")) == 4
+
+    def test_locked_accounts_never_verify(self):
+        assert not verify_password("anything", lock_marker())
+        assert not verify_password("anything", "!")
+        assert not verify_password("anything", "*")
+        assert not verify_password("anything", "")
+
+    def test_malformed_hash_never_verifies(self):
+        assert not verify_password("pw", "plaintext")
+        assert not verify_password("pw", "$9$unknown$scheme")
+
+    def test_empty_password_roundtrip(self):
+        stored = hash_password("")
+        assert verify_password("", stored)
+        assert not verify_password("x", stored)

@@ -1,0 +1,110 @@
+"""Unit tests for the trusted authentication service."""
+
+import pytest
+
+from repro.auth.service import AuthenticationService
+from repro.core import System, SystemMode
+
+
+@pytest.fixture
+def system():
+    return System(SystemMode.PROTEGO, group_passwords={"staff": "staff-pw"})
+
+
+@pytest.fixture
+def service(system):
+    return system.auth_service
+
+
+@pytest.fixture
+def alice(system):
+    return system.session_for("alice")
+
+
+class TestAuthenticateUser:
+    def test_correct_password(self, system, service, alice):
+        alice.tty.feed("alice-password")
+        assert service.authenticate_user(alice, 1000)
+
+    def test_wrong_password_with_retries(self, system, service, alice):
+        for _ in range(3):
+            alice.tty.feed("nope")
+        assert not service.authenticate_user(alice, 1000)
+
+    def test_retry_then_success(self, system, service, alice):
+        alice.tty.feed("nope")
+        alice.tty.feed("alice-password")
+        assert service.authenticate_user(alice, 1000)
+
+    def test_unknown_uid(self, system, service, alice):
+        alice.tty.feed("x")
+        assert not service.authenticate_user(alice, 4242)
+
+    def test_no_tty_fails_closed(self, system, service):
+        task = system.kernel.user_task(1000, 1000)  # no tty
+        assert not service.authenticate_user(task, 1000)
+
+    def test_prompt_names_the_principal(self, system, service, alice):
+        alice.tty.feed("alice-password")
+        service.authenticate_user(alice, 1001)
+        assert any("bob" in line for line in alice.tty.lines_out)
+
+    def test_terminal_released_after_prompt(self, system, service, alice):
+        alice.tty.feed("alice-password")
+        service.authenticate_user(alice, 1000)
+        assert alice.tty.locked_by is None
+
+    def test_log_records_outcomes(self, system, service, alice):
+        alice.tty.feed("alice-password")
+        service.authenticate_user(alice, 1000)
+        assert service.log[-1].success
+        assert service.log[-1].principal == "alice"
+
+
+class TestAuthenticateAny:
+    def test_invoker_password_matches_invoker(self, system, service, alice):
+        alice.tty.feed("alice-password")
+        assert service.authenticate_any(alice, [1000, 1001]) == 1000
+
+    def test_target_password_matches_target(self, system, service, alice):
+        alice.tty.feed("bob-password")
+        assert service.authenticate_any(alice, [1000, 1001]) == 1001
+
+    def test_no_match(self, system, service, alice):
+        for _ in range(3):
+            alice.tty.feed("nothing")
+        assert service.authenticate_any(alice, [1000, 1001]) is None
+
+    def test_prompt_mentions_both_names(self, system, service, alice):
+        alice.tty.feed("alice-password")
+        service.authenticate_any(alice, [1000, 1001])
+        assert any("alice or bob" in line for line in alice.tty.lines_out)
+
+    def test_empty_candidates(self, system, service, alice):
+        assert service.authenticate_any(alice, []) is None
+
+
+class TestAuthenticateGroup:
+    def test_group_password(self, system, service, alice):
+        staff = system.userdb.lookup_group("staff")
+        alice.tty.feed("staff-pw")
+        assert service.authenticate_group(alice, staff.gid)
+
+    def test_passwordless_group_fails_closed(self, system, service, alice):
+        printers = system.userdb.lookup_group("printers")
+        alice.tty.feed("anything")
+        assert not service.authenticate_group(alice, printers.gid)
+
+    def test_unknown_gid(self, system, service, alice):
+        assert not service.authenticate_group(alice, 9999)
+
+
+class TestLogin:
+    def test_login_success(self, system, service, alice):
+        assert service.login(alice, "alice", "alice-password")
+
+    def test_login_wrong_password(self, system, service, alice):
+        assert not service.login(alice, "alice", "wrong")
+
+    def test_login_unknown_user(self, system, service, alice):
+        assert not service.login(alice, "ghost", "x")

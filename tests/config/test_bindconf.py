@@ -1,0 +1,57 @@
+"""Unit tests for the /etc/bind port-map grammar."""
+
+import pytest
+
+from repro.config.bindconf import (
+    BindConfigError,
+    BindEntry,
+    format_bind_config,
+    parse_bind_config,
+)
+
+SAMPLE = """
+# port map
+25/tcp   /usr/sbin/exim4    Debian-exim
+80/tcp   /usr/sbin/apache2  www-data
+53/udp   /usr/sbin/named    bind
+"""
+
+
+class TestParse:
+    def test_parses_rows(self):
+        entries = parse_bind_config(SAMPLE)
+        assert len(entries) == 3
+        assert entries[0] == BindEntry(25, "tcp", "/usr/sbin/exim4", "Debian-exim")
+
+    def test_duplicate_port_proto_rejected(self):
+        text = "25/tcp /a root\n25/tcp /b root\n"
+        with pytest.raises(BindConfigError, match="already mapped"):
+            parse_bind_config(text)
+
+    def test_same_port_different_proto_allowed(self):
+        entries = parse_bind_config("53/tcp /a root\n53/udp /a root\n")
+        assert len(entries) == 2
+
+    def test_unprivileged_port_rejected(self):
+        with pytest.raises(BindConfigError, match="not privileged"):
+            parse_bind_config("8080/tcp /a root\n")
+
+    def test_bad_protocol_rejected(self):
+        with pytest.raises(BindConfigError, match="bad protocol"):
+            parse_bind_config("25/sctp /a root\n")
+
+    def test_relative_binary_rejected(self):
+        with pytest.raises(BindConfigError, match="absolute"):
+            parse_bind_config("25/tcp exim4 root\n")
+
+    def test_bad_port_rejected(self):
+        with pytest.raises(BindConfigError, match="bad port"):
+            parse_bind_config("http/tcp /a root\n")
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(BindConfigError, match="expected"):
+            parse_bind_config("25/tcp /a\n")
+
+    def test_roundtrip(self):
+        entries = parse_bind_config(SAMPLE)
+        assert parse_bind_config(format_bind_config(entries)) == entries

@@ -1,0 +1,73 @@
+"""Unit tests for fstab parsing."""
+
+import pytest
+
+from repro.config.fstab import (
+    FstabEntry,
+    format_fstab,
+    parse_fstab,
+    user_mountable_entries,
+)
+
+SAMPLE = """
+# /etc/fstab: static file system information.
+/dev/sda1  /         ext4   errors=remount-ro  0 1
+/dev/cdrom /cdrom    iso9660 user,noauto,ro    0 0
+/dev/usb0  /media/usb vfat  users,noauto       0 0
+proc       /proc     proc   defaults           0 0
+"""
+
+
+class TestParse:
+    def test_parses_all_rows(self):
+        assert len(parse_fstab(SAMPLE)) == 4
+
+    def test_fields(self):
+        entry = parse_fstab(SAMPLE)[1]
+        assert entry.device == "/dev/cdrom"
+        assert entry.mountpoint == "/cdrom"
+        assert entry.fstype == "iso9660"
+        assert entry.options == ("user", "noauto", "ro")
+
+    def test_comments_and_blank_lines_skipped(self):
+        assert parse_fstab("# nothing\n\n") == []
+
+    def test_inline_comment(self):
+        entries = parse_fstab("/dev/sda1 / ext4 defaults 0 1 # root fs\n")
+        assert entries[0].device == "/dev/sda1"
+
+    def test_short_row_rejected(self):
+        with pytest.raises(ValueError, match="line 1"):
+            parse_fstab("/dev/sda1 /\n")
+
+    def test_defaults_when_options_missing(self):
+        entry = parse_fstab("/dev/sda2 /data ext4\n")[0]
+        assert entry.options == ("defaults",)
+        assert entry.dump == 0 and entry.passno == 0
+
+
+class TestUserMountable:
+    def test_user_option(self):
+        entries = parse_fstab(SAMPLE)
+        user = user_mountable_entries(entries)
+        assert [e.mountpoint for e in user] == ["/cdrom", "/media/usb"]
+
+    def test_users_allows_any_umount(self):
+        entries = parse_fstab(SAMPLE)
+        cdrom, usb = user_mountable_entries(entries)
+        assert not cdrom.any_user_may_umount()
+        assert usb.any_user_may_umount()
+
+    def test_user_implies_nosuid(self):
+        entry = FstabEntry("/dev/cdrom", "/cdrom", "iso9660", ("user",))
+        assert entry.nosuid_implied()
+        explicit = FstabEntry("/dev/cdrom", "/cdrom", "iso9660", ("user", "suid"))
+        assert not explicit.nosuid_implied()
+        root_only = FstabEntry("/dev/sda1", "/", "ext4")
+        assert not root_only.nosuid_implied()
+
+
+class TestRoundtrip:
+    def test_format_parse_roundtrip(self):
+        entries = parse_fstab(SAMPLE)
+        assert parse_fstab(format_fstab(entries)) == entries

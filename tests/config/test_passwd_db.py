@@ -1,0 +1,84 @@
+"""Unit tests for passwd/shadow/group record parsing."""
+
+from repro.config.passwd_db import (
+    GroupEntry,
+    PasswdEntry,
+    ShadowEntry,
+    find_entry,
+    format_group,
+    format_passwd,
+    format_shadow,
+    parse_group,
+    parse_passwd,
+    parse_shadow,
+)
+
+PASSWD = """root:x:0:0:root:/root:/bin/bash
+alice:x:1000:1000:Alice:/home/alice:/bin/bash
+bob:x:1001:1001::/home/bob:/bin/sh
+"""
+
+SHADOW = """root:$5$salt$hash:19000:0:99999:7:::
+alice:$5$abc$def:19001:0:99999:7:::
+"""
+
+GROUP = """root:x:0:
+staff:$5$gs$gh:50:alice,bob
+printers:x:60:alice
+"""
+
+
+class TestPasswd:
+    def test_parse(self):
+        entries = parse_passwd(PASSWD)
+        assert len(entries) == 3
+        assert entries[1] == PasswdEntry("alice", 1000, 1000, "Alice",
+                                         "/home/alice", "/bin/bash")
+
+    def test_empty_shell_defaults(self):
+        entry = parse_passwd("x:x:1:1:::\n")[0]
+        assert entry.shell == "/bin/sh"
+
+    def test_roundtrip(self):
+        entries = parse_passwd(PASSWD)
+        assert parse_passwd(format_passwd(entries)) == entries
+
+    def test_find_entry(self):
+        entries = parse_passwd(PASSWD)
+        assert find_entry(entries, "bob").uid == 1001
+        assert find_entry(entries, "nobody") is None
+
+
+class TestShadow:
+    def test_parse(self):
+        entries = parse_shadow(SHADOW)
+        assert entries[0] == ShadowEntry("root", "$5$salt$hash", 19000, 0, 99999)
+
+    def test_roundtrip(self):
+        entries = parse_shadow(SHADOW)
+        assert parse_shadow(format_shadow(entries)) == entries
+
+    def test_minimal_row(self):
+        entry = parse_shadow("svc:!\n")[0]
+        assert entry.password_hash == "!"
+        assert entry.max_days == 99999
+
+
+class TestGroup:
+    def test_parse_members(self):
+        entries = parse_group(GROUP)
+        assert entries[1].members == ["alice", "bob"]
+
+    def test_password_protected_group_detected(self):
+        entries = parse_group(GROUP)
+        assert entries[1].password_hash == "$5$gs$gh"
+        assert entries[0].password_hash == ""
+
+    def test_roundtrip(self):
+        entries = parse_group(GROUP)
+        again = parse_group(format_group(entries))
+        assert [e.name for e in again] == [e.name for e in entries]
+        assert again[1].password_hash == entries[1].password_hash
+
+    def test_empty_members(self):
+        assert parse_group("g:x:5:\n")[0].members == []

@@ -1,0 +1,60 @@
+"""Unit tests for /etc/ppp/options policy mining."""
+
+from repro.config.pppoptions import (
+    PPPOptions,
+    SAFE_SESSION_OPTIONS,
+    parse_ppp_options,
+)
+
+SAMPLE = """
+# /etc/ppp/options
+lock
+mru 1500
+user-routes
+permit-device ttyS0 ttyS1
+"""
+
+
+class TestParse:
+    def test_user_routes_flag(self):
+        assert parse_ppp_options(SAMPLE).allow_unprivileged_routes
+
+    def test_default_denies_user_routes(self):
+        assert not parse_ppp_options("lock\n").allow_unprivileged_routes
+
+    def test_defaultroute_flag_separate(self):
+        options = parse_ppp_options("user-defaultroute\n")
+        assert options.allow_unprivileged_defaultroute
+        assert not options.allow_unprivileged_routes
+
+    def test_permitted_devices(self):
+        options = parse_ppp_options(SAMPLE)
+        assert options.device_allowed("ttyS0")
+        assert not options.device_allowed("ttyUSB9")
+
+    def test_no_device_restriction_allows_all(self):
+        assert parse_ppp_options("").device_allowed("anything")
+
+    def test_session_defaults_recorded(self):
+        options = parse_ppp_options(SAMPLE)
+        assert options.session_defaults["mru"] == "1500"
+
+
+class TestOptionPolicy:
+    def test_safe_options_allowed(self):
+        options = PPPOptions()
+        for opt in ("compress", "mru", "vj"):
+            assert opt in SAFE_SESSION_OPTIONS
+            assert options.option_allowed_for_user(opt)
+
+    def test_privileged_options_denied(self):
+        options = PPPOptions()
+        assert not options.option_allowed_for_user("defaultroute")
+        assert not options.option_allowed_for_user("proxyarp")
+
+    def test_admin_listed_option_allowed(self):
+        options = parse_ppp_options("customopt 1\n")
+        assert options.option_allowed_for_user("customopt")
+
+    def test_unknown_option_denied(self):
+        assert not PPPOptions().option_allowed_for_user("mystery")

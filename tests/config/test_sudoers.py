@@ -1,0 +1,109 @@
+"""Unit tests for sudoers parsing and rule lookup."""
+
+import pytest
+
+from repro.config.sudoers import SudoersError, SudoRule, parse_sudoers
+
+SAMPLE = """
+# /etc/sudoers
+Defaults timestamp_timeout=5
+
+root    ALL=(ALL) ALL
+%admin  ALL=(ALL) ALL
+alice   ALL=(bob) /usr/bin/lpr, /usr/bin/lpq
+bob     ALL=(alice) NOPASSWD: /usr/bin/lpr
+carol   ALL=(root) /sbin/reboot
+"""
+
+
+class TestParse:
+    def test_rule_count(self):
+        assert len(parse_sudoers(SAMPLE).rules) == 5
+
+    def test_timeout_default_is_five_minutes(self):
+        assert parse_sudoers("").timestamp_timeout_minutes == 5
+
+    def test_timeout_override(self):
+        policy = parse_sudoers("Defaults timestamp_timeout=15\n")
+        assert policy.timestamp_timeout_minutes == 15
+
+    def test_command_list(self):
+        policy = parse_sudoers(SAMPLE)
+        rule = policy.find_rule("alice", [], "bob", "/usr/bin/lpq")
+        assert rule is not None
+        assert rule.commands == ("/usr/bin/lpr", "/usr/bin/lpq")
+
+    def test_nopasswd_flag(self):
+        policy = parse_sudoers(SAMPLE)
+        rule = policy.find_rule("bob", [], "alice", "/usr/bin/lpr")
+        assert rule.nopasswd
+
+    def test_line_continuation(self):
+        policy = parse_sudoers("alice ALL=(bob) /bin/a, \\\n /bin/b\n")
+        assert policy.rules[0].commands == ("/bin/a", "/bin/b")
+
+    def test_runas_group(self):
+        policy = parse_sudoers("alice ALL=(bob:printers) /usr/bin/lpr\n")
+        assert policy.rules[0].runas_group == "printers"
+
+    def test_malformed_line_raises_with_lineno(self):
+        with pytest.raises(SudoersError, match="line 1"):
+            parse_sudoers("garbage\n")
+
+    def test_bad_timeout_raises(self):
+        with pytest.raises(SudoersError):
+            parse_sudoers("Defaults timestamp_timeout=soon\n")
+
+    def test_includes_appended(self):
+        policy = parse_sudoers("", includes=["dave ALL=(ALL) ALL\n"])
+        assert policy.rules[0].invoker == "dave"
+
+
+class TestLookup:
+    policy = parse_sudoers(SAMPLE)
+
+    def test_exact_user_and_command(self):
+        rule = self.policy.find_rule("alice", [], "bob", "/usr/bin/lpr")
+        assert rule is not None
+
+    def test_command_not_listed_denied(self):
+        assert self.policy.find_rule("alice", [], "bob", "/bin/sh") is None
+
+    def test_wrong_target_denied(self):
+        assert self.policy.find_rule("alice", [], "carol", "/usr/bin/lpr") is None
+
+    def test_group_rule_matches_members(self):
+        rule = self.policy.find_rule("dave", ["admin"], "root", "/bin/anything")
+        assert rule is not None
+        assert rule.invoker == "%admin"
+
+    def test_nonmember_denied(self):
+        assert self.policy.find_rule("dave", ["users"], "root", "/bin/sh") is None
+
+    def test_all_rule_allows_any_command(self):
+        rule = self.policy.find_rule("root", [], "alice", "/any/binary")
+        assert rule is not None
+
+    def test_specific_rule_preferred_over_group(self):
+        text = "%admin ALL=(ALL) ALL\nalice ALL=(bob) NOPASSWD: /usr/bin/lpr\n"
+        policy = parse_sudoers(text)
+        rule = policy.find_rule("alice", ["admin"], "bob", "/usr/bin/lpr")
+        assert rule.invoker == "alice"
+
+    def test_find_rule_without_command_filter(self):
+        rule = self.policy.find_rule("carol", [], "root")
+        assert rule is not None
+        assert rule.commands == ("/sbin/reboot",)
+
+
+class TestSudoRule:
+    def test_matches_invoker_all(self):
+        rule = SudoRule("ALL")
+        assert rule.matches_invoker("anyone", [])
+
+    def test_allows_target_all(self):
+        assert SudoRule("a").allows_target("whoever")
+
+    def test_group_join_extension(self):
+        policy = parse_sudoers("%staff ALL=(ALL) GROUPJOIN: staff\n")
+        assert policy.rules[0].group_join == "staff"

@@ -1,0 +1,131 @@
+"""Unit tests for the AppArmor-style baseline LSM."""
+
+import pytest
+
+from repro.apparmor import AccessMode, AppArmorLSM
+from repro.apparmor.profiles import make_profile
+from repro.kernel import Kernel, modes
+from repro.kernel.capabilities import Capability
+from repro.kernel.errno import Errno, SyscallError
+
+
+@pytest.fixture
+def kernel():
+    k = Kernel()
+    k.register_module(AppArmorLSM())
+    return k
+
+
+@pytest.fixture
+def apparmor(kernel):
+    return kernel.lsm.find("apparmor")
+
+
+def confined_task(kernel, exe="/bin/confined", uid=1000):
+    task = kernel.user_task(uid, uid)
+    task.exe_path = exe
+    return task
+
+
+class TestProfiles:
+    def test_exact_path_rule(self):
+        profile = make_profile("/bin/p", [("/etc/fstab", "r")])
+        assert profile.allows_path("/etc/fstab", AccessMode.READ)
+        assert not profile.allows_path("/etc/fstab", AccessMode.WRITE)
+        assert not profile.allows_path("/etc/passwd", AccessMode.READ)
+
+    def test_glob_rule(self):
+        profile = make_profile("/bin/p", [("/var/log/*", "rw")])
+        assert profile.allows_path("/var/log/syslog", AccessMode.READ | AccessMode.WRITE)
+        assert not profile.allows_path("/var/log/apt/history", AccessMode.READ)
+
+    def test_recursive_glob(self):
+        profile = make_profile("/bin/p", [("/media/**", "rw")])
+        assert profile.allows_path("/media/usb/deep/file", AccessMode.WRITE)
+        assert profile.allows_path("/media", AccessMode.WRITE)
+
+    def test_rules_accumulate(self):
+        profile = make_profile("/bin/p", [("/a", "r"), ("/a", "w")])
+        assert profile.allows_path("/a", AccessMode.READ | AccessMode.WRITE)
+
+    def test_capability_rule(self):
+        profile = make_profile("/bin/p", capabilities=[Capability.CAP_NET_RAW])
+        assert profile.allows_capability(Capability.CAP_NET_RAW)
+        assert not profile.allows_capability(Capability.CAP_SYS_ADMIN)
+
+
+class TestEnforcement:
+    def test_unprofiled_binary_unconfined(self, kernel):
+        task = confined_task(kernel, exe="/bin/whatever")
+        kernel.write_file(kernel.init, "/tmp/f", b"x")
+        kernel.sys_chmod(kernel.init, "/tmp/f", 0o644)
+        assert kernel.read_file(task, "/tmp/f") == b"x"
+
+    def test_profile_denies_unlisted_open(self, kernel, apparmor):
+        apparmor.load_profile(make_profile("/bin/confined", [("/etc/hosts", "r")]))
+        kernel.write_file(kernel.init, "/etc/hosts", b"h")
+        kernel.sys_chmod(kernel.init, "/etc/hosts", 0o644)
+        kernel.write_file(kernel.init, "/tmp/other", b"o")
+        kernel.sys_chmod(kernel.init, "/tmp/other", 0o644)
+        task = confined_task(kernel)
+        assert kernel.read_file(task, "/etc/hosts") == b"h"
+        with pytest.raises(SyscallError) as err:
+            kernel.read_file(task, "/tmp/other")
+        assert err.value.errno_value == Errno.EACCES
+        assert apparmor.denial_log
+
+    def test_profile_denies_capability_even_for_root(self, kernel, apparmor):
+        """The administrator-perspective confinement: a confined root
+        binary loses capabilities."""
+        apparmor.load_profile(make_profile("/bin/confined", capabilities=[]))
+        root = kernel.root_task()
+        root.exe_path = "/bin/confined"
+        assert not kernel.capable(root, Capability.CAP_SYS_ADMIN)
+
+    def test_profile_allows_listed_capability(self, kernel, apparmor):
+        apparmor.load_profile(
+            make_profile("/bin/confined", capabilities=[Capability.CAP_NET_RAW]))
+        root = kernel.root_task()
+        root.exe_path = "/bin/confined"
+        assert kernel.capable(root, Capability.CAP_NET_RAW)
+        assert not kernel.capable(root, Capability.CAP_SYS_ADMIN)
+
+    def test_complain_mode_logs_without_denying(self, kernel, apparmor):
+        apparmor.load_profile(
+            make_profile("/bin/confined", [("/etc/hosts", "r")], enforce=False))
+        kernel.write_file(kernel.init, "/tmp/x", b"x")
+        kernel.sys_chmod(kernel.init, "/tmp/x", 0o644)
+        task = confined_task(kernel)
+        assert kernel.read_file(task, "/tmp/x") == b"x"
+        assert apparmor.denial_log
+
+    def test_exec_confinement(self, kernel, apparmor):
+        apparmor.load_profile(
+            make_profile("/bin/confined", [("/bin/allowed", "x")]))
+        for binary in ("/bin/allowed", "/bin/forbidden"):
+            kernel.write_file(kernel.init, binary, b"\x7fELF")
+            kernel.sys_chmod(kernel.init, binary, 0o755)
+        task = confined_task(kernel)
+        kernel.sys_execve(task, "/bin/allowed")
+        task.exe_path = "/bin/confined"
+        with pytest.raises(SyscallError):
+            kernel.sys_execve(task, "/bin/forbidden")
+
+    def test_unload_profile_unconfines(self, kernel, apparmor):
+        apparmor.load_profile(make_profile("/bin/confined", []))
+        apparmor.unload_profile("/bin/confined")
+        kernel.write_file(kernel.init, "/tmp/x", b"x")
+        kernel.sys_chmod(kernel.init, "/tmp/x", 0o644)
+        task = confined_task(kernel)
+        assert kernel.read_file(task, "/tmp/x") == b"x"
+
+
+class TestAccessModeParse:
+    def test_parse(self):
+        assert AccessMode.parse("rwx") == (
+            AccessMode.READ | AccessMode.WRITE | AccessMode.EXEC)
+        assert AccessMode.parse("r") == AccessMode.READ
+
+    def test_bad_char_raises(self):
+        with pytest.raises(KeyError):
+            AccessMode.parse("z")

@@ -1,0 +1,117 @@
+"""Unit tests for the credential database and recency tracking."""
+
+import pytest
+
+from repro.core import System, SystemMode
+from repro.core.authdb import UserDatabase
+from repro.core.recency import (
+    AUTH_WINDOW_TICKS,
+    authenticated_recently,
+    clear_authentication,
+    last_authentication,
+    stamp_authentication,
+)
+from repro.kernel import Kernel
+from repro.kernel.errno import SyscallError
+from repro.kernel.task import Task
+from repro.kernel.cred import Credentials
+
+
+class TestRecency:
+    def _task(self):
+        return Task(1, Credentials.for_user(1000, 1000))
+
+    def test_no_stamp_is_not_recent(self):
+        assert not authenticated_recently(self._task(), now=100)
+
+    def test_stamp_within_window(self):
+        task = self._task()
+        stamp_authentication(task, 100)
+        assert authenticated_recently(task, now=100 + AUTH_WINDOW_TICKS)
+
+    def test_stamp_outside_window(self):
+        task = self._task()
+        stamp_authentication(task, 100)
+        assert not authenticated_recently(task, now=101 + AUTH_WINDOW_TICKS)
+
+    def test_zero_window_always_stale(self):
+        task = self._task()
+        stamp_authentication(task, 100)
+        assert not authenticated_recently(task, now=100, window=0)
+
+    def test_clear(self):
+        task = self._task()
+        stamp_authentication(task, 100)
+        clear_authentication(task)
+        assert last_authentication(task) is None
+
+    def test_stamp_inherited_across_fork(self):
+        kernel = Kernel()
+        parent = kernel.user_task(1000, 1000)
+        stamp_authentication(parent, kernel.now())
+        child = kernel.sys_fork(parent)
+        assert authenticated_recently(child, kernel.now())
+
+
+class TestUserDatabase:
+    @pytest.fixture
+    def system(self):
+        return System(SystemMode.PROTEGO)
+
+    def test_lookup_by_name_and_uid(self, system):
+        assert system.userdb.lookup_user("alice").uid == 1000
+        assert system.userdb.lookup_uid(1000).name == "alice"
+        assert system.userdb.lookup_user("ghost") is None
+        assert system.userdb.lookup_uid(31337) is None
+
+    def test_group_lookup(self, system):
+        assert system.userdb.lookup_group("printers").gid == 60
+        assert system.userdb.lookup_gid(60).name == "printers"
+
+    def test_group_names_for(self, system):
+        names = system.userdb.group_names_for("alice")
+        assert "printers" in names
+        assert "alice" in names
+
+    def test_gids_for_includes_primary_and_supplementary(self, system):
+        gids = system.userdb.gids_for("alice")
+        assert 1000 in gids and 60 in gids
+
+    def test_resolvers(self, system):
+        assert system.userdb.resolve_user("bob") == 1001
+        assert system.userdb.resolve_group("admin") == 27
+        assert system.userdb.resolve_user("ghost") is None
+
+    def test_shadow_for(self, system):
+        assert system.userdb.shadow_for("alice") is not None
+        assert system.userdb.shadow_for("ghost") is None
+
+    def test_fragment_usernames(self, system):
+        names = system.userdb.fragment_usernames()
+        assert "alice" in names and "root" in names
+
+    def test_fragment_read_write_as_owner(self, system):
+        alice = system.session_for("alice")
+        entry = system.userdb.read_own_passwd_fragment(alice, "alice")
+        assert entry.uid == 1000
+        import dataclasses
+        system.userdb.write_own_passwd_fragment(
+            alice, dataclasses.replace(entry, gecos="Changed"))
+        again = system.userdb.read_own_passwd_fragment(alice, "alice")
+        assert again.gecos == "Changed"
+
+    def test_fragment_not_readable_by_others(self, system):
+        bob = system.session_for("bob")
+        with pytest.raises(SyscallError):
+            system.userdb.read_own_passwd_fragment(bob, "alice")
+
+    def test_group_fragment_owned_by_admin(self, system):
+        st = system.kernel.sys_stat(system.kernel.init, "/etc/groups/printers")
+        assert st.uid == 1000  # alice is first member -> administrator
+
+    def test_missing_files_give_empty_lists(self):
+        kernel = Kernel()
+        db = UserDatabase(kernel)
+        assert db.passwd_entries() == []
+        assert db.shadow_entries() == []
+        assert db.group_entries() == []

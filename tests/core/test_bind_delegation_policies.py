@@ -1,0 +1,170 @@
+"""Unit tests for the bind port map and delegation policy objects."""
+
+import pytest
+
+from repro.config.bindconf import parse_bind_config
+from repro.config.sudoers import parse_sudoers
+from repro.core.bind_policy import BindPolicy, PortGrant
+from repro.core.delegation import (
+    DelegationPolicy,
+    DelegationRule,
+    SAFE_ENV_WHITELIST,
+    scrub_environment,
+)
+
+USERS = {"root": 0, "alice": 1000, "bob": 1001, "Debian-exim": 101}
+GROUPS = {"root": 0, "admin": 27, "staff": 50}
+
+
+def resolve_user(name):
+    return USERS.get(name)
+
+
+def resolve_group(name):
+    return GROUPS.get(name)
+
+
+class TestBindPolicy:
+    def test_authorize_matching_instance(self):
+        policy = BindPolicy([PortGrant(25, "tcp", "/usr/sbin/exim4", 101)])
+        assert policy.authorize(25, "tcp", "/usr/sbin/exim4", 101)
+
+    def test_wrong_binary_rejected(self):
+        policy = BindPolicy([PortGrant(25, "tcp", "/usr/sbin/exim4", 101)])
+        assert not policy.authorize(25, "tcp", "/usr/bin/evil", 101)
+
+    def test_wrong_uid_rejected(self):
+        policy = BindPolicy([PortGrant(25, "tcp", "/usr/sbin/exim4", 101)])
+        assert not policy.authorize(25, "tcp", "/usr/sbin/exim4", 1000)
+
+    def test_unmapped_port_not_authorized(self):
+        assert not BindPolicy().authorize(80, "tcp", "/x", 0)
+
+    def test_duplicate_grant_rejected(self):
+        policy = BindPolicy([PortGrant(25, "tcp", "/a", 0)])
+        with pytest.raises(ValueError, match="already allocated"):
+            policy.add_grant(PortGrant(25, "tcp", "/b", 0))
+
+    def test_resolve_entries(self):
+        entries = parse_bind_config("25/tcp /usr/sbin/exim4 Debian-exim\n")
+        grants = BindPolicy.resolve_entries(entries, resolve_user)
+        assert grants[0].uid == 101
+
+    def test_resolve_unknown_user_fails_load(self):
+        entries = parse_bind_config("25/tcp /usr/sbin/exim4 ghost\n")
+        with pytest.raises(ValueError, match="unknown user"):
+            BindPolicy.resolve_entries(entries, resolve_user)
+
+    def test_proc_grammar_roundtrip(self):
+        policy = BindPolicy([PortGrant(25, "tcp", "/usr/sbin/exim4", 101),
+                             PortGrant(53, "udp", "/usr/sbin/named", 102)])
+        again = BindPolicy.parse(policy.serialize())
+        assert sorted(again, key=lambda g: g.port) == sorted(
+            policy.grants(), key=lambda g: g.port)
+
+    def test_proc_grammar_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            BindPolicy.parse("25 tcp exim\n")
+
+
+class TestDelegationFromSudoers:
+    def test_names_resolved(self):
+        sudoers = parse_sudoers("alice ALL=(bob) /usr/bin/lpr\n")
+        policy = DelegationPolicy.from_sudoers(sudoers, resolve_user, resolve_group)
+        rule = policy.rules()[0]
+        assert rule.invoker_uid == 1000
+        assert rule.target_uid == 1001
+        assert rule.commands == ("/usr/bin/lpr",)
+
+    def test_group_rule(self):
+        sudoers = parse_sudoers("%admin ALL=(ALL) ALL\n")
+        policy = DelegationPolicy.from_sudoers(sudoers, resolve_user, resolve_group)
+        assert policy.rules()[0].invoker_gid == 27
+        assert policy.rules()[0].target_uid is None
+
+    def test_unknown_invoker_fails(self):
+        sudoers = parse_sudoers("ghost ALL=(ALL) ALL\n")
+        with pytest.raises(ValueError, match="unknown user"):
+            DelegationPolicy.from_sudoers(sudoers, resolve_user, resolve_group)
+
+    def test_unknown_target_fails(self):
+        sudoers = parse_sudoers("alice ALL=(ghost) ALL\n")
+        with pytest.raises(ValueError, match="unknown user"):
+            DelegationPolicy.from_sudoers(sudoers, resolve_user, resolve_group)
+
+    def test_timeout_carried(self):
+        sudoers = parse_sudoers("Defaults timestamp_timeout=2\nroot ALL=(ALL) ALL\n")
+        policy = DelegationPolicy.from_sudoers(sudoers, resolve_user, resolve_group)
+        assert policy.auth_window_minutes == 2
+
+    def test_groupjoin_resolved(self):
+        sudoers = parse_sudoers("%staff ALL=(ALL) GROUPJOIN: staff\n")
+        policy = DelegationPolicy.from_sudoers(sudoers, resolve_user, resolve_group)
+        assert policy.rules()[0].group_join_gid == 50
+
+
+class TestDelegationLookup:
+    policy = DelegationPolicy([
+        DelegationRule(invoker_uid=1000, target_uid=1001,
+                       commands=("/usr/bin/lpr",)),
+        DelegationRule(invoker_gid=27, target_uid=None, commands=("ALL",)),
+        DelegationRule(invoker_uid=None, target_uid=None, commands=("ALL",),
+                       check_target_password=True),
+    ])
+
+    def test_specific_rule_first(self):
+        rules = self.policy.find_uid_rules(1000, (1000,), 1001)
+        assert rules[0].invoker_uid == 1000
+        assert len(rules) == 2  # specific + catch-all
+
+    def test_group_rule_matches_via_gid(self):
+        rules = self.policy.find_uid_rules(1100, (1100, 27), 0)
+        assert any(r.invoker_gid == 27 for r in rules)
+
+    def test_catchall_always_present(self):
+        rules = self.policy.find_uid_rules(1002, (1002,), 1000)
+        assert len(rules) == 1
+        assert rules[0].check_target_password
+
+    def test_group_join_lookup(self):
+        policy = DelegationPolicy([
+            DelegationRule(group_join_gid=50),
+        ])
+        assert policy.find_group_join_rule(1000, (1000,), 50) is not None
+        assert policy.find_group_join_rule(1000, (1000,), 60) is None
+        assert policy.find_uid_rules(1000, (1000,), 50) == []
+
+
+class TestProcGrammar:
+    def test_roundtrip(self):
+        policy = DelegationPolicy([
+            DelegationRule(invoker_uid=1000, target_uid=1001,
+                           commands=("/usr/bin/lpr", "/usr/bin/lpq"),
+                           nopasswd=True),
+            DelegationRule(invoker_gid=27, commands=("ALL",)),
+            DelegationRule(check_target_password=True, commands=("ALL",)),
+            DelegationRule(group_join_gid=50, commands=("ALL",)),
+        ], auth_window_minutes=7)
+        again = DelegationPolicy.parse(policy.serialize())
+        assert again.rules() == policy.rules()
+        assert again.auth_window_minutes == 7
+
+    def test_bad_flag_rejected(self):
+        with pytest.raises(ValueError, match="bad flag"):
+            DelegationPolicy.parse("1000 1001 frobnicate ALL\n")
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError, match="expected"):
+            DelegationPolicy.parse("1000 1001\n")
+
+
+class TestEnvScrub:
+    def test_whitelist_survives(self):
+        env = {"PATH": "/bin", "LD_PRELOAD": "/evil.so", "HOME": "/home/a",
+               "IFS": " ", "TERM": "xterm"}
+        scrubbed = scrub_environment(env)
+        assert set(scrubbed) == {"PATH", "HOME", "TERM"}
+
+    def test_whitelist_is_conservative(self):
+        assert "LD_PRELOAD" not in SAFE_ENV_WHITELIST
+        assert "IFS" not in SAFE_ENV_WHITELIST

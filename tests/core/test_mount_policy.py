@@ -1,0 +1,87 @@
+"""Unit tests for the kernel-side mount whitelist."""
+
+import pytest
+
+from repro.config.fstab import parse_fstab
+from repro.core.mount_policy import MountPolicy, MountRule
+
+
+@pytest.fixture
+def policy():
+    entries = parse_fstab(
+        "/dev/cdrom /cdrom iso9660 user,noauto,ro 0 0\n"
+        "/dev/usb0 /media/usb vfat users,noauto,rw 0 0\n"
+    )
+    return MountPolicy([MountRule.from_fstab(e) for e in entries])
+
+
+class TestMountRule:
+    def test_from_fstab_strips_bookkeeping_options(self):
+        entry = parse_fstab("/dev/cdrom /cdrom iso9660 user,noauto,ro 0 0\n")[0]
+        rule = MountRule.from_fstab(entry)
+        assert rule.allowed_options == ("ro",)
+        assert not rule.any_user_may_umount
+
+    def test_users_option_sets_umount_flag(self):
+        entry = parse_fstab("/dev/usb0 /media/usb vfat users 0 0\n")[0]
+        assert MountRule.from_fstab(entry).any_user_may_umount
+
+    def test_permits_exact_match(self, policy):
+        assert policy.find_rule("/dev/cdrom", "/cdrom", "iso9660", "") is not None
+
+    def test_permits_auto_fstype(self, policy):
+        assert policy.find_rule("/dev/cdrom", "/cdrom", "auto", "ro") is not None
+
+    def test_rejects_wrong_mountpoint(self, policy):
+        assert policy.find_rule("/dev/cdrom", "/etc", "iso9660", "") is None
+
+    def test_rejects_wrong_device(self, policy):
+        assert policy.find_rule("/dev/sda1", "/cdrom", "iso9660", "") is None
+
+    def test_rejects_unlisted_options(self, policy):
+        assert policy.find_rule("/dev/cdrom", "/cdrom", "iso9660", "suid") is None
+
+    def test_option_subset_allowed(self, policy):
+        assert policy.find_rule("/dev/usb0", "/media/usb", "vfat", "rw") is not None
+        assert policy.find_rule("/dev/usb0", "/media/usb", "vfat", "") is not None
+
+    def test_wrong_fstype_rejected(self, policy):
+        assert policy.find_rule("/dev/cdrom", "/cdrom", "ext4", "") is None
+
+
+class TestUmountSemantics:
+    def test_user_entry_only_mounter_may_umount(self, policy):
+        assert policy.authorize_mount(1000, "/dev/cdrom", "/cdrom", "auto", "")
+        assert not policy.authorize_umount(1001, "/cdrom")
+        assert policy.authorize_umount(1000, "/cdrom")
+
+    def test_users_entry_anyone_may_umount(self, policy):
+        assert policy.authorize_mount(1000, "/dev/usb0", "/media/usb", "auto", "")
+        assert policy.authorize_umount(1001, "/media/usb")
+
+    def test_unknown_mountpoint_denied(self, policy):
+        assert not policy.authorize_umount(1000, "/mnt")
+
+    def test_notice_umount_clears_mounter(self, policy):
+        policy.authorize_mount(1000, "/dev/cdrom", "/cdrom", "auto", "")
+        policy.notice_umount("/cdrom")
+        assert not policy.authorize_umount(1000, "/cdrom")
+
+
+class TestProcGrammar:
+    def test_roundtrip(self, policy):
+        text = policy.serialize()
+        rules = MountPolicy.parse(text)
+        assert rules == policy.rules()
+
+    def test_parse_rejects_malformed(self):
+        with pytest.raises(ValueError, match="line 1"):
+            MountPolicy.parse("/dev/cdrom /cdrom\n")
+
+    def test_empty_options_dash(self):
+        rules = MountPolicy.parse("/dev/x /mnt auto - user\n")
+        assert rules[0].allowed_options == ()
+
+    def test_replace_rules_is_atomic_swap(self, policy):
+        policy.replace_rules([])
+        assert policy.rules() == []

@@ -1,0 +1,112 @@
+"""Tests for the /proc/protego configuration interface and /sys files."""
+
+import pytest
+
+from repro.core import System, SystemMode
+from repro.kernel.errno import Errno, SyscallError
+
+
+@pytest.fixture
+def system():
+    return System(SystemMode.PROTEGO)
+
+
+@pytest.fixture
+def kernel(system):
+    return system.kernel
+
+
+class TestProcPermissions:
+    @pytest.mark.parametrize("path", ["/proc/protego/mounts",
+                                      "/proc/protego/binds",
+                                      "/proc/protego/sudoers"])
+    def test_unprivileged_cannot_read_policy(self, system, kernel, path):
+        alice = system.session_for("alice")
+        with pytest.raises(SyscallError) as err:
+            kernel.read_file(alice, path)
+        assert err.value.errno_value == Errno.EACCES
+
+    @pytest.mark.parametrize("path", ["/proc/protego/mounts",
+                                      "/proc/protego/binds",
+                                      "/proc/protego/sudoers"])
+    def test_unprivileged_cannot_write_policy(self, system, kernel, path):
+        alice = system.session_for("alice")
+        with pytest.raises(SyscallError):
+            kernel.write_file(alice, path, b"evil", create=False)
+
+    def test_root_reads_current_policy(self, system, kernel):
+        text = kernel.read_file(kernel.init, "/proc/protego/mounts").decode()
+        assert "/dev/cdrom" in text
+
+
+class TestProcWrites:
+    def test_mounts_write_replaces_policy(self, system, kernel):
+        kernel.write_file(kernel.init, "/proc/protego/mounts",
+                          b"/dev/sdz /data ext4 rw user\n", create=False)
+        rules = system.protego.mount_policy.rules()
+        assert len(rules) == 1
+        assert rules[0].device == "/dev/sdz"
+
+    def test_malformed_mounts_write_raises_einval(self, system, kernel):
+        before = system.protego.mount_policy.rules()
+        with pytest.raises(SyscallError) as err:
+            kernel.write_file(kernel.init, "/proc/protego/mounts",
+                              b"not a rule\n", create=False)
+        assert err.value.errno_value == Errno.EINVAL
+        assert system.protego.mount_policy.rules() == before
+
+    def test_binds_write(self, system, kernel):
+        kernel.write_file(kernel.init, "/proc/protego/binds",
+                          b"443/tcp /usr/sbin/nginx 33\n", create=False)
+        grant = system.protego.bind_policy.grant_for(443, "tcp")
+        assert grant.binary == "/usr/sbin/nginx"
+
+    def test_malformed_binds_write_raises_einval(self, system, kernel):
+        with pytest.raises(SyscallError) as err:
+            kernel.write_file(kernel.init, "/proc/protego/binds",
+                              b"80 tcp nginx\n", create=False)
+        assert err.value.errno_value == Errno.EINVAL
+
+    def test_sudoers_write_updates_window(self, system, kernel):
+        kernel.write_file(kernel.init, "/proc/protego/sudoers",
+                          b"window 1\n1000 1001 nopasswd /usr/bin/lpr\n",
+                          create=False)
+        assert system.protego.delegation.auth_window_minutes == 1
+        assert len(system.protego.delegation.rules()) == 1
+
+    def test_malformed_sudoers_write_raises_einval(self, system, kernel):
+        with pytest.raises(SyscallError) as err:
+            kernel.write_file(kernel.init, "/proc/protego/sudoers",
+                              b"garbage here now\n", create=False)
+        assert err.value.errno_value == Errno.EINVAL
+
+    def test_read_back_reflects_write(self, system, kernel):
+        payload = b"/dev/sdz /data ext4 rw users\n"
+        kernel.write_file(kernel.init, "/proc/protego/mounts", payload,
+                          create=False)
+        assert kernel.read_file(kernel.init, "/proc/protego/mounts") == payload
+
+
+class TestSysDmFiles:
+    def test_world_readable_device_set(self, system, kernel):
+        alice = system.session_for("alice")
+        data = kernel.read_file(alice, "/sys/block/dm-0/dm/devices")
+        assert data == b"sda2\nsdb1\n"
+
+    def test_sys_file_not_writable(self, system, kernel):
+        with pytest.raises(SyscallError):
+            kernel.write_file(kernel.init, "/sys/block/dm-0/dm/devices",
+                              b"x", create=False)
+
+
+class TestEjectBusy:
+    def test_mounted_medium_cannot_be_ejected(self, system, kernel):
+        alice = system.session_for("alice")
+        kernel.sys_mount(alice, "/dev/cdrom", "/cdrom")
+        cdrom = kernel.devices.get("cdrom")
+        with pytest.raises(SyscallError) as err:
+            kernel.sys_ioctl(alice, cdrom, "EJECT")
+        assert err.value.errno_value == Errno.EBUSY
+        kernel.sys_umount(alice, "/cdrom")
+        kernel.sys_ioctl(alice, cdrom, "EJECT")
+        assert cdrom.ejected

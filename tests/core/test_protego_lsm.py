@@ -1,0 +1,347 @@
+"""Unit/integration tests for the Protego LSM hooks on a full System."""
+
+import pytest
+
+from repro.core import System, SystemMode
+from repro.core.recency import stamp_authentication
+from repro.kernel.capabilities import Capability
+from repro.kernel.errno import Errno, SyscallError
+from repro.kernel.net.socket import AddressFamily, SocketType
+
+
+@pytest.fixture
+def system():
+    return System(SystemMode.PROTEGO)
+
+
+@pytest.fixture
+def alice(system):
+    return system.session_for("alice")
+
+
+@pytest.fixture
+def bob(system):
+    return system.session_for("bob")
+
+
+class TestMountHook:
+    def test_whitelisted_mount_allowed_without_privilege(self, system, alice):
+        system.kernel.sys_mount(alice, "/dev/cdrom", "/cdrom")
+        assert system.kernel.vfs.mount_at("/cdrom") is not None
+
+    def test_non_whitelisted_mount_denied(self, system, alice):
+        with pytest.raises(SyscallError) as err:
+            system.kernel.sys_mount(alice, "tmpfs", "/etc", "tmpfs")
+        assert err.value.errno_value == Errno.EPERM
+
+    def test_whitelisted_device_wrong_mountpoint_denied(self, system, alice):
+        with pytest.raises(SyscallError):
+            system.kernel.sys_mount(alice, "/dev/cdrom", "/etc")
+
+    def test_mounter_may_umount_user_entry(self, system, alice):
+        system.kernel.sys_mount(alice, "/dev/cdrom", "/cdrom")
+        system.kernel.sys_umount(alice, "/cdrom")
+
+    def test_other_user_may_not_umount_user_entry(self, system, alice, bob):
+        system.kernel.sys_mount(alice, "/dev/cdrom", "/cdrom")
+        with pytest.raises(SyscallError):
+            system.kernel.sys_umount(bob, "/cdrom")
+
+    def test_users_entry_any_user_may_umount(self, system, alice, bob):
+        system.kernel.sys_mount(alice, "/dev/usb0", "/media/usb")
+        system.kernel.sys_umount(bob, "/media/usb")
+
+    def test_root_unaffected_by_whitelist(self, system):
+        root = system.root_session()
+        system.kernel.sys_mount(root, "tmpfs", "/mnt", "tmpfs")
+
+    def test_disallowed_option_denied(self, system, alice):
+        with pytest.raises(SyscallError):
+            system.kernel.sys_mount(alice, "/dev/cdrom", "/cdrom", options="suid")
+
+
+class TestRawSocketHook:
+    def test_unprivileged_raw_socket_created(self, system, alice):
+        sock = system.kernel.sys_socket(alice, AddressFamily.AF_INET,
+                                        SocketType.RAW, "icmp")
+        assert sock.unprivileged_raw
+
+    def test_root_raw_socket_not_marked(self, system):
+        root = system.root_session()
+        sock = system.kernel.sys_socket(root, AddressFamily.AF_INET,
+                                        SocketType.RAW, "icmp")
+        assert not sock.unprivileged_raw
+
+    def test_unprivileged_icmp_passes_filter(self, system, alice):
+        from repro.kernel.net.packets import icmp_echo_request
+        sock = system.kernel.sys_socket(alice, AddressFamily.AF_INET,
+                                        SocketType.RAW, "icmp")
+        request = icmp_echo_request("192.168.1.10", "8.8.8.8")
+        replies = system.kernel.sys_sendto(alice, sock, request)
+        assert replies
+
+    def test_unprivileged_spoofed_tcp_dropped(self, system, alice):
+        from repro.kernel.net.packets import HeaderOrigin, Packet, Protocol
+        sock = system.kernel.sys_socket(alice, AddressFamily.AF_INET,
+                                        SocketType.RAW, "tcp")
+        spoof = Packet(Protocol.TCP, "192.168.1.10", "8.8.8.8", src_port=22,
+                       dst_port=80, header_origin=HeaderOrigin.USER_IP)
+        with pytest.raises(SyscallError) as err:
+            system.kernel.sys_sendto(alice, sock, spoof)
+        assert err.value.errno_value == Errno.EPERM
+
+    def test_root_raw_tcp_not_filtered(self, system):
+        """Privileged raw sockets keep stock semantics."""
+        from repro.kernel.net.packets import HeaderOrigin, Packet, Protocol
+        root = system.root_session()
+        sock = system.kernel.sys_socket(root, AddressFamily.AF_INET,
+                                        SocketType.RAW, "tcp")
+        pkt = Packet(Protocol.TCP, "192.168.1.10", "8.8.8.8", dst_port=80,
+                     header_origin=HeaderOrigin.USER_IP)
+        system.kernel.sys_sendto(root, sock, pkt)  # must not raise
+
+
+class TestBindHook:
+    def _exim_task(self, system):
+        user = system.userdb.lookup_user("Debian-exim")
+        task = system.kernel.user_task(user.uid, user.gid, comm="exim4")
+        task.exe_path = "/usr/sbin/exim4"
+        return task
+
+    def test_granted_instance_binds_port_25(self, system):
+        task = self._exim_task(system)
+        sock = system.kernel.sys_socket(task, AddressFamily.AF_INET, SocketType.STREAM)
+        system.kernel.sys_bind(task, sock, "0.0.0.0", 25)
+        assert sock.local_port == 25
+
+    def test_wrong_binary_denied(self, system):
+        user = system.userdb.lookup_user("Debian-exim")
+        task = system.kernel.user_task(user.uid, user.gid)
+        task.exe_path = "/usr/bin/evil"
+        sock = system.kernel.sys_socket(task, AddressFamily.AF_INET, SocketType.STREAM)
+        with pytest.raises(SyscallError):
+            system.kernel.sys_bind(task, sock, "0.0.0.0", 25)
+
+    def test_wrong_uid_denied(self, system, alice):
+        alice.exe_path = "/usr/sbin/exim4"
+        sock = system.kernel.sys_socket(alice, AddressFamily.AF_INET, SocketType.STREAM)
+        with pytest.raises(SyscallError):
+            system.kernel.sys_bind(alice, sock, "0.0.0.0", 25)
+
+    def test_even_root_cannot_take_allocated_port(self, system):
+        """'Each port may map to only one application instance' — a
+        malicious root web server cannot masquerade as the MTA."""
+        root = system.root_session()
+        root.exe_path = "/usr/bin/apache2-evil"
+        sock = system.kernel.sys_socket(root, AddressFamily.AF_INET, SocketType.STREAM)
+        with pytest.raises(SyscallError):
+            system.kernel.sys_bind(root, sock, "0.0.0.0", 25)
+
+    def test_unallocated_privileged_port_falls_back_to_capability(self, system, alice):
+        sock = system.kernel.sys_socket(alice, AddressFamily.AF_INET, SocketType.STREAM)
+        with pytest.raises(SyscallError):
+            system.kernel.sys_bind(alice, sock, "0.0.0.0", 443)
+        root = system.root_session()
+        rsock = system.kernel.sys_socket(root, AddressFamily.AF_INET, SocketType.STREAM)
+        system.kernel.sys_bind(root, rsock, "0.0.0.0", 443)
+
+
+class TestDelegationHook:
+    def test_restricted_transition_defers_until_exec(self, system, alice):
+        alice.tty.feed("alice-password")
+        system.kernel.sys_setuid(alice, 1001)
+        # Credentials unchanged: the transition is parked.
+        assert alice.cred.euid == 1000
+        assert alice.getsec("protego", "pending_setuid") is not None
+
+    def test_exec_of_allowed_binary_commits_transition(self, system, alice):
+        alice.tty.feed("alice-password")
+        system.kernel.sys_setuid(alice, 1001)
+        system.kernel.sys_execve(alice, "/usr/bin/lpr", ["lpr", "doc"])
+        assert alice.cred.ruid == 1001
+        assert alice.cred.euid == 1001
+
+    def test_exec_of_other_binary_fails_and_clears_pending(self, system, alice):
+        alice.tty.feed("alice-password")
+        system.kernel.sys_setuid(alice, 1001)
+        with pytest.raises(SyscallError) as err:
+            system.kernel.sys_execve(alice, "/bin/sh", ["sh"])
+        assert err.value.errno_value == Errno.EACCES
+        assert alice.cred.euid == 1000
+        assert alice.getsec("protego", "pending_setuid") is None
+
+    def test_wrong_password_denies(self, system, alice):
+        alice.tty.feed("wrong")
+        alice.tty.feed("wrong")
+        alice.tty.feed("wrong")
+        with pytest.raises(SyscallError) as err:
+            system.kernel.sys_setuid(alice, 1001)
+        assert err.value.errno_value == Errno.EPERM
+
+    def test_recent_authentication_skips_password(self, system, alice):
+        stamp_authentication(alice, system.kernel.now())
+        system.kernel.sys_setuid(alice, 1001)  # no tty input needed
+        assert alice.getsec("protego", "pending_setuid") is not None
+
+    def test_stale_authentication_prompts_again(self, system, alice):
+        stamp_authentication(alice, system.kernel.now())
+        system.kernel.tick(10_000)  # way past the 5-minute window
+        with pytest.raises(SyscallError):
+            system.kernel.sys_setuid(alice, 1001)
+
+    def test_nopasswd_rule_needs_no_password(self, system, bob):
+        # bob ALL=(alice) NOPASSWD: /usr/bin/lpr
+        system.kernel.sys_setuid(bob, 1000)
+        assert bob.getsec("protego", "pending_setuid") is not None
+
+    def test_unrelated_transition_still_eperm(self, system, alice):
+        with pytest.raises(SyscallError):
+            system.kernel.sys_setuid(alice, 1002)  # no rule alice->charlie
+
+    def test_environment_scrubbed_on_commit(self, system, alice):
+        alice.environ["LD_PRELOAD"] = "/evil.so"
+        alice.tty.feed("alice-password")
+        system.kernel.sys_setuid(alice, 1001)
+        system.kernel.sys_execve(alice, "/usr/bin/lpr", ["lpr", "d"])
+        assert "LD_PRELOAD" not in alice.environ
+
+    def test_admin_group_rule_gives_root_after_checks(self, system):
+        admin = system.session_for("admin1")
+        admin.tty.feed("admin1-password")
+        system.kernel.sys_setuid(admin, 0)
+        assert admin.cred.euid == 0
+        assert admin.cred.has_cap(Capability.CAP_SYS_ADMIN)
+
+    def test_setuid_on_exec_argument_validation(self, system):
+        """A rule restricted to '/usr/bin/lpr -P office' rejects other
+        arguments (the kernel-side argv check)."""
+        from repro.core.delegation import DelegationRule
+        system.protego.delegation.add_rule(
+            DelegationRule(invoker_uid=1002, target_uid=1000,
+                           commands=("/usr/bin/lpr -P office",), nopasswd=True)
+        )
+        charlie = system.session_for("charlie")
+        system.kernel.sys_setuid(charlie, 1000)
+        with pytest.raises(SyscallError):
+            system.kernel.sys_execve(charlie, "/usr/bin/lpr",
+                                     ["lpr", "-P", "basement"])
+        system.kernel.sys_setuid(charlie, 1000)
+        system.kernel.sys_execve(charlie, "/usr/bin/lpr", ["lpr", "-P", "office"])
+        assert charlie.cred.euid == 1000
+
+
+class TestGroupJoinHook:
+    def test_member_joins_group_without_privilege(self, system, alice):
+        printers = system.userdb.lookup_group("printers")
+        system.kernel.sys_setgid(alice, printers.gid)
+        assert alice.cred.egid == printers.gid
+
+    def test_nonmember_denied_without_rule(self, system, bob):
+        printers = system.userdb.lookup_group("printers")
+        with pytest.raises(SyscallError):
+            system.kernel.sys_setgid(bob, printers.gid)
+
+    def test_password_protected_group_join(self):
+        system = System(SystemMode.PROTEGO, group_passwords={"staff": "staff-pw"})
+        system.kernel.write_file(
+            system.kernel.init, "/etc/sudoers.d/protego-newgrp",
+            b"ALL ALL=(ALL) GROUPJOIN: staff\n")
+        system.sync()
+        bob = system.session_for("bob")
+        staff_gid = system.userdb.lookup_group("staff").gid
+        bob.tty.feed("staff-pw")
+        system.kernel.sys_setgid(bob, staff_gid)
+        assert bob.cred.egid == staff_gid
+
+    def test_password_protected_group_wrong_password(self):
+        system = System(SystemMode.PROTEGO, group_passwords={"staff": "staff-pw"})
+        system.kernel.write_file(
+            system.kernel.init, "/etc/sudoers.d/protego-newgrp",
+            b"ALL ALL=(ALL) GROUPJOIN: staff\n")
+        system.sync()
+        bob = system.session_for("bob")
+        staff_gid = system.userdb.lookup_group("staff").gid
+        for _ in range(3):
+            bob.tty.feed("nope")
+        with pytest.raises(SyscallError):
+            system.kernel.sys_setgid(bob, staff_gid)
+
+
+class TestFileHooks:
+    def test_shadow_fragment_requires_reauthentication(self, system, alice):
+        with_no_auth = alice
+        # No recent auth, no tty input -> denied even though DAC allows.
+        with pytest.raises(SyscallError):
+            system.kernel.read_file(with_no_auth, "/etc/shadows/alice")
+        alice.tty.feed("alice-password")
+        data = system.kernel.read_file(alice, "/etc/shadows/alice")
+        assert b"alice" in data
+
+    def test_shadow_fragment_dac_still_confines_to_owner(self, system, alice, bob):
+        stamp_authentication(bob, system.kernel.now())
+        with pytest.raises(SyscallError) as err:
+            system.kernel.read_file(bob, "/etc/shadows/alice")
+        assert err.value.errno_value == Errno.EACCES
+
+    def test_host_key_binary_acl(self, system, alice):
+        """Only ssh-keysign may open the host key, regardless of uid."""
+        with pytest.raises(SyscallError):
+            system.kernel.read_file(alice, "/etc/ssh/ssh_host_key")
+        alice.exe_path = "/usr/lib/openssh/ssh-keysign"
+        data = system.kernel.read_file(alice, "/etc/ssh/ssh_host_key")
+        assert data.startswith(b"HOSTKEY")
+
+    def test_host_key_acl_blocks_even_root_in_other_binary(self, system):
+        root = system.root_session()
+        root.exe_path = "/bin/cat"
+        with pytest.raises(SyscallError):
+            system.kernel.read_file(root, "/etc/ssh/ssh_host_key")
+
+
+class TestRouteAndIoctlHooks:
+    def test_user_route_over_ppp_allowed_when_no_conflict(self, system, alice):
+        system.kernel.net.add_interface("ppp0", "10.8.0.1")
+        system.kernel.sys_route_add(alice, "10.99.0.0/24", "ppp0")
+        assert system.kernel.net.routing.lookup("10.99.0.5").device == "ppp0"
+
+    def test_user_route_conflict_rejected(self, system, alice):
+        system.kernel.net.add_interface("ppp0", "10.8.0.1")
+        with pytest.raises(SyscallError) as err:
+            system.kernel.sys_route_add(alice, "192.168.1.0/25", "ppp0")
+        assert err.value.errno_value == Errno.EEXIST
+
+    def test_user_route_on_eth_denied(self, system, alice):
+        with pytest.raises(SyscallError) as err:
+            system.kernel.sys_route_add(alice, "10.99.0.0/24", "eth0")
+        assert err.value.errno_value == Errno.EPERM
+
+    def test_user_modem_safe_option_allowed(self, system, alice):
+        modem = system.kernel.devices.get("ttyS0")
+        system.kernel.sys_ioctl(alice, modem, "MODEM_CONFIG", ("mru", "1500"))
+        assert modem.options["mru"] == "1500"
+
+    def test_user_modem_privileged_option_denied(self, system, alice):
+        modem = system.kernel.devices.get("ttyS0")
+        with pytest.raises(SyscallError):
+            system.kernel.sys_ioctl(alice, modem, "MODEM_CONFIG",
+                                    ("defaultroute", "1"))
+
+    def test_user_ejects_removable_media(self, system, alice):
+        cdrom = system.kernel.devices.get("cdrom")
+        system.kernel.sys_ioctl(alice, cdrom, "EJECT")
+        assert cdrom.ejected
+
+    def test_user_cannot_eject_fixed_disk(self, system, alice):
+        sda = system.kernel.devices.get("sda1")
+        with pytest.raises(SyscallError):
+            system.kernel.sys_ioctl(alice, sda, "EJECT")
+
+    def test_dm_ioctl_stays_privileged_even_on_protego(self, system, alice):
+        dm = system.kernel.devices.get("dm-0")
+        with pytest.raises(SyscallError):
+            system.kernel.sys_ioctl(alice, dm, "DM_TABLE_STATUS")
+
+    def test_dm_sys_file_is_world_readable(self, system, alice):
+        data = system.kernel.read_file(alice, "/sys/block/dm-0/dm/devices")
+        assert data == b"sda2\nsdb1\n"
+        assert b"KEY" not in data

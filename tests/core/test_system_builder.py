@@ -1,0 +1,104 @@
+"""Invariants of the System builder: the README's mode-difference
+table, asserted."""
+
+import pytest
+
+from repro.core import System, SystemMode
+from repro.core.system import PROGRAM_CLASSES
+from repro.kernel import modes
+
+
+@pytest.fixture(scope="module")
+def linux():
+    return System(SystemMode.LINUX)
+
+
+@pytest.fixture(scope="module")
+def protego():
+    return System(SystemMode.PROTEGO)
+
+
+class TestSetuidBits:
+    def test_linux_installs_setuid_bits(self, linux):
+        setuid = [p for p, prog in linux.programs.items()
+                  if linux.kernel.sys_stat(linux.kernel.init, p).mode & modes.S_ISUID]
+        assert len(setuid) >= 20
+        assert "/bin/mount" in setuid
+
+    def test_protego_installs_zero_setuid_bits(self, protego):
+        setuid = [p for p in protego.programs
+                  if protego.kernel.sys_stat(protego.kernel.init, p).mode
+                  & modes.S_ISUID]
+        assert setuid == []
+
+    def test_every_program_class_installed(self, protego):
+        assert len(protego.programs) >= len(PROGRAM_CLASSES)
+
+
+class TestModeDifferences:
+    def test_lsm_stack(self, linux, protego):
+        assert [m.name for m in linux.kernel.lsm.modules] == ["apparmor"]
+        assert [m.name for m in protego.kernel.lsm.modules] == ["apparmor", "protego"]
+
+    def test_ppp_device_permissions(self, linux, protego):
+        linux_mode = linux.kernel.vfs.resolve("/dev/ppp").mode & 0o777
+        protego_mode = protego.kernel.vfs.resolve("/dev/ppp").mode & 0o777
+        assert linux_mode == 0o600
+        assert protego_mode == 0o666
+
+    def test_host_key_protection(self, linux, protego):
+        linux_mode = linux.kernel.vfs.resolve("/etc/ssh/ssh_host_key").mode & 0o777
+        protego_mode = protego.kernel.vfs.resolve("/etc/ssh/ssh_host_key").mode & 0o777
+        assert linux_mode == 0o600          # DAC guards it
+        assert protego_mode == 0o644        # binary ACL guards it
+        assert "/etc/ssh/ssh_host_key" in protego.protego.binary_acl
+
+    def test_fragments_only_on_protego(self, linux, protego):
+        assert not linux.kernel.vfs.exists("/etc/passwds")
+        assert protego.kernel.vfs.exists("/etc/passwds")
+
+    def test_netfilter_rules_only_on_protego(self, linux, protego):
+        from repro.kernel.net.netfilter import Chain
+        assert linux.kernel.net.netfilter.rules(Chain.PROTEGO_RAW) == []
+        assert len(protego.kernel.net.netfilter.rules(Chain.PROTEGO_RAW)) >= 3
+
+    def test_proc_policy_files_only_on_protego(self, linux, protego):
+        assert not linux.kernel.vfs.exists("/proc/protego/mounts")
+        assert protego.kernel.vfs.exists("/proc/protego/mounts")
+
+    def test_daemon_and_auth_service_only_on_protego(self, linux, protego):
+        assert linux.daemon is None and linux.auth_service is None
+        assert protego.daemon is not None and protego.auth_service is not None
+
+
+class TestSharedProvisioning:
+    def test_same_users_both_modes(self, linux, protego):
+        assert ([u.name for u in linux.userdb.passwd_entries()]
+                == [u.name for u in protego.userdb.passwd_entries()])
+
+    def test_same_config_files(self, linux, protego):
+        for path in ("/etc/fstab", "/etc/sudoers", "/etc/bind",
+                     "/etc/ppp/options", "/etc/shells"):
+            a = linux.kernel.read_file(linux.kernel.init, path)
+            b = protego.kernel.read_file(protego.kernel.init, path)
+            assert a == b, path
+
+    def test_home_directories_private(self, protego):
+        st = protego.kernel.sys_stat(protego.kernel.init, "/home/alice")
+        assert st.uid == 1000
+        assert st.mode & 0o777 == 0o700
+
+    def test_password_of_helper(self, protego):
+        assert protego.password_of("alice") == "alice-password"
+        assert protego.password_of("root") == "root-password"
+        with pytest.raises(KeyError):
+            protego.password_of("nobody")
+
+    def test_custom_users(self):
+        from repro.core.system import UserSpec
+        system = System(SystemMode.PROTEGO,
+                        users=(UserSpec("zoe", 1500, 1500, "z-pw"),))
+        assert system.userdb.lookup_user("zoe").uid == 1500
+        assert system.kernel.vfs.exists("/etc/passwds/zoe")
+        zoe = system.session_for("zoe")
+        assert zoe.cred.ruid == 1500

@@ -1,0 +1,97 @@
+"""Unit tests for the VFS watch framework."""
+
+import pytest
+
+from repro.daemon.inotify import FileWatcher
+from repro.kernel import Kernel
+
+
+@pytest.fixture
+def kernel():
+    return Kernel()
+
+
+@pytest.fixture
+def watcher(kernel):
+    return FileWatcher(kernel)
+
+
+def events_of(kind, events):
+    return [e for e in events if e.kind == kind]
+
+
+class TestFileWatch:
+    def test_no_event_when_unchanged(self, kernel, watcher):
+        kernel.write_file(kernel.init, "/etc/fstab", b"x")
+        seen = []
+        watcher.watch_file("/etc/fstab", seen.append)
+        assert watcher.poll() == []
+        assert seen == []
+
+    def test_modification_fires_once(self, kernel, watcher):
+        kernel.write_file(kernel.init, "/etc/fstab", b"x")
+        seen = []
+        watcher.watch_file("/etc/fstab", seen.append)
+        kernel.write_file(kernel.init, "/etc/fstab", b"y")
+        events = watcher.poll()
+        assert len(events) == 1
+        assert events[0].kind == "modified"
+        assert watcher.poll() == []  # consumed
+
+    def test_same_content_rewrite_no_event(self, kernel, watcher):
+        kernel.write_file(kernel.init, "/etc/fstab", b"x")
+        watcher.watch_file("/etc/fstab", lambda e: None)
+        kernel.write_file(kernel.init, "/etc/fstab", b"x")
+        assert watcher.poll() == []
+
+    def test_watch_missing_file_then_created(self, kernel, watcher):
+        seen = []
+        watcher.watch_file("/etc/bind", seen.append)
+        kernel.write_file(kernel.init, "/etc/bind", b"25/tcp /a root")
+        events = watcher.poll()
+        assert len(events) == 1
+        assert events[0].kind == "modified"  # None -> hash counts as change
+
+    def test_suppress_swallows_own_write(self, kernel, watcher):
+        kernel.write_file(kernel.init, "/etc/passwd", b"a")
+        watcher.watch_file("/etc/passwd", lambda e: None)
+        kernel.write_file(kernel.init, "/etc/passwd", b"b")
+        watcher.suppress("/etc/passwd")
+        assert watcher.poll() == []
+
+
+class TestDirWatch:
+    def test_created_entry(self, kernel, watcher):
+        kernel.sys_mkdir(kernel.init, "/etc/sudoers.d")
+        seen = []
+        watcher.watch_dir("/etc/sudoers.d", seen.append)
+        kernel.write_file(kernel.init, "/etc/sudoers.d/extra", b"r")
+        events = watcher.poll()
+        assert [e.kind for e in events] == ["created"]
+        assert events[0].path == "/etc/sudoers.d/extra"
+
+    def test_deleted_entry(self, kernel, watcher):
+        kernel.sys_mkdir(kernel.init, "/etc/sudoers.d")
+        kernel.write_file(kernel.init, "/etc/sudoers.d/extra", b"r")
+        watcher.watch_dir("/etc/sudoers.d", lambda e: None)
+        kernel.sys_unlink(kernel.init, "/etc/sudoers.d/extra")
+        events = watcher.poll()
+        assert [e.kind for e in events] == ["deleted"]
+
+    def test_modified_entry(self, kernel, watcher):
+        kernel.sys_mkdir(kernel.init, "/d")
+        kernel.write_file(kernel.init, "/d/f", b"1")
+        watcher.watch_dir("/d", lambda e: None)
+        kernel.write_file(kernel.init, "/d/f", b"2")
+        events = watcher.poll()
+        assert [e.kind for e in events] == ["modified"]
+
+    def test_multiple_changes_in_one_poll(self, kernel, watcher):
+        kernel.sys_mkdir(kernel.init, "/d")
+        kernel.write_file(kernel.init, "/d/a", b"1")
+        watcher.watch_dir("/d", lambda e: None)
+        kernel.write_file(kernel.init, "/d/a", b"2")
+        kernel.write_file(kernel.init, "/d/b", b"new")
+        events = watcher.poll()
+        kinds = sorted(e.kind for e in events)
+        assert kinds == ["created", "modified"]

@@ -1,0 +1,150 @@
+"""Integration tests for the monitoring daemon on a Protego system."""
+
+import pytest
+
+from repro.core import System, SystemMode
+
+
+@pytest.fixture
+def system():
+    return System(SystemMode.PROTEGO)
+
+
+class TestPolicySync:
+    def test_initial_sync_loads_mount_whitelist(self, system):
+        rules = system.protego.mount_policy.rules()
+        mountpoints = {r.mountpoint for r in rules}
+        assert mountpoints == {"/cdrom", "/media/usb", "/mnt/nfs",
+                               "/mnt/cifs", "/home/alice/Private"}
+
+    def test_initial_sync_loads_bind_grants(self, system):
+        grants = system.protego.bind_policy.grants()
+        assert any(g.port == 25 and g.binary == "/usr/sbin/exim4" for g in grants)
+
+    def test_initial_sync_loads_delegation(self, system):
+        rules = system.protego.delegation.rules()
+        assert any(r.invoker_uid == 1000 for r in rules)       # alice rule
+        assert any(r.check_target_password for r in rules)     # su drop-in
+
+    def test_fstab_edit_propagates_on_poll(self, system):
+        kernel = system.kernel
+        kernel.write_file(kernel.init, "/etc/fstab",
+                          b"/dev/cdrom /cdrom iso9660 user,ro 0 0\n"
+                          b"/dev/sdb1 /mnt ext4 user,rw 0 0\n")
+        system.sync()
+        mountpoints = {r.mountpoint for r in system.protego.mount_policy.rules()}
+        assert "/mnt" in mountpoints
+        assert "/media/usb" not in mountpoints
+
+    def test_sudoers_dropin_propagates(self, system):
+        kernel = system.kernel
+        kernel.write_file(kernel.init, "/etc/sudoers.d/carol",
+                          b"charlie ALL=(alice) NOPASSWD: /usr/bin/lpr\n")
+        system.sync()
+        rules = system.protego.delegation.rules()
+        assert any(r.invoker_uid == 1002 and r.nopasswd for r in rules)
+
+    def test_bad_sudoers_edit_keeps_old_policy_and_logs(self, system):
+        before = system.protego.delegation.rules()
+        kernel = system.kernel
+        kernel.write_file(kernel.init, "/etc/sudoers", b"total garbage\n")
+        system.sync()
+        assert system.protego.delegation.rules() == before
+        assert any("sudoers" in e for e in system.daemon.error_log)
+
+    def test_bind_edit_propagates(self, system):
+        kernel = system.kernel
+        kernel.write_file(kernel.init, "/etc/bind",
+                          b"25/tcp /usr/sbin/postfix Debian-exim\n")
+        system.sync()
+        grant = system.protego.bind_policy.grant_for(25, "tcp")
+        assert grant.binary == "/usr/sbin/postfix"
+
+    def test_ppp_options_edit_propagates(self, system):
+        kernel = system.kernel
+        kernel.write_file(kernel.init, "/etc/ppp/options", b"lock\n")
+        system.sync()
+        assert not system.protego.route_policy.user_may_add_route("ppp0")
+
+
+class TestFragmentSync:
+    def test_fragments_exist_after_boot(self, system):
+        kernel = system.kernel
+        assert kernel.vfs.exists("/etc/passwds/alice")
+        assert kernel.vfs.exists("/etc/shadows/alice")
+        assert kernel.vfs.exists("/etc/groups/printers")
+
+    def test_fragment_permissions(self, system):
+        st = system.kernel.sys_stat(system.kernel.init, "/etc/passwds/alice")
+        assert st.uid == 1000
+        assert st.mode & 0o777 == 0o600
+        dir_stat = system.kernel.sys_stat(system.kernel.init, "/etc/passwds")
+        assert dir_stat.uid == 0
+        assert dir_stat.mode & 0o777 == 0o755
+
+    def test_shell_edit_syncs_to_legacy(self, system):
+        alice = system.session_for("alice")
+        status, _out = system.run(alice, "/usr/bin/chsh", ["chsh", "/bin/sh"])
+        assert status == 0
+        system.sync()
+        assert system.userdb.lookup_user("alice").shell == "/bin/sh"
+
+    def test_uid_tamper_rejected_and_restored(self, system):
+        """A user rewriting their fragment with uid 0 must not become
+        root on sync; the daemon restores the fragment."""
+        kernel = system.kernel
+        alice = system.session_for("alice")
+        evil = b"alice:x:0:0:Alice:/home/alice:/bin/bash\n"
+        kernel.write_file(alice, "/etc/passwds/alice", evil, create=False)
+        system.sync()
+        assert system.userdb.lookup_user("alice").uid == 1000
+        restored = kernel.read_file(kernel.init, "/etc/passwds/alice")
+        assert b":1000:1000:" in restored
+        assert any("rejected" in e for e in system.daemon.error_log)
+
+    def test_password_change_syncs_to_legacy_shadow(self, system):
+        from repro.core.recency import stamp_authentication
+        alice = system.session_for("alice")
+        stamp_authentication(alice, system.kernel.now())
+        status, out = system.run(alice, "/usr/bin/passwd", ["passwd"],
+                                 feed=["new-secret"])
+        assert status == 0, out
+        system.sync()
+        from repro.auth.passwords import verify_password
+        shadow = system.userdb.shadow_for("alice")
+        assert verify_password("new-secret", shadow.password_hash)
+
+    def test_legacy_edit_refragments(self, system):
+        kernel = system.kernel
+        entries = system.userdb.passwd_entries()
+        from repro.config.passwd_db import PasswdEntry
+        entries.append(PasswdEntry("dave", 1003, 1003, "Dave", "/home/dave"))
+        system.userdb.write_passwd(entries)
+        from repro.config.passwd_db import ShadowEntry
+        shadows = system.userdb.shadow_entries()
+        shadows.append(ShadowEntry("dave", "!"))
+        system.userdb.write_shadow(shadows)
+        system.sync()
+        assert kernel.vfs.exists("/etc/passwds/dave")
+
+    def test_group_fragment_sync_updates_membership(self, system):
+        kernel = system.kernel
+        # alice administers 'printers' (first member); she adds bob.
+        alice = system.session_for("alice")
+        status, out = system.run(
+            alice, "/usr/bin/gpasswd", ["gpasswd", "-a", "bob", "printers"])
+        assert status == 0, out
+        system.sync()
+        assert "bob" in system.userdb.lookup_group("printers").members
+
+    def test_group_gid_tamper_rejected(self, system):
+        kernel = system.kernel
+        evil = b"printers:x:0:alice\n"
+        kernel.write_file(kernel.init, "/etc/groups/printers", evil)
+        system.sync()
+        assert system.userdb.lookup_group("printers").gid == 60
+        assert any("gid change rejected" in e for e in system.daemon.error_log)
+
+    def test_sync_log_records_activity(self, system):
+        assert any("mounts" in line for line in system.daemon.sync_log)
+        assert any("sudoers" in line for line in system.daemon.sync_log)

@@ -1,0 +1,85 @@
+"""Integration: the paper's two-machine PPP validation (section 4.1.2).
+
+Two Protego machines, crossover serial cable, both pppds run by
+unprivileged users, both create routes, the non-gateway machine
+reaches a remote host over the link.
+"""
+
+import pytest
+
+from repro.core import System, SystemMode
+from repro.kernel.net.packets import ICMPType, icmp_echo_request
+from repro.kernel.net.socket import AddressFamily, SocketType
+from repro.kernel.net.stack import RemoteHost
+
+
+@pytest.fixture
+def machines():
+    gateway = System(SystemMode.PROTEGO, hostname="gateway")
+    laptop = System(SystemMode.PROTEGO, hostname="laptop")
+    laptop.kernel.net.routing.remove("0.0.0.0/0")
+    laptop.kernel.net.remove_interface("eth0")
+    gateway.kernel.devices.get("ttyS0").connect_peer(
+        laptop.kernel.devices.get("ttyS0"))
+    return gateway, laptop
+
+
+class TestTwoMachinePPP:
+    def test_both_pppds_run_unprivileged(self, machines):
+        gateway, laptop = machines
+        gw_user = gateway.session_for("alice")
+        status, out = gateway.run(
+            gw_user, "/usr/sbin/pppd",
+            ["pppd", "ttyS0", "10.8.0.1:10.8.0.2", "route=10.8.0.0/30"])
+        assert status == 0, out
+        assert gw_user.cred.euid == 1000  # never elevated
+        lap_user = laptop.session_for("bob")
+        status, out = laptop.run(
+            lap_user, "/usr/sbin/pppd",
+            ["pppd", "ttyS0", "10.8.0.2:10.8.0.1", "route=0.0.0.0/0"])
+        assert status == 0, out
+        assert lap_user.cred.euid == 1001
+
+    def test_both_machines_created_routes(self, machines):
+        gateway, laptop = machines
+        gateway.run(gateway.session_for("alice"), "/usr/sbin/pppd",
+                    ["pppd", "ttyS0", "10.8.0.1:10.8.0.2", "route=10.8.0.0/30"])
+        laptop.run(laptop.session_for("bob"), "/usr/sbin/pppd",
+                   ["pppd", "ttyS0", "10.8.0.2:10.8.0.1", "route=0.0.0.0/0"])
+        gw_route = gateway.kernel.net.routing.lookup("10.8.0.2")
+        assert gw_route is not None and gw_route.device.startswith("ppp")
+        assert gw_route.added_by_uid == 1000
+        lap_route = laptop.kernel.net.routing.lookup("93.184.216.34")
+        assert lap_route is not None and lap_route.device.startswith("ppp")
+
+    def test_non_gateway_reaches_remote_website(self, machines):
+        gateway, laptop = machines
+        laptop.run(laptop.session_for("bob"), "/usr/sbin/pppd",
+                   ["pppd", "ttyS0", "10.8.0.2:10.8.0.1", "route=0.0.0.0/0"])
+        laptop.kernel.net.add_remote_host(RemoteHost("93.184.216.34", hops=2))
+        bob = laptop.session_for("bob")
+        sock = laptop.kernel.sys_socket(bob, AddressFamily.AF_INET,
+                                        SocketType.RAW, "icmp")
+        replies = laptop.kernel.sys_sendto(
+            bob, sock, icmp_echo_request("10.8.0.2", "93.184.216.34"))
+        assert any(p.icmp_type is ICMPType.ECHO_REPLY for p in replies)
+
+    def test_conflicting_route_degrades_to_tty_only(self, machines):
+        gateway, _laptop = machines
+        status, out = gateway.run(
+            gateway.session_for("bob"), "/usr/sbin/pppd",
+            ["pppd", "ttyS1", "10.9.0.1:10.9.0.2", "route=192.168.1.0/26"])
+        assert status == 0
+        assert any("tty-only" in line for line in out)
+        assert gateway.kernel.net.routing.lookup("192.168.1.64") is None or (
+            gateway.kernel.net.routing.lookup("192.168.1.64").device == "eth0")
+
+    def test_busy_modem_refused(self, machines):
+        gateway, _laptop = machines
+        gateway.run(gateway.session_for("alice"), "/usr/sbin/pppd",
+                    ["pppd", "ttyS0", "10.8.0.1:10.8.0.2", "mru=1500"])
+        status, out = gateway.run(
+            gateway.session_for("bob"), "/usr/sbin/pppd",
+            ["pppd", "ttyS0", "10.10.0.1:10.10.0.2", "mru=1400"])
+        assert status != 0
+        assert any("EBUSY" in line for line in out)

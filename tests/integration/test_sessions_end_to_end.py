@@ -1,0 +1,155 @@
+"""Integration: full user sessions across the whole stack.
+
+login -> delegation -> account management -> daemon sync, driven the
+way a user would drive a real machine, on both systems.
+"""
+
+import pytest
+
+from repro.core import System, SystemMode
+from repro.kernel.errno import SyscallError
+
+
+class TestLoginToDelegationFlow:
+    def test_login_then_sudo_without_reprompt_on_protego(self):
+        """A fresh login stamps authentication recency; the first sudo
+        within the window needs no password (kernel-side timestamp)."""
+        system = System(SystemMode.PROTEGO)
+        alice = system.login("alice", "alice-password")
+        status, out = system.run(
+            alice, "/usr/bin/sudo", ["sudo", "-u", "bob", "/usr/bin/lpr", "x"])
+        assert status == 0, out
+
+    def test_login_failure_leaves_session_root_unexposed(self):
+        system = System(SystemMode.PROTEGO)
+        with pytest.raises(PermissionError):
+            system.login("alice", "not-the-password")
+
+    def test_full_day_in_the_life(self):
+        """Mount media, print via delegation, change shell, change
+        password, read mail — one session, no privilege anywhere."""
+        system = System(SystemMode.PROTEGO)
+        alice = system.login("alice", "alice-password")
+        assert alice.cred.euid == 1000
+
+        status, _ = system.run(alice, "/bin/mount",
+                               ["mount", "/dev/cdrom", "/cdrom"])
+        assert status == 0
+        status, out = system.run(
+            alice, "/usr/bin/sudo", ["sudo", "-u", "bob", "/usr/bin/lpr", "cv.pdf"])
+        assert status == 0
+        status, _ = system.run(alice, "/usr/bin/chsh", ["chsh", "/bin/sh"])
+        assert status == 0
+        status, out = system.run(alice, "/usr/bin/passwd", ["passwd"],
+                                 feed=["brand-new-pw"])
+        assert status == 0, out
+        status, _ = system.run(alice, "/bin/umount", ["umount", "/cdrom"])
+        assert status == 0
+
+        # The daemon folds everything back into the legacy files.
+        system.sync()
+        assert system.userdb.lookup_user("alice").shell == "/bin/sh"
+        from repro.auth.passwords import verify_password
+        assert verify_password("brand-new-pw",
+                               system.userdb.shadow_for("alice").password_hash)
+        # And the whole session ran without a single elevated euid.
+        elevated = [r for r in system.kernel.audit
+                    if r.uid == 1000 and r.euid == 0]
+        assert elevated == []
+
+    def test_same_day_on_linux_needs_twelve_setuid_elevations(self):
+        """The identical session on legacy Linux: every utility runs
+        with euid 0 at some point — the attack surface Protego removes."""
+        system = System(SystemMode.LINUX)
+        alice = system.login("alice", "alice-password")
+        system.run(alice, "/bin/mount", ["mount", "/dev/cdrom", "/cdrom"])
+        system.run(alice, "/usr/bin/sudo",
+                   ["sudo", "-u", "bob", "/usr/bin/lpr", "cv.pdf"],
+                   feed=["alice-password"])
+        system.run(alice, "/usr/bin/chsh", ["chsh", "/bin/sh"])
+        system.run(alice, "/bin/umount", ["umount", "/cdrom"])
+        elevated = [r for r in system.kernel.audit_events("exec")
+                    if r.uid == 1000 and r.euid == 0]
+        assert elevated  # the setuid binaries ran as root
+
+
+class TestPasswordChangePropagation:
+    def test_new_password_works_for_next_login(self):
+        system = System(SystemMode.PROTEGO)
+        alice = system.login("alice", "alice-password")
+        status, out = system.run(alice, "/usr/bin/passwd", ["passwd"],
+                                 feed=["rotated-pw"])
+        assert status == 0, out
+        system.sync()
+        fresh = system.login("alice", "rotated-pw")
+        assert fresh.cred.ruid == 1000
+        with pytest.raises(PermissionError):
+            system.login("alice", "alice-password")
+
+    def test_new_password_gates_su_from_another_user(self):
+        system = System(SystemMode.PROTEGO)
+        alice = system.login("alice", "alice-password")
+        system.run(alice, "/usr/bin/passwd", ["passwd"], feed=["rotated-pw"])
+        system.sync()
+        bob = system.session_for("bob")
+        status, _ = system.run(bob, "/bin/su", ["su", "alice"],
+                               feed=["alice-password", "alice-password",
+                                     "alice-password"])
+        assert status != 0
+        status, _ = system.run(bob, "/bin/su", ["su", "alice"],
+                               feed=["rotated-pw"])
+        assert status == 0
+
+
+class TestCompromiseContainment:
+    def test_hijacked_utility_cannot_reconfigure_kernel_policy(self):
+        """Even code running inside a (deprivileged) trusted utility
+        cannot write the /proc policy files."""
+        system = System(SystemMode.PROTEGO)
+        alice = system.session_for("alice")
+        outcome = {}
+
+        def payload(kernel, task):
+            try:
+                kernel.write_file(task, "/proc/protego/mounts",
+                                  b"/dev/evil /etc auto - users\n",
+                                  create=False)
+                outcome["rewrote_policy"] = True
+            except SyscallError:
+                outcome["rewrote_policy"] = False
+
+        program = system.programs["/bin/mount"]
+        program.exploit = payload
+        system.run(alice, "/bin/mount", ["mount", "/dev/cdrom", "/cdrom"])
+        program.exploit = None
+        assert outcome["rewrote_policy"] is False
+
+    def test_hijacked_utility_cannot_read_other_shadow_fragments(self):
+        system = System(SystemMode.PROTEGO)
+        bob = system.session_for("bob")
+        outcome = {}
+
+        def payload(kernel, task):
+            try:
+                kernel.read_file(task, "/etc/shadows/alice")
+                outcome["read_alice_shadow"] = True
+            except SyscallError:
+                outcome["read_alice_shadow"] = False
+
+        program = system.programs["/bin/ping"]
+        program.exploit = payload
+        system.run(bob, "/bin/ping", ["ping", "-c", "1", "8.8.8.8"])
+        program.exploit = None
+        assert outcome["read_alice_shadow"] is False
+
+    def test_admin_can_reenable_setuid_if_needed(self):
+        """Section 4.6: the administrator may re-enable the setuid bit
+        for an unsupported binary; only that binary rejoins the TCB."""
+        system = System(SystemMode.PROTEGO)
+        root = system.root_session()
+        system.kernel.sys_chmod(root, "/bin/ping", 0o4755)
+        st = system.kernel.sys_stat(root, "/bin/ping")
+        assert st.mode & 0o4000
+        alice = system.session_for("alice")
+        system.kernel.sys_execve(alice, "/bin/ping", ["ping"], run=False)
+        assert alice.cred.euid == 0  # the bit works again

@@ -1,0 +1,94 @@
+"""Integration: multi-console X/KMS sessions and the audit trail."""
+
+import pytest
+
+from repro.core import System, SystemMode
+from repro.kernel.errno import SyscallError
+
+
+class TestMultiConsoleX:
+    def test_two_x_servers_on_different_consoles(self):
+        """Two users run X on separate consoles; KMS context-switches
+        and each returns to its own framebuffer (section 4.5)."""
+        system = System(SystemMode.PROTEGO)
+        kernel = system.kernel
+        card = kernel.devices.get("card0")
+        alice = system.session_for("alice")
+        bob = system.session_for("bob")
+        status, _ = system.run(alice, "/usr/bin/X", ["X", "-vt", "7"])
+        assert status == 0
+        alice_fb = card.state.active_framebuffer
+        status, _ = system.run(bob, "/usr/bin/X", ["X", "-vt", "8"])
+        assert status == 0
+        bob_fb = card.state.active_framebuffer
+        assert alice_fb != bob_fb
+        # Ctrl-Alt-F7: back to alice's console; her state restored.
+        kernel.sys_ioctl(bob, card, "KMS_SWITCH", 7)
+        assert card.state.active_framebuffer == alice_fb
+
+    def test_text_console_switch_preserves_x_state(self):
+        system = System(SystemMode.PROTEGO)
+        kernel = system.kernel
+        card = kernel.devices.get("card0")
+        alice = system.session_for("alice")
+        system.run(alice, "/usr/bin/X", ["X", "-vt", "7"])
+        fb = card.state.active_framebuffer
+        kernel.sys_ioctl(alice, card, "KMS_SWITCH", 1)   # to text console
+        assert card.state.active_framebuffer != fb
+        kernel.sys_ioctl(alice, card, "KMS_SWITCH", 7)   # back to X
+        assert card.state.active_framebuffer == fb
+
+    def test_legacy_x_without_setuid_cannot_start(self):
+        system = System(SystemMode.LINUX)
+        system.kernel.sys_chmod(system.kernel.init, "/usr/bin/X", 0o755)
+        alice = system.session_for("alice")
+        status, out = system.run(alice, "/usr/bin/X", ["X", "-vt", "7"])
+        assert status != 0
+        assert any("cannot set video mode" in line for line in out)
+
+
+class TestAuditTrail:
+    def test_denials_are_audited(self):
+        system = System(SystemMode.PROTEGO)
+        kernel = system.kernel
+        alice = system.session_for("alice")
+        with pytest.raises(SyscallError):
+            kernel.sys_mount(alice, "tmpfs", "/etc", "tmpfs")
+        denied = kernel.audit_events("mount.denied")
+        assert denied
+        assert denied[-1].uid == 1000
+        assert "/etc" in denied[-1].detail
+
+    def test_successful_user_mount_audited_with_real_uid(self):
+        system = System(SystemMode.PROTEGO)
+        alice = system.session_for("alice")
+        system.kernel.sys_mount(alice, "/dev/cdrom", "/cdrom")
+        mounts = system.kernel.audit_events("mount")
+        assert mounts[-1].uid == 1000
+        assert mounts[-1].euid == 1000  # never elevated
+
+    def test_deferred_and_committed_transitions_audited(self):
+        system = System(SystemMode.PROTEGO)
+        alice = system.session_for("alice")
+        alice.tty.feed("alice-password")
+        system.kernel.sys_setuid(alice, 1001)
+        assert system.kernel.audit_events("setuid.deferred")
+        system.kernel.sys_execve(alice, "/usr/bin/lpr", ["lpr", "d"])
+        execs = system.kernel.audit_events("exec")
+        assert any(r.detail == "/usr/bin/lpr" for r in execs)
+
+    def test_exec_denial_audited(self):
+        system = System(SystemMode.PROTEGO)
+        alice = system.session_for("alice")
+        alice.tty.feed("alice-password")
+        system.kernel.sys_setuid(alice, 1001)
+        with pytest.raises(SyscallError):
+            system.kernel.sys_execve(alice, "/bin/sh", ["sh"])
+        assert system.kernel.audit_events("exec.denied")
+
+    def test_clock_monotone_in_audit(self):
+        system = System(SystemMode.PROTEGO)
+        alice = system.session_for("alice")
+        system.run(alice, "/bin/ping", ["ping", "-c", "1", "8.8.8.8"])
+        clocks = [r.clock for r in system.kernel.audit]
+        assert clocks == sorted(clocks)

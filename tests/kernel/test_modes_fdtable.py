@@ -1,0 +1,108 @@
+"""Unit tests for the mode-bit helpers and the fd table."""
+
+import pytest
+
+from repro.kernel import modes
+from repro.kernel.errno import Errno, SyscallError
+from repro.kernel.fdtable import FDTable, OpenFile
+from repro.kernel.inode import make_file
+
+
+class TestFormatMode:
+    def test_regular_file(self):
+        assert modes.format_mode(modes.S_IFREG | 0o644) == "-rw-r--r--"
+
+    def test_setuid_root_binary(self):
+        assert modes.format_mode(modes.S_IFREG | 0o4755) == "-rwsr-xr-x"
+
+    def test_setuid_without_execute_is_capital_s(self):
+        assert modes.format_mode(modes.S_IFREG | 0o4644) == "-rwSr--r--"
+
+    def test_setgid(self):
+        assert modes.format_mode(modes.S_IFREG | 0o2755) == "-rwxr-sr-x"
+
+    def test_sticky_directory(self):
+        assert modes.format_mode(modes.S_IFDIR | 0o1777) == "drwxrwxrwt"
+
+    def test_block_and_char_devices(self):
+        assert modes.format_mode(modes.S_IFBLK | 0o660).startswith("b")
+        assert modes.format_mode(modes.S_IFCHR | 0o660).startswith("c")
+
+    def test_symlink(self):
+        assert modes.format_mode(modes.S_IFLNK | 0o777).startswith("l")
+
+
+class TestModePredicates:
+    def test_type_predicates_disjoint(self):
+        directory = modes.S_IFDIR | 0o755
+        assert modes.is_dir(directory)
+        assert not modes.is_reg(directory)
+        assert not modes.is_lnk(directory)
+
+    def test_setuid_setgid_predicates(self):
+        assert modes.is_setuid(modes.S_IFREG | 0o4755)
+        assert not modes.is_setuid(modes.S_IFREG | 0o755)
+        assert modes.is_setgid(modes.S_IFREG | 0o2755)
+
+
+class TestFDTable:
+    def _file(self, flags=modes.O_RDONLY):
+        return OpenFile(make_file(b"x"), flags, "/f")
+
+    def test_install_returns_lowest_free_fd(self):
+        table = FDTable()
+        assert table.install(self._file()) == 0
+        assert table.install(self._file()) == 1
+        table.close(0)
+        assert table.install(self._file()) == 0
+
+    def test_get_bad_fd(self):
+        with pytest.raises(SyscallError) as err:
+            FDTable().get(7)
+        assert err.value.errno_value == Errno.EBADF
+
+    def test_double_close(self):
+        table = FDTable()
+        fd = table.install(self._file())
+        table.close(fd)
+        with pytest.raises(SyscallError):
+            table.close(fd)
+
+    def test_table_exhaustion_raises_emfile(self):
+        table = FDTable(max_fds=3)
+        for _ in range(3):
+            table.install(self._file())
+        with pytest.raises(SyscallError) as err:
+            table.install(self._file())
+        assert err.value.errno_value == Errno.EMFILE
+
+    def test_fork_copy_shares_descriptions(self):
+        table = FDTable()
+        fd = table.install(self._file())
+        copy = table.copy_for_fork()
+        # Same open file description: offsets are shared.
+        copy.get(fd).offset = 42
+        assert table.get(fd).offset == 42
+
+    def test_drop_cloexec(self):
+        table = FDTable()
+        keep = table.install(self._file(modes.O_RDONLY))
+        drop = table.install(self._file(modes.O_RDONLY | modes.O_CLOEXEC))
+        table.drop_cloexec()
+        assert table.get(keep)
+        with pytest.raises(SyscallError):
+            table.get(drop)
+
+    def test_find_path(self):
+        table = FDTable()
+        fd = table.install(self._file())
+        assert table.find_path("/f") == fd
+        assert table.find_path("/nope") is None
+
+    def test_accmode_predicates(self):
+        read_only = self._file(modes.O_RDONLY)
+        write_only = self._file(modes.O_WRONLY)
+        both = self._file(modes.O_RDWR)
+        assert read_only.readable() and not read_only.writable()
+        assert write_only.writable() and not write_only.readable()
+        assert both.readable() and both.writable()

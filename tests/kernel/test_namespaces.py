@@ -1,0 +1,209 @@
+"""Namespace tests (paper sections 4.6 and 6).
+
+The paper's argument is two-sided: namespaces obviate the *sandboxing*
+setuid binaries on 3.8+ kernels, but they are the wrong tool for least
+privilege on shared abstractions — both sides are asserted here.
+"""
+
+import pytest
+
+from repro.kernel import Kernel
+from repro.kernel.errno import Errno, SyscallError
+from repro.kernel.namespaces import KernelVersion
+from repro.kernel.net.packets import ICMPType, icmp_echo_request
+from repro.kernel.net.socket import AddressFamily, SocketType
+
+
+def old_kernel():
+    return Kernel(version=KernelVersion(3, 6))
+
+
+def new_kernel():
+    return Kernel(version=KernelVersion(3, 8))
+
+
+class TestUnsharePolicy:
+    def test_pre_38_unprivileged_userns_denied(self):
+        kernel = old_kernel()
+        alice = kernel.user_task(1000, 1000)
+        with pytest.raises(SyscallError) as err:
+            kernel.sys_unshare(alice, ["user"])
+        assert err.value.errno_value == Errno.EPERM
+
+    def test_pre_38_root_may_unshare(self):
+        kernel = old_kernel()
+        root = kernel.root_task()
+        kernel.sys_unshare(root, ["mount", "net", "pid"])
+        assert set(root.namespaces) == {"mount", "net", "pid"}
+
+    def test_38_unprivileged_userns_allowed(self):
+        kernel = new_kernel()
+        alice = kernel.user_task(1000, 1000)
+        kernel.sys_unshare(alice, ["user"])
+        assert alice.namespaces["user"].owner_uid == 1000
+
+    def test_38_other_namespaces_require_userns_first(self):
+        kernel = new_kernel()
+        alice = kernel.user_task(1000, 1000)
+        with pytest.raises(SyscallError):
+            kernel.sys_unshare(alice, ["net"])
+        kernel.sys_unshare(alice, ["user", "net"])
+        assert "net" in alice.namespaces
+
+    def test_bad_kind_rejected(self):
+        kernel = new_kernel()
+        with pytest.raises(SyscallError) as err:
+            kernel.sys_unshare(kernel.root_task(), ["time-travel"])
+        assert err.value.errno_value == Errno.EINVAL
+
+    def test_namespaces_shared_across_fork(self):
+        kernel = new_kernel()
+        alice = kernel.user_task(1000, 1000)
+        kernel.sys_unshare(alice, ["user", "pid"])
+        child = kernel.sys_fork(alice)
+        assert child.namespaces["user"] is alice.namespaces["user"]
+        assert kernel.sys_getpid(child) == 2  # second pid in the ns
+
+
+class TestMountNamespaceIsolation:
+    def test_sandbox_mounts_never_touch_host_tree(self):
+        kernel = new_kernel()
+        alice = kernel.user_task(1000, 1000)
+        kernel.sys_unshare(alice, ["user", "mount"])
+        kernel.sys_mount(alice, "tmpfs", "/etc", "tmpfs")
+        # Inside: /etc is a fresh tmpfs; outside: untouched.
+        assert alice.namespaces["mount"].resolve("/etc") is not None
+        assert kernel.vfs.mount_at("/etc") is None
+
+    def test_sandbox_umount_is_private_too(self):
+        kernel = new_kernel()
+        alice = kernel.user_task(1000, 1000)
+        kernel.sys_unshare(alice, ["user", "mount"])
+        kernel.sys_mount(alice, "tmpfs", "/sandbox-tmp", "tmpfs")
+        kernel.sys_umount(alice, "/sandbox-tmp")
+        assert alice.namespaces["mount"].resolve("/sandbox-tmp") is None
+
+    def test_mountns_without_userns_root_denied(self):
+        kernel = old_kernel()
+        root = kernel.root_task()
+        kernel.sys_unshare(root, ["mount"])
+        kernel.sys_setuid(root, 1000)  # dropped privilege, kept the ns
+        with pytest.raises(SyscallError):
+            kernel.sys_mount(root, "tmpfs", "/etc", "tmpfs")
+
+
+class TestNetNamespaceIsolation:
+    def test_raw_socket_free_inside_netns(self):
+        kernel = new_kernel()
+        alice = kernel.user_task(1000, 1000)
+        kernel.sys_unshare(alice, ["user", "net"])
+        sock = kernel.sys_socket(alice, AddressFamily.AF_INET, SocketType.RAW,
+                                 "icmp")
+        assert sock.stack is alice.namespaces["net"].stack
+
+    def test_icmp_within_fake_network_works(self):
+        kernel = new_kernel()
+        alice = kernel.user_task(1000, 1000)
+        kernel.sys_unshare(alice, ["user", "net"])
+        sock = kernel.sys_socket(alice, AddressFamily.AF_INET, SocketType.RAW,
+                                 "icmp")
+        replies = kernel.sys_sendto(
+            alice, sock, icmp_echo_request("10.200.0.2", "10.200.0.2"))
+        assert any(p.icmp_type is ICMPType.ECHO_REPLY for p in replies)
+
+    def test_no_route_to_the_outside_world(self):
+        """The paper's section 6 caveat, verbatim: any connection to
+        the outside world still needs a privileged agent outside."""
+        kernel = new_kernel()
+        kernel.net.add_interface("eth0", "192.168.1.10")
+        from repro.kernel.net.routing import Route
+        kernel.net.routing.add(Route("0.0.0.0/0", "eth0"))
+        from repro.kernel.net.stack import RemoteHost
+        kernel.net.add_remote_host(RemoteHost("8.8.8.8"))
+        alice = kernel.user_task(1000, 1000)
+        kernel.sys_unshare(alice, ["user", "net"])
+        sock = kernel.sys_socket(alice, AddressFamily.AF_INET, SocketType.RAW,
+                                 "icmp")
+        with pytest.raises(SyscallError) as err:
+            kernel.sys_sendto(alice, sock,
+                              icmp_echo_request("10.200.0.2", "8.8.8.8"))
+        assert err.value.errno_value == Errno.ENETUNREACH
+
+    def test_netns_can_bind_privileged_ports_privately(self):
+        kernel = new_kernel()
+        alice = kernel.user_task(1000, 1000)
+        kernel.sys_unshare(alice, ["user", "net"])
+        sock = kernel.sys_socket(alice, AddressFamily.AF_INET,
+                                 SocketType.STREAM)
+        kernel.sys_bind(alice, sock, "10.200.0.2", 80)
+        assert sock.local_port == 80
+        # The init namespace's port 80 is unaffected.
+        assert ("tcp", 80) not in kernel.net.ports
+
+
+class TestSharedResourcesStayProtected:
+    """Namespaces cannot express 'let the user update her passwd
+    entry' — the paper's core reason Protego exists."""
+
+    def test_userns_root_cannot_write_host_files(self):
+        kernel = new_kernel()
+        kernel.write_file(kernel.init, "/etc/passwd", b"root:x:0:0::/:/bin/sh\n")
+        alice = kernel.user_task(1000, 1000)
+        kernel.sys_unshare(alice, ["user", "mount", "net", "pid"])
+        with pytest.raises(SyscallError) as err:
+            kernel.write_file(alice, "/etc/passwd", b"evil", append=True)
+        assert err.value.errno_value == Errno.EACCES
+
+    def test_userns_root_still_fails_real_capability_checks(self):
+        from repro.kernel.capabilities import Capability
+        kernel = new_kernel()
+        alice = kernel.user_task(1000, 1000)
+        kernel.sys_unshare(alice, ["user", "mount", "net", "pid"])
+        assert not kernel.capable(alice, Capability.CAP_SYS_ADMIN)
+        with pytest.raises(SyscallError):
+            kernel.sys_setuid(alice, 0)
+
+
+class TestSandboxHelper:
+    def _install(self, system):
+        from repro.userspace.program import install_program
+        from repro.userspace.sandbox import ChromiumSandboxProgram
+        from repro.core import SystemMode
+        program = ChromiumSandboxProgram(
+            protego_mode=system.mode is SystemMode.PROTEGO)
+        install_program(system.kernel, program)
+        system.programs[program.path] = program
+        return program
+
+    def test_legacy_sandbox_needs_setuid_on_old_kernel(self):
+        from repro.core import System, SystemMode
+        system = System(SystemMode.LINUX)  # kernel 3.6
+        self._install(system)
+        alice = system.session_for("alice")
+        status, out = system.run(
+            alice, "/usr/lib/chromium/chromium-sandbox",
+            ["chromium-sandbox", "/bin/true"])
+        assert status == 0, out  # works *because* it is setuid root
+
+    def test_unprivileged_sandbox_on_38_kernel(self):
+        from repro.core import System, SystemMode
+        from repro.kernel.namespaces import KernelVersion
+        system = System(SystemMode.PROTEGO)
+        system.kernel.version = KernelVersion(3, 8)
+        self._install(system)
+        alice = system.session_for("alice")
+        status, out = system.run(
+            alice, "/usr/lib/chromium/chromium-sandbox",
+            ["chromium-sandbox", "/bin/true"])
+        assert status == 0, out
+        assert any("euid=1000" in line for line in out)
+
+    def test_unprivileged_sandbox_fails_on_36_kernel(self):
+        from repro.core import System, SystemMode
+        system = System(SystemMode.PROTEGO)  # kernel 3.6, no setuid bit
+        self._install(system)
+        alice = system.session_for("alice")
+        status, _out = system.run(
+            alice, "/usr/lib/chromium/chromium-sandbox",
+            ["chromium-sandbox", "/bin/true"])
+        assert status != 0  # the one case Protego defers to newer kernels

@@ -1,0 +1,142 @@
+"""File capabilities (setcap) — paper sections 3.1 and 3.2.
+
+Section 3.1 lists setcap among the hardening techniques that replaced
+some setuid bits; section 3.2 explains why it is insufficient: the
+grant is per-binary and far coarser than the policy the binary
+actually needs. Both halves are demonstrated.
+"""
+
+import pytest
+
+from repro.core import System, SystemMode
+from repro.kernel.capabilities import Capability, CapabilitySet
+from repro.kernel.errno import Errno, SyscallError
+from repro.kernel.net.packets import HeaderOrigin, Packet, Protocol
+from repro.kernel.net.socket import AddressFamily, SocketType
+
+
+@pytest.fixture
+def hardened_linux():
+    """Legacy Linux hardened per section 3.1: ping's setuid bit is
+    replaced with setcap CAP_NET_RAW."""
+    system = System(SystemMode.LINUX)
+    root = system.root_session()
+    system.kernel.sys_chmod(root, "/bin/ping", 0o755)  # drop setuid
+    system.kernel.sys_setcap(root, "/bin/ping",
+                             CapabilitySet([Capability.CAP_NET_RAW]))
+    return system
+
+
+class TestSetcapMechanism:
+    def test_setcap_requires_cap_setfcap(self):
+        system = System(SystemMode.LINUX)
+        alice = system.session_for("alice")
+        with pytest.raises(SyscallError) as err:
+            system.kernel.sys_setcap(alice, "/bin/ping",
+                                     CapabilitySet([Capability.CAP_NET_RAW]))
+        assert err.value.errno_value == Errno.EPERM
+
+    def test_setcap_on_directory_rejected(self):
+        system = System(SystemMode.LINUX)
+        with pytest.raises(SyscallError):
+            system.kernel.sys_setcap(system.root_session(), "/etc",
+                                     CapabilitySet([Capability.CAP_NET_RAW]))
+
+    def test_exec_grants_exactly_the_file_caps(self, hardened_linux):
+        alice = hardened_linux.session_for("alice")
+        hardened_linux.kernel.sys_execve(alice, "/bin/ping", ["ping"],
+                                         run=False)
+        assert alice.cred.has_cap(Capability.CAP_NET_RAW)
+        assert not alice.cred.has_cap(Capability.CAP_SYS_ADMIN)
+        assert alice.cred.euid == 1000  # no uid change at all
+
+    def test_nosuid_mount_blocks_file_caps(self):
+        system = System(SystemMode.LINUX)
+        root = system.root_session()
+        from repro.kernel import modes
+        system.kernel.sys_mount(root, "usb", "/mnt", "tmpfs",
+                                flags=modes.MS_NOSUID)
+        system.kernel.write_file(root, "/mnt/tool", b"\x7fELF")
+        system.kernel.sys_chmod(root, "/mnt/tool", 0o755)
+        system.kernel.sys_setcap(root, "/mnt/tool",
+                                 CapabilitySet([Capability.CAP_NET_RAW]))
+        alice = system.session_for("alice")
+        system.kernel.sys_execve(alice, "/mnt/tool", ["tool"], run=False)
+        assert not alice.cred.has_cap(Capability.CAP_NET_RAW)
+
+
+class TestSetcapReducesButDoesNotEliminate:
+    def test_hardened_ping_works_for_users(self, hardened_linux):
+        alice = hardened_linux.session_for("alice")
+        status, out = hardened_linux.run(alice, "/bin/ping",
+                                         ["ping", "-c", "1", "8.8.8.8"])
+        assert status == 0, out
+
+    def test_compromised_setcap_ping_cannot_become_root(self, hardened_linux):
+        outcome = {}
+
+        def payload(kernel, task):
+            outcome["euid"] = task.cred.euid
+            try:
+                kernel.sys_setuid(task, 0)
+                outcome["root"] = task.cred.euid == 0
+            except SyscallError:
+                outcome["root"] = False
+
+        program = hardened_linux.programs["/bin/ping"]
+        program.exploit = payload
+        alice = hardened_linux.session_for("alice")
+        hardened_linux.run(alice, "/bin/ping", ["ping", "-c", "1", "8.8.8.8"])
+        program.exploit = None
+        assert outcome["euid"] == 1000   # better than setuid root...
+        assert outcome["root"] is False
+
+    def test_but_compromised_setcap_ping_can_still_spoof_tcp(self, hardened_linux):
+        """Section 3.2's insufficiency: CAP_NET_RAW is coarser than
+        ping's safe functionality — the hijacked process can emit
+        packets that appear to come from another process's socket."""
+        outcome = {}
+
+        def payload(kernel, task):
+            sock = kernel.sys_socket(task, AddressFamily.AF_INET,
+                                     SocketType.RAW, "tcp")
+            spoof = Packet(Protocol.TCP, "192.168.1.10", "8.8.8.8",
+                           src_port=22, dst_port=80,
+                           header_origin=HeaderOrigin.USER_IP)
+            try:
+                kernel.sys_sendto(task, sock, spoof)
+                outcome["spoofed"] = True
+            except SyscallError:
+                outcome["spoofed"] = False
+
+        program = hardened_linux.programs["/bin/ping"]
+        program.exploit = payload
+        alice = hardened_linux.session_for("alice")
+        hardened_linux.run(alice, "/bin/ping", ["ping", "-c", "1", "8.8.8.8"])
+        program.exploit = None
+        assert outcome["spoofed"] is True
+
+    def test_protego_ping_cannot_spoof_even_when_compromised(self):
+        """The same payload on Protego: the raw socket exists but the
+        netfilter rules drop the spoofed transport packet."""
+        system = System(SystemMode.PROTEGO)
+        outcome = {}
+
+        def payload(kernel, task):
+            sock = kernel.sys_socket(task, AddressFamily.AF_INET,
+                                     SocketType.RAW, "tcp")
+            spoof = Packet(Protocol.TCP, "192.168.1.10", "8.8.8.8",
+                           src_port=22, dst_port=80,
+                           header_origin=HeaderOrigin.USER_IP)
+            try:
+                kernel.sys_sendto(task, sock, spoof)
+                outcome["spoofed"] = True
+            except SyscallError:
+                outcome["spoofed"] = False
+
+        program = system.programs["/bin/ping"]
+        program.exploit = payload
+        alice = system.session_for("alice")
+        system.run(alice, "/bin/ping", ["ping", "-c", "1", "8.8.8.8"])
+        program.exploit = None
+        assert outcome["spoofed"] is False

@@ -1,0 +1,142 @@
+"""Unit tests for link/rename/rmdir/O_EXCL."""
+
+import pytest
+
+from repro.kernel import Kernel, modes
+from repro.kernel.errno import Errno, SyscallError
+
+
+@pytest.fixture
+def kernel():
+    return Kernel()
+
+
+@pytest.fixture
+def root(kernel):
+    return kernel.root_task()
+
+
+@pytest.fixture
+def alice(kernel):
+    return kernel.user_task(1000, 1000)
+
+
+class TestHardLink:
+    def test_link_shares_content(self, kernel, root):
+        kernel.write_file(root, "/tmp/orig", b"data")
+        kernel.sys_link(root, "/tmp/orig", "/tmp/alias")
+        kernel.write_file(root, "/tmp/alias", b"updated")
+        assert kernel.read_file(root, "/tmp/orig") == b"updated"
+
+    def test_link_bumps_nlink(self, kernel, root):
+        kernel.write_file(root, "/tmp/orig", b"")
+        before = kernel.sys_stat(root, "/tmp/orig").nlink
+        kernel.sys_link(root, "/tmp/orig", "/tmp/alias")
+        assert kernel.sys_stat(root, "/tmp/orig").nlink == before + 1
+
+    def test_unlink_one_name_keeps_other(self, kernel, root):
+        kernel.write_file(root, "/tmp/orig", b"keep")
+        kernel.sys_link(root, "/tmp/orig", "/tmp/alias")
+        kernel.sys_unlink(root, "/tmp/orig")
+        assert kernel.read_file(root, "/tmp/alias") == b"keep"
+
+    def test_link_to_directory_rejected(self, kernel, root):
+        kernel.sys_mkdir(root, "/tmp/d")
+        with pytest.raises(SyscallError) as err:
+            kernel.sys_link(root, "/tmp/d", "/tmp/dlink")
+        assert err.value.errno_value == Errno.EISDIR
+
+    def test_link_needs_parent_write(self, kernel, root, alice):
+        kernel.write_file(root, "/tmp/f", b"")
+        with pytest.raises(SyscallError):
+            kernel.sys_link(alice, "/tmp/f", "/etc/f")
+
+
+class TestRename:
+    def test_rename_moves_file(self, kernel, root):
+        kernel.write_file(root, "/tmp/a", b"x")
+        kernel.sys_rename(root, "/tmp/a", "/tmp/b")
+        assert not kernel.vfs.exists("/tmp/a")
+        assert kernel.read_file(root, "/tmp/b") == b"x"
+
+    def test_rename_across_directories(self, kernel, root):
+        kernel.sys_mkdir(root, "/tmp/src")
+        kernel.sys_mkdir(root, "/tmp/dst")
+        kernel.write_file(root, "/tmp/src/f", b"m")
+        kernel.sys_rename(root, "/tmp/src/f", "/tmp/dst/f")
+        assert kernel.read_file(root, "/tmp/dst/f") == b"m"
+
+    def test_rename_replaces_existing_file(self, kernel, root):
+        kernel.write_file(root, "/tmp/a", b"new")
+        kernel.write_file(root, "/tmp/b", b"old")
+        kernel.sys_rename(root, "/tmp/a", "/tmp/b")
+        assert kernel.read_file(root, "/tmp/b") == b"new"
+
+    def test_rename_file_over_dir_rejected(self, kernel, root):
+        kernel.write_file(root, "/tmp/f", b"")
+        kernel.sys_mkdir(root, "/tmp/d")
+        with pytest.raises(SyscallError) as err:
+            kernel.sys_rename(root, "/tmp/f", "/tmp/d")
+        assert err.value.errno_value == Errno.EISDIR
+
+    def test_rename_over_nonempty_dir_rejected(self, kernel, root):
+        kernel.sys_mkdir(root, "/tmp/d1")
+        kernel.sys_mkdir(root, "/tmp/d2")
+        kernel.write_file(root, "/tmp/d2/inner", b"")
+        with pytest.raises(SyscallError) as err:
+            kernel.sys_rename(root, "/tmp/d1", "/tmp/d2")
+        assert err.value.errno_value == Errno.ENOTEMPTY
+
+    def test_rename_needs_both_parent_writes(self, kernel, root, alice):
+        kernel.write_file(alice, "/tmp/mine", b"")
+        with pytest.raises(SyscallError):
+            kernel.sys_rename(alice, "/tmp/mine", "/etc/mine")
+
+
+class TestRmdir:
+    def test_rmdir_empty(self, kernel, root):
+        kernel.sys_mkdir(root, "/tmp/d")
+        kernel.sys_rmdir(root, "/tmp/d")
+        assert not kernel.vfs.exists("/tmp/d")
+
+    def test_rmdir_nonempty_rejected(self, kernel, root):
+        kernel.sys_mkdir(root, "/tmp/d")
+        kernel.write_file(root, "/tmp/d/f", b"")
+        with pytest.raises(SyscallError) as err:
+            kernel.sys_rmdir(root, "/tmp/d")
+        assert err.value.errno_value == Errno.ENOTEMPTY
+
+    def test_rmdir_file_rejected(self, kernel, root):
+        kernel.write_file(root, "/tmp/f", b"")
+        with pytest.raises(SyscallError) as err:
+            kernel.sys_rmdir(root, "/tmp/f")
+        assert err.value.errno_value == Errno.ENOTDIR
+
+    def test_rmdir_mountpoint_busy(self, kernel, root):
+        kernel.sys_mkdir(root, "/tmp/mnt")
+        kernel.sys_mount(root, "tmpfs", "/tmp/mnt", "tmpfs")
+        with pytest.raises(SyscallError) as err:
+            kernel.sys_rmdir(root, "/tmp/mnt")
+        assert err.value.errno_value == Errno.EBUSY
+
+
+class TestOpenFlags:
+    def test_o_excl_on_existing_raises_eexist(self, kernel, root):
+        kernel.write_file(root, "/tmp/f", b"")
+        with pytest.raises(SyscallError) as err:
+            kernel.sys_open(root, "/tmp/f",
+                            modes.O_WRONLY | modes.O_CREAT | modes.O_EXCL)
+        assert err.value.errno_value == Errno.EEXIST
+
+    def test_o_excl_creates_fresh(self, kernel, root):
+        fd = kernel.sys_open(root, "/tmp/new",
+                             modes.O_WRONLY | modes.O_CREAT | modes.O_EXCL)
+        kernel.sys_close(root, fd)
+        assert kernel.vfs.exists("/tmp/new")
+
+    def test_read_on_directory_fd_raises_eisdir(self, kernel, root):
+        kernel.sys_mkdir(root, "/tmp/d")
+        fd = kernel.sys_open(root, "/tmp/d", modes.O_RDONLY)
+        with pytest.raises(SyscallError) as err:
+            kernel.sys_read(root, fd)
+        assert err.value.errno_value == Errno.EISDIR

@@ -1,0 +1,209 @@
+"""Unit tests for process and credential syscalls (fork/exec/setuid)."""
+
+import pytest
+
+from repro.kernel import Kernel, modes
+from repro.kernel.capabilities import Capability
+from repro.kernel.errno import Errno, SyscallError
+
+
+@pytest.fixture
+def kernel():
+    return Kernel()
+
+
+@pytest.fixture
+def root(kernel):
+    return kernel.root_task()
+
+
+@pytest.fixture
+def alice(kernel):
+    return kernel.user_task(1000, 1000)
+
+
+def install_binary(kernel, root, path, setuid=False, owner=0):
+    kernel.write_file(root, path, b"\x7fELF")
+    mode = 0o4755 if setuid else 0o755
+    kernel.sys_chmod(root, path, mode)
+    if owner:
+        kernel.sys_chown(root, path, owner)
+        kernel.sys_chmod(root, path, mode)  # chown cleared setuid
+    return path
+
+
+class TestForkWait:
+    def test_fork_copies_credentials(self, kernel, alice):
+        child = kernel.sys_fork(alice)
+        assert child.cred == alice.cred
+        assert child.parent is alice
+        assert child.pid != alice.pid
+
+    def test_fork_copies_environment_and_cwd(self, kernel, alice):
+        alice.environ["HOME"] = "/home/alice"
+        kernel.sys_mkdir(alice, "/tmp/w")
+        kernel.sys_chdir(alice, "/tmp/w")
+        child = kernel.sys_fork(alice)
+        assert child.environ["HOME"] == "/home/alice"
+        assert child.cwd == "/tmp/w"
+        child.environ["HOME"] = "/elsewhere"
+        assert alice.environ["HOME"] == "/home/alice"
+
+    def test_fork_shares_fds_then_wait_reaps(self, kernel, root):
+        kernel.write_file(root, "/tmp/f", b"x")
+        fd = kernel.sys_open(root, "/tmp/f")
+        child = kernel.sys_fork(root)
+        assert child.fdtable.get(fd).path == "/tmp/f"
+        kernel.sys_exit(child, 7)
+        pid, status = kernel.sys_wait(root)
+        assert (pid, status) == (child.pid, 7)
+
+    def test_wait_with_no_exited_children_raises_echild(self, kernel, root):
+        with pytest.raises(SyscallError) as err:
+            kernel.sys_wait(root)
+        assert err.value.errno_value == Errno.ECHILD
+
+    def test_security_blob_copied_not_shared(self, kernel, alice):
+        alice.setsec("protego", "last_auth_time", 42)
+        child = kernel.sys_fork(alice)
+        child.setsec("protego", "last_auth_time", 99)
+        assert alice.getsec("protego", "last_auth_time") == 42
+
+
+class TestExec:
+    def test_exec_plain_binary_keeps_creds(self, kernel, root, alice):
+        install_binary(kernel, root, "/bin/true")
+        kernel.sys_execve(alice, "/bin/true")
+        assert alice.cred.euid == 1000
+        assert alice.comm == "true"
+        assert alice.exe_path == "/bin/true"
+
+    def test_exec_setuid_root_binary_raises_euid_and_caps(self, kernel, root, alice):
+        install_binary(kernel, root, "/bin/oldmount", setuid=True)
+        kernel.sys_execve(alice, "/bin/oldmount")
+        assert alice.cred.euid == 0
+        assert alice.cred.ruid == 1000
+        assert alice.cred.has_cap(Capability.CAP_SYS_ADMIN)
+
+    def test_exec_setuid_nonroot_binary_gets_owner_euid_no_caps(self, kernel, root, alice):
+        install_binary(kernel, root, "/bin/game", setuid=True, owner=500)
+        kernel.sys_execve(alice, "/bin/game")
+        assert alice.cred.euid == 500
+        assert not alice.cred.has_cap(Capability.CAP_SYS_ADMIN)
+
+    def test_exec_on_nosuid_mount_ignores_setuid_bit(self, kernel, root, alice):
+        kernel.sys_mount(root, "usbstick", "/mnt", "vfat", flags=modes.MS_NOSUID)
+        kernel.write_file(root, "/mnt/evil", b"\x7fELF")
+        kernel.sys_chmod(root, "/mnt/evil", 0o4755)
+        kernel.sys_execve(alice, "/mnt/evil")
+        assert alice.cred.euid == 1000
+
+    def test_exec_nonexecutable_raises_eacces(self, kernel, root, alice):
+        kernel.write_file(root, "/tmp/data", b"")
+        with pytest.raises(SyscallError) as err:
+            kernel.sys_execve(alice, "/tmp/data")
+        assert err.value.errno_value == Errno.EACCES
+
+    def test_exec_closes_cloexec_fds(self, kernel, root):
+        install_binary(kernel, root, "/bin/true")
+        kernel.write_file(root, "/tmp/secret", b"")
+        fd = kernel.sys_open(root, "/tmp/secret", modes.O_RDONLY | modes.O_CLOEXEC)
+        keep = kernel.sys_open(root, "/tmp/secret", modes.O_RDONLY)
+        kernel.sys_execve(root, "/bin/true")
+        with pytest.raises(SyscallError):
+            root.fdtable.get(fd)
+        assert root.fdtable.get(keep).path == "/tmp/secret"
+
+    def test_exec_replaces_environment(self, kernel, root, alice):
+        install_binary(kernel, root, "/bin/true")
+        alice.environ["LD_PRELOAD"] = "/tmp/evil.so"
+        kernel.sys_execve(alice, "/bin/true", env={"PATH": "/bin"})
+        assert "LD_PRELOAD" not in alice.environ
+
+    def test_spawn_runs_registered_program(self, kernel, root, alice):
+        install_binary(kernel, root, "/bin/answer")
+        class Answer:
+            def run(self, k, task, argv):
+                return 42
+        kernel.binaries["/bin/answer"] = Answer()
+        child, status = kernel.spawn(alice, "/bin/answer")
+        assert status == 42
+        assert child.exit_status == 42
+
+
+class TestSetuidSyscall:
+    def test_root_can_setuid_to_anyone_and_drops_caps(self, kernel, root):
+        kernel.sys_setuid(root, 1000)
+        assert root.cred.ruid == root.cred.euid == root.cred.suid == 1000
+        assert root.cred.cap_effective.is_empty()
+
+    def test_user_cannot_setuid_to_other(self, kernel, alice):
+        with pytest.raises(SyscallError) as err:
+            kernel.sys_setuid(alice, 1001)
+        assert err.value.errno_value == Errno.EPERM
+
+    def test_user_can_return_to_saved_uid(self, kernel, root, alice):
+        # Exec a setuid-root binary then drop back: the classic dance.
+        install_binary(kernel, root, "/bin/priv", setuid=True)
+        kernel.sys_execve(alice, "/bin/priv")
+        assert alice.cred.euid == 0
+        kernel.sys_setuid(alice, 1000)
+        assert alice.cred.euid == 1000
+
+    def test_setgid_mirror(self, kernel, root, alice):
+        kernel.sys_setgid(root, 100)
+        assert root.cred.egid == 100
+        with pytest.raises(SyscallError):
+            kernel.sys_setgid(alice, 100)
+
+    def test_setgroups_requires_cap(self, kernel, root, alice):
+        kernel.sys_setgroups(root, [4, 24])
+        assert root.cred.in_group(24)
+        with pytest.raises(SyscallError):
+            kernel.sys_setgroups(alice, [24])
+
+    def test_setuid_audited(self, kernel, root):
+        kernel.sys_setuid(root, 1000)
+        assert kernel.audit_events("setuid")
+
+
+class TestMountSyscall:
+    def test_root_can_mount_anywhere(self, kernel, root):
+        kernel.sys_mount(root, "tmpfs", "/mnt", "tmpfs")
+        assert kernel.vfs.mount_at("/mnt") is not None
+
+    def test_user_mount_denied_without_policy(self, kernel, alice):
+        with pytest.raises(SyscallError) as err:
+            kernel.sys_mount(alice, "tmpfs", "/mnt", "tmpfs")
+        assert err.value.errno_value == Errno.EPERM
+
+    def test_umount_requires_privilege(self, kernel, root, alice):
+        kernel.sys_mount(root, "tmpfs", "/mnt", "tmpfs")
+        with pytest.raises(SyscallError):
+            kernel.sys_umount(alice, "/mnt")
+        kernel.sys_umount(root, "/mnt")
+        assert kernel.vfs.mount_at("/mnt") is None
+
+    def test_mount_block_device_uses_device_fstype(self, kernel, root):
+        from repro.kernel.devices import BlockDevice
+        from repro.kernel.inode import make_block_device
+        cdrom = kernel.devices.register(BlockDevice("cdrom", fstype="iso9660", removable=True))
+        kernel.vfs.resolve("/dev").entries["cdrom"] = make_block_device(cdrom)
+        kernel.sys_mount(root, "/dev/cdrom", "/cdrom")
+        assert kernel.vfs.mount_at("/cdrom").fs.fstype == "iso9660"
+
+    def test_mount_ejected_device_fails(self, kernel, root):
+        from repro.kernel.devices import BlockDevice
+        from repro.kernel.inode import make_block_device
+        usb = kernel.devices.register(BlockDevice("usb0", removable=True))
+        kernel.vfs.resolve("/dev").entries["usb0"] = make_block_device(usb)
+        usb.eject()
+        with pytest.raises(SyscallError) as err:
+            kernel.sys_mount(root, "/dev/usb0", "/mnt")
+        assert err.value.errno_value == Errno.ENXIO
+
+    def test_mount_nonblock_device_path_fails(self, kernel, root):
+        kernel.write_file(root, "/dev/fake", b"")
+        with pytest.raises(SyscallError) as err:
+            kernel.sys_mount(root, "/dev/fake", "/mnt")
+        assert err.value.errno_value == Errno.ENOTBLK

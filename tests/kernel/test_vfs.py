@@ -1,0 +1,168 @@
+"""Unit tests for the VFS: resolution, mounts, DAC."""
+
+import pytest
+
+from repro.kernel import modes
+from repro.kernel.cred import Credentials
+from repro.kernel.errno import Errno, SyscallError
+from repro.kernel.inode import make_dir, make_file, make_symlink
+from repro.kernel.vfs import VFS, Filesystem, normalize, split_path
+
+
+@pytest.fixture
+def vfs():
+    v = VFS()
+    root = v.rootfs.root
+    root.entries["etc"] = make_dir()
+    root.entries["etc"].entries["passwd"] = make_file(b"root:x:0:0\n")
+    root.entries["home"] = make_dir()
+    root.entries["home"].entries["alice"] = make_dir(uid=1000, gid=1000, perm=0o700)
+    return v
+
+
+class TestPathHelpers:
+    def test_normalize_collapses_dots(self):
+        assert normalize("/etc/../etc//passwd") == "/etc/passwd"
+
+    def test_normalize_rejects_relative(self):
+        with pytest.raises(SyscallError):
+            normalize("etc/passwd")
+
+    def test_split_root(self):
+        assert split_path("/") == []
+        assert split_path("/a/b") == ["a", "b"]
+
+
+class TestResolution:
+    def test_resolve_file(self, vfs):
+        inode = vfs.resolve("/etc/passwd")
+        assert inode.read_bytes() == b"root:x:0:0\n"
+
+    def test_resolve_missing_raises_enoent(self, vfs):
+        with pytest.raises(SyscallError) as err:
+            vfs.resolve("/etc/nope")
+        assert err.value.errno_value == Errno.ENOENT
+
+    def test_resolve_through_symlink(self, vfs):
+        vfs.rootfs.root.entries["link"] = make_symlink("/etc/passwd")
+        assert vfs.resolve("/link").read_bytes() == b"root:x:0:0\n"
+
+    def test_relative_symlink(self, vfs):
+        vfs.rootfs.root.entries["etc"].entries["alias"] = make_symlink("passwd")
+        assert vfs.resolve("/etc/alias").read_bytes() == b"root:x:0:0\n"
+
+    def test_symlink_loop_raises_eloop(self, vfs):
+        vfs.rootfs.root.entries["a"] = make_symlink("/b")
+        vfs.rootfs.root.entries["b"] = make_symlink("/a")
+        with pytest.raises(SyscallError) as err:
+            vfs.resolve("/a")
+        assert err.value.errno_value == Errno.ELOOP
+
+    def test_nofollow_final_symlink(self, vfs):
+        vfs.rootfs.root.entries["link"] = make_symlink("/etc/passwd")
+        inode = vfs.resolve("/link", follow_final_symlink=False)
+        assert inode.is_symlink()
+
+    def test_file_component_raises_enotdir(self, vfs):
+        with pytest.raises(SyscallError) as err:
+            vfs.resolve("/etc/passwd/sub")
+        assert err.value.errno_value == Errno.ENOTDIR
+
+
+class TestMounts:
+    def test_attach_and_resolve_across_mountpoint(self, vfs):
+        fs = Filesystem("iso9660", source="/dev/cdrom")
+        fs.root.entries["readme"] = make_file(b"hello")
+        vfs.rootfs.root.entries["cdrom"] = make_dir()
+        vfs.attach("/cdrom", fs)
+        assert vfs.resolve("/cdrom/readme").read_bytes() == b"hello"
+        assert vfs.mount_at("/cdrom").fs is fs
+
+    def test_double_mount_raises_ebusy(self, vfs):
+        vfs.rootfs.root.entries["mnt"] = make_dir()
+        vfs.attach("/mnt", Filesystem("tmpfs"))
+        with pytest.raises(SyscallError) as err:
+            vfs.attach("/mnt", Filesystem("tmpfs"))
+        assert err.value.errno_value == Errno.EBUSY
+
+    def test_detach_restores_underlying_tree(self, vfs):
+        vfs.rootfs.root.entries["mnt"] = make_dir()
+        vfs.rootfs.root.entries["mnt"].entries["under"] = make_file(b"u")
+        fs = Filesystem("tmpfs")
+        vfs.attach("/mnt", fs)
+        with pytest.raises(SyscallError):
+            vfs.resolve("/mnt/under")
+        vfs.detach("/mnt")
+        assert vfs.resolve("/mnt/under").read_bytes() == b"u"
+
+    def test_detach_unmounted_raises_einval(self, vfs):
+        with pytest.raises(SyscallError) as err:
+            vfs.detach("/nowhere")
+        assert err.value.errno_value == Errno.EINVAL
+
+    def test_mount_covering_finds_innermost(self, vfs):
+        vfs.rootfs.root.entries["mnt"] = make_dir()
+        outer = Filesystem("tmpfs")
+        outer.root.entries["inner"] = make_dir()
+        vfs.attach("/mnt", outer)
+        inner = Filesystem("tmpfs")
+        vfs.attach("/mnt/inner", inner)
+        covering = vfs.mount_covering("/mnt/inner/deep/file")
+        assert covering.fs is inner
+
+    def test_mount_on_file_raises_enotdir(self, vfs):
+        with pytest.raises(SyscallError) as err:
+            vfs.attach("/etc/passwd", Filesystem("tmpfs"))
+        assert err.value.errno_value == Errno.ENOTDIR
+
+
+class TestDAC:
+    root = Credentials.for_root()
+    alice = Credentials.for_user(1000, 1000)
+    bob = Credentials.for_user(1001, 1001)
+
+    def test_owner_can_read_0700_dir(self, vfs):
+        home = vfs.resolve("/home/alice")
+        vfs.dac_permission(self.alice, home, modes.R_OK | modes.X_OK)
+
+    def test_other_denied_0700_dir(self, vfs):
+        home = vfs.resolve("/home/alice")
+        with pytest.raises(SyscallError) as err:
+            vfs.dac_permission(self.bob, home, modes.R_OK)
+        assert err.value.errno_value == Errno.EACCES
+
+    def test_root_cap_dac_override(self, vfs):
+        home = vfs.resolve("/home/alice")
+        vfs.dac_permission(self.root, home, modes.R_OK | modes.W_OK | modes.X_OK)
+
+    def test_group_permission(self, vfs):
+        shared = make_file(b"", uid=0, gid=24, perm=0o640)
+        member = Credentials.for_user(1000, 1000, groups=[24])
+        vfs.dac_permission(member, shared, modes.R_OK)
+        with pytest.raises(SyscallError):
+            vfs.dac_permission(member, shared, modes.W_OK)
+
+    def test_owner_class_takes_precedence_over_other(self, vfs):
+        # 0o007: owner has NO access even though 'other' does.
+        f = make_file(b"", uid=1000, gid=1000, perm=0o007)
+        with pytest.raises(SyscallError):
+            vfs.dac_permission(self.alice, f, modes.R_OK)
+        vfs.dac_permission(self.bob, f, modes.R_OK)
+
+    def test_dac_override_does_not_grant_exec_on_nonexecutable(self, vfs):
+        f = make_file(b"", uid=1000, perm=0o644)
+        with pytest.raises(SyscallError):
+            vfs.dac_permission(self.root, f, modes.X_OK)
+
+    def test_path_permission_checks_search_on_intermediate_dirs(self, vfs):
+        alice_home = vfs.resolve("/home/alice")
+        alice_home.entries["secret"] = make_file(b"s", uid=1000, perm=0o644)
+        # Bob cannot even reach the world-readable file inside 0700 dir.
+        with pytest.raises(SyscallError):
+            vfs.path_permission(self.bob, "/home/alice/secret", modes.R_OK)
+        inode = vfs.path_permission(self.alice, "/home/alice/secret", modes.R_OK)
+        assert inode.read_bytes() == b"s"
+
+    def test_f_ok_always_passes_dac(self, vfs):
+        home = vfs.resolve("/home/alice")
+        vfs.dac_permission(self.bob, home, modes.F_OK)

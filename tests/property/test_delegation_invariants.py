@@ -1,0 +1,120 @@
+"""Property-based tests of the delegation security invariant.
+
+For ANY delegation policy and ANY sequence of setuid/exec attempts,
+a task must never end up with a uid that no rule authorizes for its
+original real uid — the kernel-enforced core of section 4.3.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import System, SystemMode
+from repro.core.delegation import DelegationRule
+from repro.kernel.errno import SyscallError
+
+UIDS = (1000, 1001, 1002, 1100)
+BINARIES = ("/usr/bin/lpr", "/bin/true", "/bin/sh")
+
+rule_strategy = st.builds(
+    DelegationRule,
+    invoker_uid=st.sampled_from(UIDS),
+    invoker_gid=st.none(),
+    target_uid=st.sampled_from(UIDS),
+    commands=st.one_of(
+        st.just(("ALL",)),
+        st.lists(st.sampled_from(BINARIES), min_size=1, max_size=2,
+                 unique=True).map(tuple),
+    ),
+    nopasswd=st.just(True),  # isolate authorization from authentication
+    check_target_password=st.just(False),
+    group_join_gid=st.none(),
+)
+
+action_strategy = st.lists(
+    st.tuples(st.sampled_from(["setuid", "exec"]),
+              st.sampled_from(UIDS),
+              st.sampled_from(BINARIES)),
+    min_size=1, max_size=6,
+)
+
+
+def allowed_targets(rules, invoker_uid):
+    """Every uid some rule lets *invoker_uid* become."""
+    targets = set()
+    for rule in rules:
+        if rule.invoker_uid == invoker_uid:
+            targets.add(rule.target_uid)
+    return targets
+
+
+@given(rules=st.lists(rule_strategy, max_size=5),
+       actions=action_strategy,
+       invoker=st.sampled_from(UIDS))
+@settings(max_examples=50, deadline=None)
+def test_task_never_exceeds_authorized_targets(rules, actions, invoker):
+    system = System(SystemMode.PROTEGO, start_daemon=False)
+    system.protego.delegation.replace_rules(list(rules))
+    task = system.kernel.user_task(invoker, invoker)
+    authorized = allowed_targets(rules, invoker) | {invoker}
+    for kind, uid, binary in actions:
+        try:
+            if kind == "setuid":
+                system.kernel.sys_setuid(task, uid)
+            else:
+                system.kernel.sys_execve(task, binary, [binary])
+        except SyscallError:
+            continue
+        assert task.cred.euid in authorized, (
+            f"{invoker} became {task.cred.euid}; rules authorize {authorized}")
+        assert task.cred.ruid in authorized
+
+
+@given(rules=st.lists(rule_strategy, max_size=5),
+       invoker=st.sampled_from(UIDS),
+       target=st.sampled_from(UIDS),
+       binary=st.sampled_from(BINARIES))
+@settings(max_examples=60, deadline=None)
+def test_commit_implies_matching_rule_command(rules, invoker, target, binary):
+    """If a setuid+exec pair commits a transition, some rule must
+    authorize exactly that (invoker, target, binary) triple."""
+    if invoker == target:
+        return
+    system = System(SystemMode.PROTEGO, start_daemon=False)
+    system.protego.delegation.replace_rules(list(rules))
+    task = system.kernel.user_task(invoker, invoker)
+    try:
+        system.kernel.sys_setuid(task, target)
+        system.kernel.sys_execve(task, binary, [binary])
+    except SyscallError:
+        return
+    if task.cred.euid != target:
+        return  # transition did not commit
+    assert any(
+        rule.invoker_uid == invoker and rule.target_uid == target
+        and (rule.unrestricted() or binary in rule.commands)
+        for rule in rules
+    ), f"{invoker}->{target} via {binary} committed without a rule"
+
+
+@given(rules=st.lists(rule_strategy, max_size=4),
+       invoker=st.sampled_from(UIDS))
+@settings(max_examples=40, deadline=None)
+def test_root_never_reachable_without_a_root_rule(rules, invoker):
+    """No generated rule targets root, so no action sequence may
+    produce euid 0."""
+    system = System(SystemMode.PROTEGO, start_daemon=False)
+    system.protego.delegation.replace_rules(list(rules))
+    task = system.kernel.user_task(invoker, invoker)
+    for target in UIDS + (0,):
+        try:
+            system.kernel.sys_setuid(task, target)
+        except SyscallError:
+            continue
+        for binary in BINARIES:
+            try:
+                system.kernel.sys_execve(task, binary, [binary])
+            except SyscallError:
+                continue
+    assert task.cred.euid != 0
+    assert not task.cred.has_cap(
+        __import__("repro.kernel.capabilities", fromlist=["Capability"])
+        .Capability.CAP_SYS_ADMIN)

@@ -1,0 +1,180 @@
+"""Property-based tests: every policy grammar round-trips.
+
+The /proc configuration files and the legacy config parsers are the
+trust boundary between the daemon and the kernel; serialize-then-parse
+must be the identity on the policy structures, for *any* policy.
+"""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config.bindconf import BindEntry, format_bind_config, parse_bind_config
+from repro.config.fstab import FstabEntry, format_fstab, parse_fstab
+from repro.config.passwd_db import (
+    GroupEntry,
+    PasswdEntry,
+    ShadowEntry,
+    format_group,
+    format_passwd,
+    format_shadow,
+    parse_group,
+    parse_passwd,
+    parse_shadow,
+)
+from repro.core.bind_policy import BindPolicy, PortGrant
+from repro.core.delegation import DelegationPolicy, DelegationRule
+from repro.core.mount_policy import MountPolicy, MountRule
+
+names = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=12)
+paths = st.lists(names, min_size=1, max_size=4).map(lambda parts: "/" + "/".join(parts))
+uids = st.integers(min_value=0, max_value=65534)
+option_words = st.sampled_from(
+    ["ro", "rw", "noexec", "nodev", "sync", "quiet", "relatime"])
+
+
+fstab_entries = st.builds(
+    FstabEntry,
+    device=paths,
+    mountpoint=paths,
+    fstype=st.sampled_from(["ext4", "vfat", "iso9660", "tmpfs", "fuse"]),
+    options=st.lists(st.one_of(option_words, st.sampled_from(["user", "users", "noauto"])),
+                     min_size=1, max_size=4, unique=True).map(tuple),
+    dump=st.integers(0, 1),
+    passno=st.integers(0, 2),
+)
+
+
+@given(st.lists(fstab_entries, max_size=8))
+@settings(max_examples=60)
+def test_fstab_roundtrip(entries):
+    assert parse_fstab(format_fstab(entries)) == entries
+
+
+passwd_entries = st.builds(
+    PasswdEntry,
+    name=names,
+    uid=uids,
+    gid=uids,
+    gecos=st.text(alphabet=string.ascii_letters + " ", max_size=20),
+    home=paths,
+    shell=paths,
+)
+
+
+@given(st.lists(passwd_entries, max_size=6))
+@settings(max_examples=60)
+def test_passwd_roundtrip(entries):
+    assert parse_passwd(format_passwd(entries)) == entries
+
+
+shadow_entries = st.builds(
+    ShadowEntry,
+    name=names,
+    password_hash=st.text(alphabet=string.ascii_letters + string.digits + "$",
+                          max_size=30),
+    last_change=st.integers(0, 30000),
+    min_days=st.integers(0, 30),
+    max_days=st.integers(0, 99999),
+)
+
+
+@given(st.lists(shadow_entries, max_size=6))
+@settings(max_examples=60)
+def test_shadow_roundtrip(entries):
+    parsed = parse_shadow(format_shadow(entries))
+    assert [(e.name, e.password_hash, e.last_change) for e in parsed] == [
+        (e.name, e.password_hash, e.last_change) for e in entries]
+
+
+group_entries = st.builds(
+    GroupEntry,
+    name=names,
+    gid=uids,
+    members=st.lists(names, max_size=4, unique=True),
+    password_hash=st.one_of(st.just(""), st.just("$5$s$deadbeef")),
+)
+
+
+@given(st.lists(group_entries, max_size=6))
+@settings(max_examples=60)
+def test_group_roundtrip(entries):
+    parsed = parse_group(format_group(entries))
+    assert [(e.name, e.gid, e.members, e.password_hash) for e in parsed] == [
+        (e.name, e.gid, e.members, e.password_hash) for e in entries]
+
+
+bind_entries = st.builds(
+    BindEntry,
+    port=st.integers(1, 1023),
+    proto=st.sampled_from(["tcp", "udp"]),
+    binary=paths,
+    user=names,
+)
+
+
+@given(st.lists(bind_entries, max_size=8,
+                unique_by=lambda e: (e.port, e.proto)))
+@settings(max_examples=60)
+def test_bind_config_roundtrip(entries):
+    assert parse_bind_config(format_bind_config(entries)) == entries
+
+
+mount_rules = st.builds(
+    MountRule,
+    device=paths,
+    mountpoint=paths,
+    fstype=st.sampled_from(["ext4", "vfat", "iso9660", "auto"]),
+    allowed_options=st.lists(option_words, max_size=3, unique=True).map(tuple),
+    any_user_may_umount=st.booleans(),
+)
+
+
+@given(st.lists(mount_rules, max_size=8))
+@settings(max_examples=60)
+def test_mount_proc_grammar_roundtrip(rules):
+    policy = MountPolicy(rules)
+    assert MountPolicy.parse(policy.serialize()) == rules
+
+
+port_grants = st.builds(
+    PortGrant,
+    port=st.integers(1, 1023),
+    proto=st.sampled_from(["tcp", "udp"]),
+    binary=paths,
+    uid=uids,
+)
+
+
+@given(st.lists(port_grants, max_size=8,
+                unique_by=lambda g: (g.port, g.proto)))
+@settings(max_examples=60)
+def test_bind_proc_grammar_roundtrip(grants):
+    policy = BindPolicy(grants)
+    parsed = BindPolicy.parse(policy.serialize())
+    assert sorted(parsed, key=lambda g: (g.port, g.proto)) == sorted(
+        grants, key=lambda g: (g.port, g.proto))
+
+
+delegation_rules = st.builds(
+    DelegationRule,
+    invoker_uid=st.one_of(st.none(), uids),
+    invoker_gid=st.none(),
+    target_uid=st.one_of(st.none(), uids),
+    commands=st.one_of(
+        st.just(("ALL",)),
+        st.lists(paths, min_size=1, max_size=3, unique=True).map(tuple),
+    ),
+    nopasswd=st.booleans(),
+    check_target_password=st.booleans(),
+    group_join_gid=st.one_of(st.none(), uids),
+)
+
+
+@given(st.lists(delegation_rules, max_size=8), st.integers(0, 60))
+@settings(max_examples=60)
+def test_delegation_proc_grammar_roundtrip(rules, window):
+    policy = DelegationPolicy(rules, auth_window_minutes=window)
+    parsed = DelegationPolicy.parse(policy.serialize())
+    assert parsed.rules() == rules
+    assert parsed.auth_window_minutes == window

@@ -1,0 +1,242 @@
+"""Property-based tests on kernel invariants.
+
+These are the load-bearing security properties: DAC monotonicity,
+longest-prefix routing, capability-set algebra, password hashing,
+netfilter first-match semantics, and the central Protego guarantee
+that LSM DENY beats everything.
+"""
+
+import string
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.auth.passwords import hash_password, verify_password
+from repro.kernel import modes
+from repro.kernel.capabilities import Capability, CapabilitySet
+from repro.kernel.cred import Credentials
+from repro.kernel.errno import SyscallError
+from repro.kernel.inode import make_file
+from repro.kernel.lsm import HookResult, LSMChain, SecurityModule
+from repro.kernel.net.netfilter import Chain, NetfilterTable, Rule, Verdict
+from repro.kernel.net.packets import HeaderOrigin, ICMPType, Packet, Protocol
+from repro.kernel.net.routing import Route, RoutingTable
+from repro.kernel.vfs import VFS
+
+uids = st.integers(min_value=1, max_value=60000)
+perm_bits = st.integers(min_value=0, max_value=0o777)
+masks = st.sampled_from([modes.R_OK, modes.W_OK, modes.X_OK,
+                         modes.R_OK | modes.W_OK,
+                         modes.R_OK | modes.X_OK])
+caps = st.sampled_from(list(Capability))
+cap_sets = st.lists(caps, max_size=8).map(CapabilitySet)
+
+
+class TestCapabilityAlgebra:
+    @given(cap_sets, cap_sets)
+    @settings(max_examples=50)
+    def test_union_commutative(self, a, b):
+        assert a.union(b) == b.union(a)
+
+    @given(cap_sets, cap_sets)
+    @settings(max_examples=50)
+    def test_intersection_subset_of_both(self, a, b):
+        both = a.intersection(b)
+        for cap in both:
+            assert cap in a and cap in b
+
+    @given(cap_sets, caps)
+    @settings(max_examples=50)
+    def test_add_then_drop_restores_absence(self, base, cap):
+        assume(not base.has(cap))
+        assert base.add(cap).drop(cap) == base
+
+    @given(cap_sets)
+    @settings(max_examples=50)
+    def test_full_absorbs_union(self, a):
+        assert CapabilitySet.full().union(a) == CapabilitySet.full()
+
+
+class TestDACProperties:
+    @given(uids, uids, perm_bits, masks)
+    @settings(max_examples=100)
+    def test_capability_never_reduces_access(self, owner, accessor, perm, mask):
+        """If a plain cred may access, the same cred with DAC caps may."""
+        vfs = VFS()
+        inode = make_file(b"", uid=owner, gid=owner, perm=perm)
+        plain = Credentials.for_user(accessor, accessor)
+        empowered = plain.with_caps(
+            effective=CapabilitySet([Capability.CAP_DAC_OVERRIDE,
+                                     Capability.CAP_DAC_READ_SEARCH]))
+        try:
+            vfs.dac_permission(plain, inode, mask)
+            allowed_plain = True
+        except SyscallError:
+            allowed_plain = False
+        if allowed_plain:
+            vfs.dac_permission(empowered, inode, mask)  # must not raise
+
+    @given(uids, perm_bits, masks)
+    @settings(max_examples=100)
+    def test_owner_class_is_exclusive(self, owner, perm, mask):
+        """Only the owner bits govern the owner, even if wider bits
+        exist for others (the 0o007 surprise)."""
+        vfs = VFS()
+        inode = make_file(b"", uid=owner, gid=owner, perm=perm)
+        cred = Credentials.for_user(owner, owner)
+        owner_bits = (perm >> 6) & 0o7
+        expect = (owner_bits & mask) == mask
+        try:
+            vfs.dac_permission(cred, inode, mask)
+            got = True
+        except SyscallError:
+            got = False
+        assert got == expect
+
+    @given(uids, uids, perm_bits)
+    @settings(max_examples=100)
+    def test_f_ok_never_denied(self, owner, accessor, perm):
+        vfs = VFS()
+        inode = make_file(b"", uid=owner, gid=owner, perm=perm)
+        vfs.dac_permission(Credentials.for_user(accessor, accessor),
+                           inode, modes.F_OK)
+
+
+octets = st.integers(0, 255)
+prefixes = st.integers(8, 30)
+
+
+@st.composite
+def cidrs(draw):
+    a, b = draw(octets), draw(octets)
+    prefix = draw(prefixes)
+    return f"10.{a}.{b}.0/{prefix}"
+
+
+class TestRoutingProperties:
+    @given(st.lists(cidrs(), min_size=1, max_size=8, unique=True))
+    @settings(max_examples=60)
+    def test_lookup_returns_longest_matching_prefix(self, networks):
+        table = RoutingTable()
+        for index, network in enumerate(networks):
+            table.add(Route(network, f"dev{index}"))
+        import ipaddress
+        probe = ipaddress.ip_network(networks[0], strict=False).network_address
+        best = table.lookup(str(probe))
+        assert best is not None
+        matching = [
+            route for route in table.routes()
+            if probe in route.network()
+        ]
+        assert best.network().prefixlen == max(
+            r.network().prefixlen for r in matching)
+
+    @given(cidrs(), cidrs())
+    @settings(max_examples=60)
+    def test_conflict_is_symmetric(self, net_a, net_b):
+        table_a = RoutingTable()
+        table_a.add(Route(net_a, "a"))
+        table_b = RoutingTable()
+        table_b.add(Route(net_b, "b"))
+        conflict_ab = table_a.conflicts_with(Route(net_b, "b")) is not None
+        conflict_ba = table_b.conflicts_with(Route(net_a, "a")) is not None
+        assert conflict_ab == conflict_ba
+
+    @given(st.lists(cidrs(), min_size=1, max_size=6, unique=True))
+    @settings(max_examples=60)
+    def test_remove_by_device_removes_exactly_that_device(self, networks):
+        table = RoutingTable()
+        for index, network in enumerate(networks):
+            table.add(Route(network, "ppp0" if index % 2 else "eth0"))
+        table.remove_by_device("ppp0")
+        assert all(r.device == "eth0" for r in table.routes())
+
+
+class TestPasswordProperties:
+    passwords = st.text(alphabet=string.printable, max_size=30)
+
+    @given(passwords)
+    @settings(max_examples=60)
+    def test_hash_verify_roundtrip(self, password):
+        assert verify_password(password, hash_password(password))
+
+    @given(passwords, passwords)
+    @settings(max_examples=60)
+    def test_wrong_password_rejected(self, real, guess):
+        assume(real != guess)
+        assert not verify_password(guess, hash_password(real))
+
+    @given(passwords)
+    @settings(max_examples=30)
+    def test_hashes_are_salted(self, password):
+        assert hash_password(password) != hash_password(password)
+
+
+icmp_types = st.sampled_from(list(ICMPType))
+packets = st.builds(
+    Packet,
+    protocol=st.sampled_from([Protocol.ICMP, Protocol.TCP, Protocol.UDP]),
+    src_ip=st.just("10.0.0.1"),
+    dst_ip=st.just("10.0.0.2"),
+    dst_port=st.integers(0, 65535),
+    icmp_type=st.one_of(st.none(), icmp_types),
+    header_origin=st.sampled_from(list(HeaderOrigin)),
+)
+rules = st.builds(
+    Rule,
+    verdict=st.sampled_from(list(Verdict)),
+    protocol=st.one_of(st.none(),
+                       st.sampled_from([Protocol.ICMP, Protocol.TCP, Protocol.UDP])),
+    dst_port=st.one_of(st.none(), st.integers(0, 65535)),
+    spoofed_transport=st.one_of(st.none(), st.booleans()),
+)
+
+
+class TestNetfilterProperties:
+    @given(st.lists(rules, max_size=8), packets)
+    @settings(max_examples=80)
+    def test_first_match_wins(self, rule_list, packet):
+        table = NetfilterTable()
+        table.extend(rule_list)
+        verdict = table.evaluate(Chain.OUTPUT, packet)
+        for rule in rule_list:
+            if rule.matches(packet, None):
+                assert verdict == rule.verdict
+                break
+        else:
+            assert verdict == table.policy[Chain.OUTPUT]
+
+    @given(packets)
+    @settings(max_examples=60)
+    def test_empty_chain_applies_policy(self, packet):
+        table = NetfilterTable()
+        assert table.evaluate(Chain.OUTPUT, packet) is Verdict.ACCEPT
+        table.policy[Chain.OUTPUT] = Verdict.DROP
+        assert table.evaluate(Chain.OUTPUT, packet) is Verdict.DROP
+
+
+class _Allow(SecurityModule):
+    name = "allow-all"
+
+    def file_open(self, task, path, inode, flags):
+        return HookResult.ALLOW
+
+
+class _Deny(SecurityModule):
+    name = "deny-all"
+
+    def file_open(self, task, path, inode, flags):
+        return HookResult.DENY
+
+
+class TestLSMCombination:
+    @given(st.permutations([_Allow(), _Deny(), SecurityModule()]))
+    @settings(max_examples=20)
+    def test_deny_wins_regardless_of_order(self, module_order):
+        chain = LSMChain(list(module_order))
+        assert chain.call("file_open", None, "/x", None, 0) is HookResult.DENY
+
+    @given(st.permutations([_Allow(), SecurityModule(), SecurityModule()]))
+    @settings(max_examples=20)
+    def test_allow_beats_pass(self, module_order):
+        chain = LSMChain(list(module_order))
+        assert chain.call("file_open", None, "/x", None, 0) is HookResult.ALLOW

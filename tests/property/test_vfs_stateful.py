@@ -1,0 +1,133 @@
+"""Stateful property test: the VFS against a model filesystem.
+
+Hypothesis drives random sequences of mkdir/write/read/unlink/chmod
+through the syscall layer as root and checks every observable result
+against a plain-dict model. Catches path-resolution, offset, and
+permission-bookkeeping bugs that example-based tests miss.
+"""
+
+import string
+
+from hypothesis import settings, strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.kernel import Kernel, modes
+from repro.kernel.errno import Errno, SyscallError
+
+names = st.sampled_from(["a", "b", "c", "dir1", "dir2", "file", "x"])
+payloads = st.binary(max_size=64)
+
+
+class VFSModel(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.kernel = Kernel()
+        self.root = self.kernel.root_task()
+        # model: path -> bytes (files) | None (directories)
+        self.model = {"/tmp": None}
+
+    # ------------------------------------------------------------------
+    def _parents_exist(self, path: str) -> bool:
+        parent = path.rsplit("/", 1)[0] or "/"
+        return parent == "/" or self.model.get(parent, "missing") is None
+
+    @rule(parent=st.sampled_from(["/tmp", "/tmp/dir1", "/tmp/dir2"]), name=names)
+    def mkdir(self, parent, name):
+        path = f"{parent}/{name}"
+        expect_ok = (self.model.get(parent, "missing") is None
+                     and path not in self.model)
+        try:
+            self.kernel.sys_mkdir(self.root, path)
+            assert expect_ok, f"mkdir {path} succeeded unexpectedly"
+            self.model[path] = None
+        except SyscallError as err:
+            assert not expect_ok, f"mkdir {path} failed: {err}"
+
+    @rule(parent=st.sampled_from(["/tmp", "/tmp/dir1", "/tmp/dir2"]),
+          name=names, payload=payloads)
+    def write(self, parent, name, payload):
+        path = f"{parent}/{name}"
+        parent_ok = self.model.get(parent, "missing") is None
+        is_dir = self.model.get(path, "missing") is None and path in self.model
+        expect_ok = parent_ok and not is_dir
+        try:
+            self.kernel.write_file(self.root, path, payload)
+            assert expect_ok, f"write {path} succeeded unexpectedly"
+            self.model[path] = payload
+        except SyscallError:
+            assert not expect_ok, f"write {path} failed unexpectedly"
+
+    @rule(parent=st.sampled_from(["/tmp", "/tmp/dir1", "/tmp/dir2"]), name=names)
+    def read(self, parent, name):
+        path = f"{parent}/{name}"
+        expected = self.model.get(path, "missing")
+        try:
+            data = self.kernel.read_file(self.root, path)
+            assert isinstance(expected, (bytes, bytearray)), (
+                f"read {path} succeeded but model has {expected!r}")
+            assert data == expected
+        except SyscallError as err:
+            if isinstance(expected, (bytes, bytearray)):
+                raise AssertionError(f"read {path} failed: {err}")
+
+    @rule(parent=st.sampled_from(["/tmp", "/tmp/dir1", "/tmp/dir2"]), name=names)
+    def unlink(self, parent, name):
+        path = f"{parent}/{name}"
+        entry = self.model.get(path, "missing")
+        expect_ok = isinstance(entry, (bytes, bytearray))
+        try:
+            self.kernel.sys_unlink(self.root, path)
+            assert expect_ok, f"unlink {path} succeeded unexpectedly"
+            del self.model[path]
+        except SyscallError as err:
+            if expect_ok:
+                raise AssertionError(f"unlink {path} failed: {err}")
+            if entry is None and path in self.model:
+                assert err.errno_value == Errno.EISDIR
+            else:
+                assert err.errno_value in (Errno.ENOENT, Errno.ENOTDIR)
+
+    @rule(parent=st.sampled_from(["/tmp", "/tmp/dir1"]), name=names,
+          perm=st.integers(0, 0o777))
+    def chmod(self, parent, name, perm):
+        path = f"{parent}/{name}"
+        exists = self.model.get(path, "missing") != "missing"
+        try:
+            self.kernel.sys_chmod(self.root, path, perm)
+            assert exists
+            st_result = self.kernel.sys_stat(self.root, path)
+            assert st_result.mode & 0o777 == perm
+        except SyscallError:
+            assert not exists
+
+    # ------------------------------------------------------------------
+    @invariant()
+    def every_model_entry_resolves(self):
+        for path, entry in self.model.items():
+            inode = self.kernel.vfs.resolve(path)
+            if entry is None:
+                assert inode.is_dir(), path
+            else:
+                assert inode.read_bytes() == bytes(entry), path
+
+    @invariant()
+    def readdir_matches_model(self):
+        for directory in [p for p, e in self.model.items() if e is None]:
+            try:
+                listed = set(self.kernel.sys_readdir(self.root, directory))
+            except SyscallError:
+                continue
+            prefix = directory.rstrip("/") + "/"
+            expected = {p[len(prefix):] for p in self.model
+                        if p.startswith(prefix) and "/" not in p[len(prefix):]}
+            assert listed == expected, directory
+
+
+VFSModel.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None)
+TestVFSStateful = VFSModel.TestCase

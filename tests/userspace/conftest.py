@@ -1,0 +1,33 @@
+"""Shared fixtures: a System per mode, so every functional test can be
+parametrized over LINUX and PROTEGO (the paper's section 5.3 claim is
+that behaviour is identical)."""
+
+import pytest
+
+from repro.core import System, SystemMode
+
+
+@pytest.fixture(params=[SystemMode.LINUX, SystemMode.PROTEGO],
+                ids=["linux", "protego"])
+def system(request):
+    return System(request.param)
+
+
+@pytest.fixture
+def protego_system():
+    return System(SystemMode.PROTEGO)
+
+
+@pytest.fixture
+def linux_system():
+    return System(SystemMode.LINUX)
+
+
+@pytest.fixture
+def alice(system):
+    return system.session_for("alice")
+
+
+@pytest.fixture
+def bob(system):
+    return system.session_for("bob")

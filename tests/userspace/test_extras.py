@@ -1,0 +1,106 @@
+"""Tests for the long-tail utilities: fping, tcptraceroute, lppasswd,
+and ssh host-based authentication."""
+
+import pytest
+
+from repro.core import SystemMode
+from repro.kernel.net.stack import RemoteHost
+
+
+class TestFping:
+    def test_mixed_alive_and_unreachable(self, system, alice):
+        status, out = system.run(alice, "/usr/bin/fping",
+                                 ["fping", "8.8.8.8", "10.250.0.9"])
+        assert status == 0
+        assert "8.8.8.8 is alive" in out
+        assert "10.250.0.9 is unreachable" in out
+
+    def test_usage(self, system, alice):
+        status, _ = system.run(alice, "/usr/bin/fping", ["fping"])
+        assert status == 2
+
+
+class TestTcptraceroute:
+    def test_reaches_host(self, system, alice):
+        status, out = system.run(alice, "/usr/bin/tcptraceroute",
+                                 ["tcptraceroute", "8.8.8.8"])
+        assert status == 0, out
+        assert any("open" in line or line for line in out)
+
+    def test_protego_uses_safe_probes(self, protego_system):
+        """On Protego the tool emits ICMP probes (raw TCP would be
+        dropped by the unprivileged-raw rules); functionality is
+        preserved through the safe packet shape."""
+        alice = protego_system.session_for("alice")
+        status, out = protego_system.run(
+            alice, "/usr/bin/tcptraceroute", ["tcptraceroute", "8.8.8.8"])
+        assert status == 0, out
+
+    def test_legacy_emits_real_tcp_probes(self, linux_system):
+        alice = linux_system.session_for("alice")
+        status, _out = linux_system.run(
+            alice, "/usr/bin/tcptraceroute", ["tcptraceroute", "8.8.8.8"])
+        assert status == 0
+        from repro.kernel.net.packets import Protocol
+        sent = list(linux_system.kernel.net.sent_log)
+        assert any(p.protocol is Protocol.TCP for p in sent)
+
+
+class TestLppasswd:
+    def test_sets_printing_password(self, system, alice):
+        status, out = system.run(alice, "/usr/bin/lppasswd",
+                                 ["lppasswd", "print-secret"])
+        assert status == 0, out
+        kernel = system.kernel
+        if system.mode is SystemMode.PROTEGO:
+            data = kernel.read_file(kernel.init, "/etc/cups/passwds/alice")
+        else:
+            data = kernel.read_file(kernel.init, "/etc/cups/passwd.md5")
+        assert b"alice:" in data
+
+    def test_protego_user_cannot_touch_others_fragment(self, protego_system):
+        bob = protego_system.session_for("bob")
+        from repro.kernel.errno import SyscallError
+        with pytest.raises(SyscallError):
+            protego_system.kernel.read_file(bob, "/etc/cups/passwds/alice")
+
+    def test_legacy_update_preserves_other_records(self, linux_system):
+        alice = linux_system.session_for("alice")
+        bob = linux_system.session_for("bob")
+        linux_system.run(alice, "/usr/bin/lppasswd", ["lppasswd", "a-pw"])
+        linux_system.run(bob, "/usr/bin/lppasswd", ["lppasswd", "b-pw"])
+        data = linux_system.kernel.read_file(
+            linux_system.kernel.init, "/etc/cups/passwd.md5").decode()
+        assert "alice:" in data and "bob:" in data
+
+
+class TestSshHostBased:
+    @pytest.fixture(autouse=True)
+    def _ssh_server(self, system):
+        system.kernel.net.add_remote_host(RemoteHost("192.168.1.30", hops=1))
+
+    def test_hostbased_auth_uses_keysign(self, system, alice):
+        status, out = system.run(
+            alice, "/usr/bin/ssh",
+            ["ssh", "-o", "HostbasedAuthentication=yes", "192.168.1.30"])
+        assert status == 0, out
+        assert any("hostbased sig" in line for line in out)
+
+    def test_plain_connect_without_keysign(self, system, alice):
+        status, out = system.run(alice, "/usr/bin/ssh", ["ssh", "192.168.1.30"])
+        assert status == 0
+        assert not any("hostbased" in line for line in out)
+
+    def test_signature_identical_on_both_systems(self, linux_system,
+                                                 protego_system):
+        """Same host key, same blob -> same signature, whichever
+        privilege mechanism guards the key."""
+        outputs = []
+        for system in (linux_system, protego_system):
+            system.kernel.net.add_remote_host(RemoteHost("192.168.1.30", hops=1))
+            user = system.session_for("alice")
+            _status, out = system.run(
+                user, "/usr/bin/ssh",
+                ["ssh", "-o", "HostbasedAuthentication=yes", "192.168.1.30"])
+            outputs.append(out[-1])
+        assert outputs[0] == outputs[1]

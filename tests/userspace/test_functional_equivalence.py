@@ -1,0 +1,301 @@
+"""Functional equivalence scripts (paper section 5.3).
+
+Every test here runs on BOTH systems via the parametrized ``system``
+fixture: the utilities must have the same output and effects on Linux
+and Protego. These scripts are also what the Table 7 coverage
+measurement traces.
+"""
+
+import pytest
+
+from repro.core import SystemMode
+from repro.core.recency import stamp_authentication
+
+
+class TestMountEquivalence:
+    def test_user_mounts_cdrom(self, system, alice):
+        status, out = system.run(alice, "/bin/mount",
+                                 ["mount", "/dev/cdrom", "/cdrom"])
+        assert status == 0
+        assert out == ["mounted /dev/cdrom on /cdrom"]
+        assert system.kernel.vfs.mount_at("/cdrom") is not None
+
+    def test_user_cannot_mount_over_etc(self, system, alice):
+        status, _out = system.run(alice, "/bin/mount",
+                                  ["mount", "/dev/cdrom", "/etc"])
+        assert status != 0
+        assert system.kernel.vfs.mount_at("/etc") is None
+
+    def test_user_cannot_mount_arbitrary_source(self, system, alice):
+        status, _out = system.run(alice, "/bin/mount",
+                                  ["mount", "tmpfs", "/mnt", "-t", "tmpfs"])
+        assert status != 0
+
+    def test_mounter_unmounts_cdrom(self, system, alice):
+        system.run(alice, "/bin/mount", ["mount", "/dev/cdrom", "/cdrom"])
+        status, out = system.run(alice, "/bin/umount", ["umount", "/cdrom"])
+        assert status == 0
+        assert system.kernel.vfs.mount_at("/cdrom") is None
+
+    def test_other_user_cannot_unmount_user_entry(self, system, alice, bob):
+        system.run(alice, "/bin/mount", ["mount", "/dev/cdrom", "/cdrom"])
+        status, _out = system.run(bob, "/bin/umount", ["umount", "/cdrom"])
+        assert status != 0
+        assert system.kernel.vfs.mount_at("/cdrom") is not None
+
+    def test_any_user_unmounts_users_entry(self, system, alice, bob):
+        system.run(alice, "/bin/mount", ["mount", "/dev/usb0", "/media/usb"])
+        status, _out = system.run(bob, "/bin/umount", ["umount", "/media/usb"])
+        assert status == 0
+
+    def test_root_mounts_anything(self, system):
+        root = system.root_session()
+        status, _out = system.run(root, "/bin/mount",
+                                  ["mount", "tmpfs", "/mnt", "-t", "tmpfs"])
+        assert status == 0
+
+    def test_usage_error(self, system, alice):
+        status, out = system.run(alice, "/bin/mount", ["mount"])
+        assert status == 2
+        assert "usage" in out[0]
+
+
+class TestNetworkUtilityEquivalence:
+    def test_ping_remote(self, system, alice):
+        status, out = system.run(alice, "/bin/ping",
+                                 ["ping", "-c", "2", "8.8.8.8"])
+        assert status == 0
+        assert out[-1] == "2 packets transmitted, 2 received"
+
+    def test_ping_unreachable(self, system, alice):
+        status, _out = system.run(alice, "/bin/ping", ["ping", "10.255.255.1"])
+        assert status != 0 or "0 received" in _out[-1]
+
+    def test_traceroute_reaches_host(self, system, alice):
+        status, out = system.run(alice, "/usr/bin/traceroute",
+                                 ["traceroute", "8.8.8.8"])
+        assert status == 0
+        assert any("reached" in line for line in out)
+        # 8 hops away: 8 TIME_EXCEEDED lines then the reply.
+        assert len(out) == 9
+
+    def test_arping(self, system, alice):
+        status, out = system.run(alice, "/usr/bin/arping",
+                                 ["arping", "192.168.1.20"])
+        assert status == 0
+
+    def test_mtr(self, system, alice):
+        status, out = system.run(alice, "/usr/bin/mtr", ["mtr", "-r", "8.8.8.8"])
+        assert status == 0
+        assert "mtr:" in out[-1]
+
+    def test_eject(self, system, alice):
+        status, out = system.run(alice, "/usr/bin/eject", ["eject", "cdrom"])
+        assert status == 0
+        assert system.kernel.devices.get("cdrom").ejected
+
+
+class TestDelegationEquivalence:
+    def test_sudo_delegated_command(self, system, alice):
+        status, out = system.run(
+            alice, "/usr/bin/sudo",
+            ["sudo", "-u", "bob", "/usr/bin/lpr", "report.pdf"],
+            feed=["alice-password"],
+        )
+        assert status == 0
+        assert out == ["lpr: queued report.pdf as uid 1001"]
+
+    def test_sudo_unlisted_command_denied(self, system, alice):
+        status, _out = system.run(
+            alice, "/usr/bin/sudo", ["sudo", "-u", "bob", "/bin/sh"],
+            feed=["alice-password"],
+        )
+        assert status != 0
+
+    def test_sudo_wrong_password_denied(self, system, alice):
+        status, _out = system.run(
+            alice, "/usr/bin/sudo",
+            ["sudo", "-u", "bob", "/usr/bin/lpr", "x"],
+            feed=["wrong", "wrong", "wrong"],
+        )
+        assert status != 0
+
+    def test_sudo_nopasswd_rule(self, system, bob):
+        status, out = system.run(
+            bob, "/usr/bin/sudo", ["sudo", "-u", "alice", "/usr/bin/lpr", "y"])
+        assert status == 0
+        assert "uid 1000" in out[0]
+
+    def test_sudo_admin_group_to_root(self, system):
+        admin = system.session_for("admin1")
+        status, out = system.run(
+            admin, "/usr/bin/sudo", ["sudo", "/usr/bin/whoami"],
+            feed=["admin1-password"])
+        assert status == 0
+        assert out == ["0"]
+
+    def test_sudo_recency_window(self, system):
+        admin = system.session_for("admin1")
+        status, _out = system.run(
+            admin, "/usr/bin/sudo", ["sudo", "/usr/bin/whoami"],
+            feed=["admin1-password"])
+        assert status == 0
+        # Second invocation within the window: no password needed.
+        status, out = system.run(admin, "/usr/bin/sudo", ["sudo", "/usr/bin/whoami"])
+        assert status == 0
+        assert out == ["0"]
+
+    def test_su_to_user_with_target_password(self, system, alice):
+        status, out = system.run(alice, "/bin/su", ["su", "bob"],
+                                 feed=["bob-password"])
+        assert status == 0
+
+    def test_su_wrong_password(self, system, alice):
+        status, _out = system.run(alice, "/bin/su", ["su", "bob"],
+                                  feed=["wrong", "wrong", "wrong"])
+        assert status != 0
+
+    def test_newgrp_member(self, system, alice):
+        status, out = system.run(alice, "/usr/bin/newgrp", ["newgrp", "printers"])
+        assert status == 0
+
+    def test_newgrp_nonmember_denied(self, system, bob):
+        status, _out = system.run(bob, "/usr/bin/newgrp", ["newgrp", "printers"])
+        assert status != 0
+
+
+class TestAccountEquivalence:
+    def _authed_session(self, system, name):
+        task = system.session_for(name)
+        if system.mode is SystemMode.PROTEGO:
+            stamp_authentication(task, system.kernel.now())
+        return task
+
+    def test_passwd_changes_own_password(self, system):
+        alice = self._authed_session(system, "alice")
+        feed = (["new-secret"] if system.mode is SystemMode.PROTEGO
+                else ["alice-password", "new-secret"])
+        status, out = system.run(alice, "/usr/bin/passwd", ["passwd"], feed=feed)
+        assert status == 0, out
+        assert out[-1] == "passwd: password updated successfully"
+        system.sync()
+        from repro.auth.passwords import verify_password
+        shadow = system.userdb.shadow_for("alice")
+        assert verify_password("new-secret", shadow.password_hash)
+
+    def test_passwd_cannot_change_other_users(self, system):
+        alice = self._authed_session(system, "alice")
+        status, _out = system.run(alice, "/usr/bin/passwd", ["passwd", "bob"],
+                                  feed=["x"])
+        assert status != 0
+        system.sync()
+        from repro.auth.passwords import verify_password
+        assert verify_password("bob-password",
+                               system.userdb.shadow_for("bob").password_hash)
+
+    def test_chsh_valid_shell(self, system, alice):
+        status, _out = system.run(alice, "/usr/bin/chsh", ["chsh", "/bin/sh"])
+        assert status == 0
+        system.sync()
+        assert system.userdb.lookup_user("alice").shell == "/bin/sh"
+
+    def test_chsh_invalid_shell_rejected(self, system, alice):
+        status, _out = system.run(alice, "/usr/bin/chsh", ["chsh", "/tmp/evil"])
+        assert status != 0
+        system.sync()
+        assert system.userdb.lookup_user("alice").shell == "/bin/bash"
+
+    def test_chfn_updates_gecos(self, system, alice):
+        status, _out = system.run(alice, "/usr/bin/chfn", ["chfn", "Alice B"])
+        assert status == 0
+        system.sync()
+        assert system.userdb.lookup_user("alice").gecos == "Alice B"
+
+    def test_chfn_rejects_colon(self, system, alice):
+        status, _out = system.run(alice, "/usr/bin/chfn", ["chfn", "evil:0:0"])
+        assert status != 0
+
+    def test_other_users_records_untouched_by_chsh(self, system, alice):
+        before = system.userdb.lookup_user("bob")
+        system.run(alice, "/usr/bin/chsh", ["chsh", "/bin/sh"])
+        system.sync()
+        assert system.userdb.lookup_user("bob") == before
+
+    def test_vipw_as_root(self, system):
+        root = system.root_session()
+        status, _out = system.run(
+            root, "/usr/sbin/vipw", ["vipw", "bob", "shell", "/bin/sh"])
+        assert status == 0
+        system.sync()
+        assert system.userdb.lookup_user("bob").shell == "/bin/sh"
+
+
+class TestServiceEquivalence:
+    def test_exim_binds_port_25(self, system):
+        exim_user = system.userdb.lookup_user("Debian-exim")
+        if system.mode is SystemMode.PROTEGO:
+            task = system.kernel.user_task(exim_user.uid, exim_user.gid, comm="init-sv")
+        else:
+            task = system.root_session()
+        status, out = system.run(task, "/usr/sbin/exim4", ["exim4", "--listen"])
+        assert status == 0
+        assert "listening on port 25" in out[0]
+        # In both systems the service ends up unprivileged.
+        assert f"euid={exim_user.uid}" in out[0]
+
+    def test_random_user_cannot_bind_25(self, system, alice):
+        status, _out = system.run(alice, "/usr/sbin/exim4", ["exim4", "--listen"])
+        assert status != 0
+
+    def test_dmcrypt_get_device(self, system, alice):
+        status, out = system.run(
+            alice, "/usr/lib/eject/dmcrypt-get-device",
+            ["dmcrypt-get-device", "dm-0"])
+        assert status == 0
+        assert out == ["sda2", "sdb1"]
+
+    def test_ssh_keysign(self, system, alice):
+        status, out = system.run(
+            alice, "/usr/lib/openssh/ssh-keysign", ["ssh-keysign", "pubkey-blob"])
+        assert status == 0
+        from repro.userspace.sshkeysign import sign_blob
+        assert out == [sign_blob(b"HOSTKEY-SECRET-MATERIAL", b"pubkey-blob")]
+
+    def test_xserver_starts(self, system, alice):
+        status, out = system.run(alice, "/usr/bin/X", ["X", "-vt", "7"])
+        assert status == 0
+        card = system.kernel.devices.get("card0")
+        assert card.state.active_framebuffer != 0
+
+    def test_login_session(self, system):
+        task = system.login("alice", "alice-password")
+        assert task.cred.ruid == 1000
+        assert task.cred.euid == 1000
+        assert task.environ["USER"] == "alice"
+
+    def test_login_bad_password(self, system):
+        with pytest.raises(PermissionError):
+            system.login("alice", "wrong")
+
+    def test_pppd_establishes_link_and_route(self, system, alice):
+        status, out = system.run(
+            alice, "/usr/sbin/pppd",
+            ["pppd", "ttyS0", "10.8.0.1:10.8.0.2", "route=10.8.0.0/24",
+             "mru=1500"])
+        assert status == 0, out
+        assert any("route 10.8.0.0/24" in line for line in out)
+        route = system.kernel.net.routing.lookup("10.8.0.5")
+        assert route is not None and route.device.startswith("ppp")
+
+    def test_pppd_conflicting_route_falls_back_to_tty_only(self, system, alice):
+        status, out = system.run(
+            alice, "/usr/sbin/pppd",
+            ["pppd", "ttyS0", "10.8.0.1:10.8.0.2", "route=192.168.1.0/26"])
+        assert status == 0
+        assert any("tty-only" in line or "rejected" in line for line in out)
+
+    def test_pppd_privileged_option_denied_for_user(self, system, alice):
+        status, _out = system.run(
+            alice, "/usr/sbin/pppd",
+            ["pppd", "ttyS0", "10.8.0.1:10.8.0.2", "defaultroute"])
+        assert status != 0

@@ -1,0 +1,114 @@
+"""Tests for the extended iptables utility (Table 2: 175 lines)."""
+
+import pytest
+
+from repro.core import System, SystemMode
+from repro.core.rawsock_policy import RawSocketPolicy
+from repro.kernel.errno import SyscallError
+from repro.kernel.net.netfilter import Chain, Rule, Verdict
+from repro.kernel.net.packets import Protocol
+
+
+class TestAdminOnly:
+    def test_unprivileged_user_denied(self, system, alice):
+        status, out = system.run(alice, "/sbin/iptables",
+                                 ["iptables", "-L", "OUTPUT"])
+        assert status == 77
+        assert "Permission denied" in out[0]
+
+    def test_root_may_list(self, system):
+        root = system.root_session()
+        status, _out = system.run(root, "/sbin/iptables",
+                                  ["iptables", "-L", "OUTPUT"])
+        assert status == 0
+
+
+class TestRuleManagement:
+    def test_append_drop_rule_blocks_ping(self, protego_system):
+        root = protego_system.root_session()
+        status, _ = protego_system.run(
+            root, "/sbin/iptables",
+            ["iptables", "-A", "OUTPUT", "-p", "icmp", "-j", "DROP"])
+        assert status == 0
+        alice = protego_system.session_for("alice")
+        status, out = protego_system.run(alice, "/bin/ping",
+                                         ["ping", "-c", "1", "8.8.8.8"])
+        assert status != 0
+
+    def test_unprivileged_raw_match_scopes_rule(self, protego_system):
+        """The Protego extension: a DROP scoped to unprivileged raw
+        sockets stops alice's ping but not root's."""
+        root = protego_system.root_session()
+        protego_system.run(
+            root, "/sbin/iptables",
+            ["iptables", "-A", "OUTPUT", "-p", "icmp",
+             "--unprivileged-raw", "-j", "DROP"])
+        alice = protego_system.session_for("alice")
+        status, _ = protego_system.run(alice, "/bin/ping",
+                                       ["ping", "-c", "1", "8.8.8.8"])
+        assert status != 0
+        status, _ = protego_system.run(root, "/bin/ping",
+                                       ["ping", "-c", "1", "8.8.8.8"])
+        assert status == 0
+
+    def test_listing_shows_appended_rule(self, protego_system):
+        root = protego_system.root_session()
+        protego_system.run(root, "/sbin/iptables",
+                           ["iptables", "-A", "OUTPUT", "-p", "udp",
+                            "--dport", "53", "-j", "ACCEPT"])
+        status, out = protego_system.run(root, "/sbin/iptables",
+                                         ["iptables", "-L", "OUTPUT"])
+        assert status == 0
+        assert any("--dport 53" in line for line in out)
+
+    def test_flush_output_keeps_protego_chain(self, protego_system):
+        root = protego_system.root_session()
+        protego_system.run(root, "/sbin/iptables",
+                           ["iptables", "-F", "OUTPUT"])
+        netfilter = protego_system.kernel.net.netfilter
+        assert netfilter.rules(Chain.OUTPUT) == []
+        assert len(netfilter.rules(Chain.PROTEGO_RAW)) >= 3
+
+    def test_bad_specs_rejected(self, system):
+        root = system.root_session()
+        for argv in (["iptables", "-A", "OUTPUT", "-p", "carrier-pigeon",
+                      "-j", "DROP"],
+                     ["iptables", "-A", "OUTPUT", "-p", "icmp"],
+                     ["iptables", "-A", "NOCHAIN", "-j", "DROP"],
+                     ["iptables", "-X"],
+                     ["iptables"]):
+            status, _ = system.run(root, "/sbin/iptables", argv)
+            assert status == 2, argv
+
+
+class TestRawSocketPolicyReinstall:
+    def test_reinstall_preserves_admin_rules(self):
+        system = System(SystemMode.PROTEGO)
+        netfilter = system.kernel.net.netfilter
+        admin_rule = Rule(Verdict.DROP, protocol=Protocol.UDP, dst_port=9999,
+                          comment="admin firewall rule")
+        netfilter.append(admin_rule)
+        policy = RawSocketPolicy(rules=[])
+        policy.reinstall(netfilter)
+        assert admin_rule in netfilter.rules(Chain.OUTPUT)
+        assert netfilter.rules(Chain.PROTEGO_RAW) == []
+
+    def test_reinstall_swaps_unprivileged_rules(self):
+        system = System(SystemMode.PROTEGO)
+        netfilter = system.kernel.net.netfilter
+        new_rule = Rule(Verdict.ACCEPT, protocol=Protocol.ARP,
+                        applies_to_unprivileged_raw_only=True)
+        policy = RawSocketPolicy(rules=[new_rule])
+        policy.reinstall(netfilter)
+        scoped = netfilter.rules(Chain.PROTEGO_RAW)
+        assert len(scoped) == 1
+        assert scoped[0].protocol is Protocol.ARP
+
+    def test_disallowing_unprivileged_raw_restores_stock_linux(self):
+        system = System(SystemMode.PROTEGO)
+        system.protego.rawsock_policy.allow_unprivileged = False
+        alice = system.session_for("alice")
+        from repro.kernel.net.socket import AddressFamily, SocketType
+        with pytest.raises(SyscallError):
+            system.kernel.sys_socket(alice, AddressFamily.AF_INET,
+                                     SocketType.RAW, "icmp")

@@ -1,0 +1,88 @@
+"""Tests for the typed mount helpers and kppp (Table 3's nfs-common,
+cifs-utils, ecryptfs-utils, kppp packages)."""
+
+import pytest
+
+from repro.core import SystemMode
+
+
+class TestMountNfs:
+    def test_user_mounts_fstab_export(self, system, alice):
+        status, out = system.run(
+            alice, "/sbin/mount.nfs",
+            ["mount.nfs", "fileserver:/export", "/mnt/nfs"])
+        assert status == 0, out
+        mount = system.kernel.vfs.mount_at("/mnt/nfs")
+        assert mount is not None and mount.fs.fstype == "nfs"
+
+    def test_non_fstab_export_denied(self, system, alice):
+        status, _ = system.run(
+            alice, "/sbin/mount.nfs",
+            ["mount.nfs", "evilserver:/root", "/mnt/nfs"])
+        assert status != 0
+
+    def test_bad_source_syntax_rejected(self, system, alice):
+        status, out = system.run(
+            alice, "/sbin/mount.nfs", ["mount.nfs", "/not-a-remote", "/mnt/nfs"])
+        assert status == 2
+        assert "bad" in out[0]
+
+    def test_root_mounts_anything(self, system):
+        root = system.root_session()
+        status, _ = system.run(
+            root, "/sbin/mount.nfs", ["mount.nfs", "any:/thing", "/mnt"])
+        assert status == 0
+
+
+class TestMountCifs:
+    def test_user_mounts_fstab_share(self, system, alice):
+        status, out = system.run(
+            alice, "/sbin/mount.cifs", ["mount.cifs", "//nas/share", "/mnt/cifs"])
+        assert status == 0, out
+
+    def test_users_option_lets_anyone_unmount(self, system, alice, bob):
+        system.run(alice, "/sbin/mount.cifs",
+                   ["mount.cifs", "//nas/share", "/mnt/cifs"])
+        status, _ = system.run(bob, "/bin/umount", ["umount", "/mnt/cifs"])
+        assert status == 0
+
+    def test_unc_syntax_required(self, system, alice):
+        status, _ = system.run(
+            alice, "/sbin/mount.cifs", ["mount.cifs", "nas/share", "/mnt/cifs"])
+        assert status == 2
+
+
+class TestMountEcryptfs:
+    def test_user_mounts_own_private_dir(self, system, alice):
+        status, out = system.run(
+            alice, "/sbin/mount.ecryptfs",
+            ["mount.ecryptfs", "/home/alice/.Private", "/home/alice/Private"])
+        assert status == 0, out
+        mount = system.kernel.vfs.mount_at("/home/alice/Private")
+        assert mount.fs.fstype == "ecryptfs"
+
+    def test_cannot_stack_over_foreign_directory(self, system, bob):
+        status, _ = system.run(
+            bob, "/sbin/mount.ecryptfs",
+            ["mount.ecryptfs", "/home/bob/.Private", "/home/alice/Private"])
+        assert status != 0
+
+
+class TestKppp:
+    def test_kppp_drives_pppd(self, system, alice):
+        status, out = system.run(
+            alice, "/usr/bin/kppp", ["kppp", "ttyS0", "10.8.0.1:10.8.0.2"])
+        assert status == 0, out
+        assert any("pppd: link" in line for line in out)
+
+    def test_kppp_usage(self, system, alice):
+        status, _ = system.run(alice, "/usr/bin/kppp", ["kppp"])
+        assert status == 2
+
+    def test_protego_kppp_has_no_privilege_anywhere(self, protego_system):
+        alice = protego_system.session_for("alice")
+        protego_system.run(alice, "/usr/bin/kppp",
+                           ["kppp", "ttyS0", "10.8.0.1:10.8.0.2"])
+        elevated = [r for r in protego_system.kernel.audit
+                    if r.uid == 1000 and r.euid == 0]
+        assert elevated == []

@@ -1,0 +1,146 @@
+"""Tests for pkexec / dbus-daemon-launch-helper and their explication."""
+
+import pytest
+
+from repro.config.polkit import (
+    PolkitError,
+    PolkitRule,
+    DbusService,
+    dbus_services_to_sudoers,
+    parse_dbus_services,
+    parse_polkit_rules,
+    polkit_rules_to_sudoers,
+)
+from repro.core import System, SystemMode
+
+
+class TestPolkitConfig:
+    def test_parse_rules(self):
+        rules = parse_polkit_rules(
+            "action org.x.a auth_self /bin/a\n"
+            "action org.x.b auth_admin /bin/b group=wheel\n"
+            "action org.x.c yes /bin/c\n"
+            "action org.x.d no /bin/d\n")
+        assert len(rules) == 4
+        assert rules[1].admin_group == "wheel"
+        assert rules[2].auth == "yes"
+
+    def test_bad_auth_rejected(self):
+        with pytest.raises(PolkitError, match="bad auth"):
+            parse_polkit_rules("action org.x maybe /bin/a\n")
+
+    def test_relative_command_rejected(self):
+        with pytest.raises(PolkitError, match="absolute"):
+            parse_polkit_rules("action org.x yes bin/a\n")
+
+    def test_parse_dbus_services(self):
+        services = parse_dbus_services("service org.S svc-user /bin/daemon\n")
+        assert services == [DbusService("org.S", "svc-user", "/bin/daemon")]
+
+    def test_explication_to_sudoers(self):
+        text = polkit_rules_to_sudoers([
+            PolkitRule("a", "yes", "/bin/a"),
+            PolkitRule("b", "auth_self", "/bin/b"),
+            PolkitRule("c", "auth_admin", "/bin/c", admin_group="admin"),
+            PolkitRule("d", "no", "/bin/d"),
+        ])
+        assert "ALL ALL=(root) NOPASSWD: /bin/a" in text
+        assert "ALL ALL=(root) /bin/b" in text
+        assert "%admin ALL=(root) /bin/c" in text
+        assert "/bin/d" not in text
+
+    def test_dbus_explication(self):
+        text = dbus_services_to_sudoers([DbusService("s", "svc", "/bin/x")])
+        assert "ALL ALL=(svc) NOPASSWD: /bin/x" in text
+
+
+class TestPkexecBothModes:
+    def test_auth_self_action(self, system):
+        alice = system.session_for("alice")
+        status, out = system.run(
+            alice, "/usr/bin/pkexec", ["pkexec", "/usr/bin/lpr", "doc"],
+            feed=["alice-password"])
+        assert status == 0, out
+        assert any("uid 0" in line for line in out)  # ran as root
+
+    def test_admin_action_denied_to_non_member(self, system):
+        alice = system.session_for("alice")
+        status, _out = system.run(
+            alice, "/usr/bin/pkexec", ["pkexec", "/bin/true"],
+            feed=["alice-password"])
+        assert status != 0
+
+    def test_admin_action_allowed_to_member(self, system):
+        admin = system.session_for("admin1")
+        status, out = system.run(
+            admin, "/usr/bin/pkexec", ["pkexec", "/bin/true"],
+            feed=["admin1-password"])
+        assert status == 0, out
+
+    def test_forbidden_action(self, system):
+        alice = system.session_for("alice")
+        status, _out = system.run(
+            alice, "/usr/bin/pkexec", ["pkexec", "/bin/sh"],
+            feed=["alice-password"])
+        assert status != 0
+
+    def test_wrong_password_denied(self, system):
+        alice = system.session_for("alice")
+        status, _out = system.run(
+            alice, "/usr/bin/pkexec", ["pkexec", "/usr/bin/lpr", "x"],
+            feed=["nope", "nope", "nope"])
+        assert status != 0
+
+
+class TestDbusHelperBothModes:
+    def test_activates_service_as_service_user(self, system):
+        alice = system.session_for("alice")
+        status, out = system.run(
+            alice, "/usr/lib/dbus-1.0/dbus-daemon-launch-helper",
+            ["dbus-daemon-launch-helper", "org.example.WebHelper"])
+        assert status == 0, out
+
+    def test_unknown_service(self, system):
+        alice = system.session_for("alice")
+        status, _out = system.run(
+            alice, "/usr/lib/dbus-1.0/dbus-daemon-launch-helper",
+            ["dbus-daemon-launch-helper", "org.example.Nope"])
+        assert status != 0
+
+
+class TestProtegoExplication:
+    def test_dropins_generated(self):
+        system = System(SystemMode.PROTEGO)
+        kernel = system.kernel
+        text = kernel.read_file(kernel.init, "/etc/sudoers.d/protego-polkit").decode()
+        assert "/usr/bin/lpr" in text
+        text = kernel.read_file(kernel.init, "/etc/sudoers.d/protego-dbus").decode()
+        assert "/bin/true" in text
+
+    def test_polkit_edit_propagates(self):
+        system = System(SystemMode.PROTEGO)
+        kernel = system.kernel
+        kernel.write_file(kernel.init, "/etc/polkit-1/rules",
+                          b"action org.new yes /usr/bin/whoami\n")
+        system.sync()
+        charlie = system.session_for("charlie")
+        status, out = system.run(charlie, "/usr/bin/pkexec",
+                                 ["pkexec", "/usr/bin/whoami"])
+        assert status == 0, out
+        assert out == ["0"]
+
+    def test_pkexec_never_holds_root_before_checks_on_protego(self):
+        """The paper's ordering: root only *after* all checks succeed."""
+        system = System(SystemMode.PROTEGO)
+        alice = system.session_for("alice")
+        seen = {}
+
+        def payload(kernel, task):
+            seen["euid"] = task.cred.euid
+
+        program = system.programs["/usr/bin/pkexec"]
+        program.exploit = payload
+        system.run(alice, "/usr/bin/pkexec", ["pkexec", "/usr/bin/lpr", "x"],
+                   feed=["alice-password"])
+        program.exploit = None
+        assert seen["euid"] == 1000  # parsing ran as alice, never root

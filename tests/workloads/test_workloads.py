@@ -1,0 +1,106 @@
+"""Unit tests for the Table 5 workload drivers (fast settings)."""
+
+import pytest
+
+from repro.core import System, SystemMode
+from repro.workloads.apachebench import ABDriver, run_apachebench
+from repro.workloads.harness import BenchResult, time_pair, time_per_op
+from repro.workloads.kernel_compile import CompileTree, _compile_once, _prepare_tree
+from repro.workloads.lmbench import LMBENCH_TESTS, PAPER_LMBENCH, run_test
+from repro.workloads.postal import PostalDriver
+
+
+class TestHarness:
+    def test_time_per_op_returns_positive_mean(self):
+        mean, ci = time_per_op(lambda: sum(range(50)), iterations=50, batches=3)
+        assert mean > 0
+        assert ci >= 0
+
+    def test_time_pair_interleaves(self):
+        (a, _), (b, _) = time_pair(lambda: None, lambda: sum(range(200)),
+                                   iterations=50, batches=3)
+        assert b > a
+
+    def test_bench_result_overhead_sign(self):
+        result = BenchResult("t", "us", 10.0, 0, 11.0, 0)
+        assert result.overhead_percent == 10.0
+        inverted = BenchResult("t", "MB/s", 10.0, 0, 9.0, 0, higher_is_better=True)
+        assert inverted.overhead_percent == 10.0
+
+    def test_bench_result_row_renders_paper_column(self):
+        result = BenchResult("t", "us", 1.0, 0, 1.1, 0,
+                             paper_overhead_percent=3.4)
+        assert "paper" in result.row()
+
+
+class TestLMBenchDrivers:
+    def test_every_paper_row_has_a_test(self):
+        assert set(LMBENCH_TESTS) == set(PAPER_LMBENCH)
+
+    @pytest.mark.parametrize("name", ["syscall", "mount/umnt", "setuid",
+                                      "bind", "fork+execve", "Local UDP lat",
+                                      "0KB delete", "AF_UNIX", "Pipe",
+                                      "TCP connect", "Rem. TCP lat"])
+    def test_ops_run_without_error(self, name):
+        factory, _iters = LMBENCH_TESTS[name]
+        for mode in (SystemMode.LINUX, SystemMode.PROTEGO):
+            op = factory(System(mode))
+            for _ in range(5):
+                op()
+
+    def test_run_test_produces_comparison(self):
+        result = run_test("syscall", scale=0.02, batches=2)
+        assert result.linux_value > 0
+        assert result.protego_value > 0
+        assert result.paper_overhead_percent == 0.0
+
+
+class TestKernelCompile:
+    def test_compile_produces_kernel_image(self):
+        system = System(SystemMode.PROTEGO)
+        tree = CompileTree(directories=2, files_per_directory=3)
+        _prepare_tree(system, tree)
+        builder = system.session_for("alice")
+        _compile_once(system, builder, tree)
+        assert system.kernel.vfs.exists("/tmp/vmlinux")
+
+    def test_compile_identical_on_both_modes(self):
+        images = {}
+        for mode in (SystemMode.LINUX, SystemMode.PROTEGO):
+            system = System(mode)
+            tree = CompileTree(directories=2, files_per_directory=2)
+            _prepare_tree(system, tree)
+            builder = system.session_for("alice")
+            _compile_once(system, builder, tree)
+            images[mode] = system.kernel.read_file(system.kernel.init,
+                                                   "/tmp/vmlinux")
+        assert images[SystemMode.LINUX] == images[SystemMode.PROTEGO]
+
+
+class TestApacheBench:
+    def test_round_moves_expected_bytes(self):
+        driver = ABDriver(System(SystemMode.PROTEGO), concurrency=5)
+        moved = driver.round()
+        assert moved == 5 * 2048
+
+    def test_run_apachebench_produces_both_rows(self):
+        time_row, rate_row = run_apachebench(25, rounds=3, batches=2)
+        assert "conc reqs" in time_row.name
+        assert rate_row.higher_is_better
+        assert rate_row.linux_value > 0
+
+
+class TestPostal:
+    @pytest.mark.parametrize("mode", [SystemMode.LINUX, SystemMode.PROTEGO])
+    def test_messages_land_in_spool(self, mode):
+        driver = PostalDriver(System(mode))
+        for _ in range(6):
+            driver.send_message()
+        assert driver.delivered == 6
+        spool = driver.kernel.read_file(driver.kernel.init, "/var/mail/alice")
+        assert b"postal message" in spool
+
+    def test_server_runs_unprivileged_in_both_modes(self):
+        for mode in (SystemMode.LINUX, SystemMode.PROTEGO):
+            driver = PostalDriver(System(mode))
+            assert driver.task.cred.euid == 101
