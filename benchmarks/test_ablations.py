@@ -15,7 +15,7 @@ from repro.core.delegation import DelegationRule
 from repro.core.mount_policy import MountPolicy, MountRule
 from repro.core.system import UserSpec
 from repro.kernel.net.netfilter import Chain, Rule, Verdict
-from repro.kernel.net.packets import ICMPType, Protocol, icmp_echo_request
+from repro.kernel.net.packets import Protocol, icmp_echo_request
 from repro.kernel.net.socket import AddressFamily, SocketType
 from repro.workloads.harness import time_per_op
 

@@ -25,7 +25,7 @@ attack surface the paper's Table 1 claims Protego removes.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import networkx as nx
 

@@ -25,7 +25,7 @@ sudo binary). The mapping is recorded per CVE.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.core import System, SystemMode
 from repro.kernel.capabilities import Capability

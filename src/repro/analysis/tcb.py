@@ -19,7 +19,7 @@ import dataclasses
 import io
 import tokenize
 from pathlib import Path
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import repro
 

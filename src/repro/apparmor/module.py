@@ -30,12 +30,21 @@ class AppArmorLSM(SecurityModule):
 
     def load_profile(self, profile: Profile) -> None:
         self._profiles[profile.binary] = profile
+        self.flush_decisions()
 
     def unload_profile(self, binary: str) -> None:
         self._profiles.pop(binary, None)
+        self.flush_decisions()
 
     def profile_for(self, task: Task) -> Optional[Profile]:
         return self._profiles.get(task.exe_path)
+
+    def decision_cacheable(self, hook: str, task: Task, *args) -> bool:
+        """A complain-mode profile logs every would-be denial; a cache
+        hit would swallow those log lines, so confine caching to
+        unprofiled tasks and enforcing profiles."""
+        profile = self.profile_for(task)
+        return profile is None or profile.enforce
 
     def _deny(self, profile: Profile, message: str) -> HookResult:
         self.denial_log.append(message)

@@ -15,7 +15,7 @@ from __future__ import annotations
 import dataclasses
 import enum
 import re
-from typing import FrozenSet, Iterable, Optional, Tuple
+from typing import FrozenSet, Iterable, Tuple
 
 from repro.kernel.capabilities import Capability
 

@@ -26,7 +26,7 @@ D-Bus service grammar::
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional
+from typing import List
 
 VALID_AUTH = ("yes", "no", "auth_self", "auth_admin")
 

@@ -11,7 +11,7 @@ policies from /etc/ppp/options.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 #: Options any user may set on their own ppp session (session-local,
 #: cannot affect other users' traffic).

@@ -22,13 +22,17 @@ from repro.kernel.kernel import Kernel
 MOUNTS_PROC_PATH = "/proc/protego/mounts"
 BINDS_PROC_PATH = "/proc/protego/binds"
 SUDOERS_PROC_PATH = "/proc/protego/sudoers"
+AUDIT_PROC_PATH = "/proc/protego/audit"
 
 
 def register_protego_proc_files(kernel: Kernel, lsm: ProtegoLSM) -> None:
-    """Create /proc/protego/{mounts,binds,sudoers}.
+    """Create /proc/protego/{mounts,binds,sudoers,audit}.
 
     The files are root-owned mode 0600: only root (in practice the
     monitoring daemon) may reconfigure or inspect kernel policy.
+    Every policy write is a whole-policy replacement and flushes the
+    reference monitor's decision cache — answers computed under the
+    old policy are worthless.
     """
 
     def write_mounts(payload: bytes) -> None:
@@ -37,6 +41,7 @@ def register_protego_proc_files(kernel: Kernel, lsm: ProtegoLSM) -> None:
         except (ValueError, UnicodeDecodeError) as exc:
             raise SyscallError(Errno.EINVAL, f"mounts policy: {exc}") from exc
         lsm.mount_policy.replace_rules(rules)
+        lsm.flush_decisions()
 
     def write_binds(payload: bytes) -> None:
         try:
@@ -44,6 +49,7 @@ def register_protego_proc_files(kernel: Kernel, lsm: ProtegoLSM) -> None:
             lsm.bind_policy.replace_grants(grants)
         except (ValueError, UnicodeDecodeError) as exc:
             raise SyscallError(Errno.EINVAL, f"binds policy: {exc}") from exc
+        lsm.flush_decisions()
 
     def write_sudoers(payload: bytes) -> None:
         try:
@@ -51,6 +57,7 @@ def register_protego_proc_files(kernel: Kernel, lsm: ProtegoLSM) -> None:
         except (ValueError, UnicodeDecodeError) as exc:
             raise SyscallError(Errno.EINVAL, f"sudoers policy: {exc}") from exc
         lsm.delegation.replace_rules(policy.rules(), policy.auth_window_minutes)
+        lsm.flush_decisions()
 
     kernel.procfs.register(
         "protego/mounts",
@@ -68,6 +75,11 @@ def register_protego_proc_files(kernel: Kernel, lsm: ProtegoLSM) -> None:
         "protego/sudoers",
         read_fn=lambda: lsm.delegation.serialize().encode(),
         write_fn=write_sudoers,
+        mode=0o600,
+    )
+    kernel.procfs.register(
+        "protego/audit",
+        read_fn=lambda: kernel.security_server.render_audit().encode(),
         mode=0o600,
     )
 

@@ -101,6 +101,20 @@ class ProtegoLSM(SecurityModule):
         return self
 
     # ------------------------------------------------------------------
+    # cache control
+    # ------------------------------------------------------------------
+    def decision_cacheable(self, hook: str, task: Task, *args) -> bool:
+        """Veto caching for file opens Protego answers statefully:
+        /etc/shadows/ reads hinge on authentication recency (and may
+        prompt), and binary-ACL entries are mutated in place without a
+        policy-reload flush."""
+        if hook == "file_open" and args:
+            path = args[0]
+            if path in self.binary_acl or path.startswith("/etc/shadows/"):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
     # helpers
     # ------------------------------------------------------------------
     def _now(self) -> int:

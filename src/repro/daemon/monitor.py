@@ -21,14 +21,12 @@ administrator can write /proc directly instead of 1.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional
+from typing import List
 
 from repro.config.bindconf import BindConfigError, parse_bind_config
 from repro.config.fstab import parse_fstab, user_mountable_entries
 from repro.config.passwd_db import (
-    format_group,
     format_passwd,
-    format_shadow,
     parse_group,
     parse_passwd,
     parse_shadow,
@@ -102,6 +100,9 @@ class MonitoringDaemon:
         except SyscallError:
             return
         self._route_policy.replace_options(parse_ppp_options(text))
+        # This policy swap bypasses the /proc files, so the decision
+        # cache must be flushed here rather than by a write_fn.
+        self.kernel.security_server.flush(reason="ppp route policy sync")
         self.sync_log.append("ppp: route policy synced")
 
     def poll(self) -> List[WatchEvent]:

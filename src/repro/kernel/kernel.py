@@ -19,6 +19,7 @@ from repro.kernel.inode import make_dir
 from repro.kernel.lsm import LSMChain, SecurityModule
 from repro.kernel.net.stack import NetworkStack
 from repro.kernel.procfs import PseudoFilesystem, make_procfs, make_sysfs
+from repro.kernel.security import SecurityServer
 from repro.kernel.syscalls import SyscallMixin
 from repro.kernel.task import Task
 from repro.kernel.vfs import VFS
@@ -49,6 +50,10 @@ class Kernel(SyscallMixin):
         self.devices = DeviceRegistry()
         self.net = NetworkStack()
         self.lsm = LSMChain()
+        # The reference monitor: composes DAC + LSM chain + capability
+        # checks, caches decisions, and keeps the audit ring behind
+        # /proc/protego/audit.
+        self.security_server = SecurityServer(self.lsm, clock_fn=self.now)
         self.tasks: Dict[int, Task] = {}
         self._pids = itertools.count(1)
         self.clock = 0
@@ -102,6 +107,9 @@ class Kernel(SyscallMixin):
     # ------------------------------------------------------------------
     def register_module(self, module: SecurityModule) -> SecurityModule:
         self.lsm.register(module)
+        module.security_server = self.security_server
+        # A new policy layer changes answers to already-cached questions.
+        self.security_server.flush(reason=f"register {module.name}")
         return module
 
     def new_task(self, cred: Credentials, comm: str = "proc",
@@ -111,7 +119,7 @@ class Kernel(SyscallMixin):
         task.tty = tty
         self.tasks[task.pid] = task
         (parent or self.init).children.append(task)
-        self.lsm.notify("task_alloc", task)
+        self.security_server.notify("task_alloc", task)
         return task
 
     def user_task(self, uid: int, gid: int, groups: List[int] = (),

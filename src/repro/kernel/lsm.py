@@ -9,12 +9,21 @@ The hook vocabulary below is the union of stock hooks AppArmor uses
 and the hooks *Protego adds* for the 8 syscalls whose capability
 checks were previously hard-coded (mount, umount, setuid, setgid,
 socket, bind, ioctl, exec validation for setuid-on-exec).
+
+Two refactor-era properties matter to callers:
+
+* the chain keeps a **hook registry** — at registration time each
+  module is indexed by the hooks it actually overrides, so a call
+  only visits interested modules;
+* decision hooks **short-circuit on the first DENY** and report the
+  deciding module's name, so the security server can attribute every
+  denial (``apparmor:file_open``, ``protego:socket_bind``).
 """
 
 from __future__ import annotations
 
 import enum
-from typing import Any, List, Optional, TYPE_CHECKING
+from typing import Any, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.kernel.capabilities import Capability
 from repro.kernel.errno import Errno, SyscallError
@@ -46,13 +55,16 @@ class SetuidDecision:
 
     Protego may *defer* a uid transition until exec (the paper's
     setuid-on-exec, section 4.3); ``pending`` then carries the parked
-    transition for the task's security blob.
+    transition for the task's security blob. ``module`` names the
+    security module that decided (``None`` for a passthrough).
     """
 
-    def __init__(self, result: HookResult, pending: Any = None, needs_auth: bool = False):
+    def __init__(self, result: HookResult, pending: Any = None,
+                 needs_auth: bool = False, module: Optional[str] = None):
         self.result = result
         self.pending = pending
         self.needs_auth = needs_auth
+        self.module = module
 
     @classmethod
     def passthrough(cls) -> "SetuidDecision":
@@ -71,14 +83,58 @@ class SetuidDecision:
         return cls(HookResult.ALLOW, pending=pending, needs_auth=needs_auth)
 
 
+#: Decision hooks: called through :meth:`LSMChain.call_detailed`.
+DECISION_HOOKS = (
+    "bprm_check",
+    "capable",
+    "inode_permission",
+    "file_open",
+    "sb_mount",
+    "sb_umount",
+    "socket_create",
+    "socket_bind",
+    "dev_ioctl",
+    "route_add",
+)
+
+#: Setuid-family hooks: tri-state plus a possible deferred transition.
+SETUID_HOOKS = ("task_fix_setuid", "task_fix_setgid")
+
+#: Side-effect-only notifications.
+NOTIFY_HOOKS = ("task_alloc", "bprm_committing_creds")
+
+#: The cacheability veto (consulted by the security server's cache).
+CACHE_VETO_HOOK = "decision_cacheable"
+
+_ALL_HOOKS = DECISION_HOOKS + SETUID_HOOKS + NOTIFY_HOOKS + (CACHE_VETO_HOOK,)
+
+
 class SecurityModule:
     """Base security module: every hook defaults to PASS.
 
     Subclasses (AppArmor baseline, Protego) override only the hooks
-    they police — exactly how LSMs are structured in Linux.
+    they police — exactly how LSMs are structured in Linux. The chain
+    registry skips non-overridden hooks entirely.
     """
 
     name = "base"
+
+    #: Set by :meth:`Kernel.register_module`; lets a module flush the
+    #: decision cache when its policy reloads (profile load, /proc
+    #: policy write).
+    security_server = None
+
+    def flush_decisions(self) -> None:
+        """Invalidate every cached decision (policy changed)."""
+        if self.security_server is not None:
+            self.security_server.flush(reason=f"{self.name} policy reload")
+
+    # ---- cache control -----------------------------------------------------
+    def decision_cacheable(self, hook: str, task: "Task", *args: Any) -> bool:
+        """May the server cache this hook's decision? Modules whose
+        hooks have side effects (authentication prompts, complain-mode
+        logging) veto caching for the affected objects."""
+        return True
 
     # ---- process lifetime -------------------------------------------------
     def task_alloc(self, task: "Task") -> None:
@@ -140,18 +196,33 @@ class SecurityModule:
 class LSMChain:
     """The kernel's ordered list of security modules.
 
-    Semantics: for each hook, DENY from any module wins; otherwise
-    ALLOW from any module wins; otherwise PASS (default policy
-    applies). This matches how Protego composes with its AppArmor
-    base: AppArmor confines, Protego authorizes specific object
-    accesses.
+    Semantics: for each hook, the first DENY wins and stops the walk;
+    otherwise ALLOW from any module wins; otherwise PASS (default
+    policy applies). This matches how Protego composes with its
+    AppArmor base: AppArmor confines, Protego authorizes specific
+    object accesses.
     """
 
     def __init__(self, modules: Optional[List[SecurityModule]] = None):
-        self.modules: List[SecurityModule] = list(modules or [])
+        self.modules: List[SecurityModule] = []
+        self._registry: dict = {}
+        for module in modules or []:
+            self.register(module)
 
     def register(self, module: SecurityModule) -> None:
         self.modules.append(module)
+        for hook in _ALL_HOOKS:
+            if self._overrides(module, hook):
+                self._registry.setdefault(hook, []).append(module)
+
+    @staticmethod
+    def _overrides(module: SecurityModule, hook: str) -> bool:
+        impl = getattr(type(module), hook, None)
+        return impl is not None and impl is not getattr(SecurityModule, hook)
+
+    def hook_modules(self, hook: str) -> List[SecurityModule]:
+        """The registered modules that actually implement *hook*."""
+        return self._registry.get(hook, [])
 
     def find(self, name: str) -> Optional[SecurityModule]:
         for module in self.modules:
@@ -159,32 +230,55 @@ class LSMChain:
                 return module
         return None
 
-    def _combine(self, results: List[HookResult]) -> HookResult:
-        if HookResult.DENY in results:
-            return HookResult.DENY
-        if HookResult.ALLOW in results:
-            return HookResult.ALLOW
-        return HookResult.PASS
+    def call_detailed(self, hook: str, *args: Any) -> Tuple[HookResult, Optional[str]]:
+        """Run *hook*; return (combined result, deciding module name).
+
+        Short-circuits on the first DENY — later modules never run,
+        so a denial cannot trigger another module's side effects
+        (authentication prompts, log writes)."""
+        allow_module: Optional[str] = None
+        for module in self.hook_modules(hook):
+            result = getattr(module, hook)(*args)
+            if result is HookResult.DENY:
+                return HookResult.DENY, module.name
+            if result is HookResult.ALLOW and allow_module is None:
+                allow_module = module.name
+        if allow_module is not None:
+            return HookResult.ALLOW, allow_module
+        return HookResult.PASS, None
 
     def call(self, hook: str, *args: Any) -> HookResult:
-        results = [getattr(m, hook)(*args) for m in self.modules]
-        return self._combine(results)
+        return self.call_detailed(hook, *args)[0]
 
     def call_setuid(self, hook: str, task: "Task", target: int) -> SetuidDecision:
         decision = SetuidDecision.passthrough()
-        for module in self.modules:
+        for module in self.hook_modules(hook):
             this = getattr(module, hook)(task, target)
             if this.result is HookResult.DENY:
+                this.module = module.name
                 return this
             if this.result is HookResult.ALLOW:
+                this.module = module.name
                 decision = this
         return decision
 
+    def cache_ok(self, hook: str, task: "Task", *args: Any) -> bool:
+        """May a decision for (*hook*, *args*) be cached? Any module
+        may veto."""
+        for module in self.hook_modules(CACHE_VETO_HOOK):
+            if not module.decision_cacheable(hook, task, *args):
+                return False
+        return True
+
     def notify(self, hook: str, *args: Any) -> None:
-        for module in self.modules:
+        for module in self.hook_modules(hook):
             getattr(module, hook)(*args)
 
 
-def deny_errno(context: str = "") -> SyscallError:
-    """The canonical LSM denial."""
+def deny_errno(module: str, hook: str, detail: str = "") -> SyscallError:
+    """The canonical LSM denial: EPERM attributed to the module and
+    hook that said no (``"protego:socket_bind"``)."""
+    context = f"{module}:{hook}"
+    if detail:
+        context = f"{context}: {detail}"
     return SyscallError(Errno.EPERM, context)

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import dataclasses
 import itertools
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 from repro.kernel.errno import Errno, SyscallError
 from repro.kernel.vfs import Filesystem, normalize

@@ -18,7 +18,7 @@ from repro.kernel.errno import Errno, SyscallError
 from repro.kernel.net.netfilter import Chain, NetfilterTable, Verdict
 from repro.kernel.net.packets import ICMPType, Packet, Protocol
 from repro.kernel.net.routing import RoutingTable
-from repro.kernel.net.socket import Socket, SocketState, SocketType
+from repro.kernel.net.socket import Socket, SocketState
 
 
 @dataclasses.dataclass

@@ -1,0 +1,41 @@
+"""The kernel's reference monitor (SELinux-AVC-style security server).
+
+Public surface:
+
+* :class:`AccessRequest` / :class:`Decision` — structured access
+  questions and attributed answers (which layer decided: DAC,
+  capability, apparmor, protego);
+* :class:`SecurityServer` — the single composition point for
+  DAC + LSM chain + capability checks, with a keyed decision cache
+  and explicit invalidation (cred epochs, object flushes, global
+  policy-reload flushes);
+* :class:`AuditRing` / :class:`AuditEntry` — the bounded decision
+  trail behind ``/proc/protego/audit``.
+"""
+
+from repro.kernel.security.access import (
+    OBJ,
+    AccessRequest,
+    Decision,
+    LAYER_CAPABILITY,
+    LAYER_DAC,
+    LAYER_DEFAULT,
+    Verdict,
+)
+from repro.kernel.security.audit import AuditEntry, AuditRing
+from repro.kernel.security.server import CACHEABLE_HOOKS, CacheStats, SecurityServer
+
+__all__ = [
+    "OBJ",
+    "AccessRequest",
+    "AuditEntry",
+    "AuditRing",
+    "CACHEABLE_HOOKS",
+    "CacheStats",
+    "Decision",
+    "LAYER_CAPABILITY",
+    "LAYER_DAC",
+    "LAYER_DEFAULT",
+    "SecurityServer",
+    "Verdict",
+]

@@ -1,0 +1,109 @@
+"""Structured access requests and decisions for the reference monitor.
+
+Every policy question the syscall layer asks is phrased as an
+:class:`AccessRequest` and answered with a :class:`Decision`. The
+request names the subject (the calling task), the object (a stable
+string identity: a path, ``port:25/tcp``, ``cap:CAP_SYS_ADMIN``, ...),
+the LSM hook to consult, and the default policy that applies when no
+security module has an opinion (a DAC thunk, a required capability, or
+an identity fallback such as setuid-to-own-uid).
+
+The decision records the verdict *and which layer decided it* — DAC,
+a named LSM module (apparmor, protego), the capability system, or the
+default-allow policy — so denials can say ``protego:socket_bind``
+instead of a bare EPERM, and the audit trail can attribute every
+syscall's outcome.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Any, Callable, Optional, Tuple, TYPE_CHECKING
+
+from repro.kernel.capabilities import Capability
+from repro.kernel.errno import Errno, SyscallError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.task import Task
+
+
+#: Sentinel placed in :attr:`AccessRequest.args`; the server replaces
+#: it with the DAC layer's return value (e.g. the resolved inode)
+#: before invoking the LSM hook.
+OBJ = object()
+
+#: Deciding-layer names for the non-LSM layers. LSM decisions use the
+#: deciding module's own name ("apparmor", "protego").
+LAYER_DAC = "dac"
+LAYER_CAPABILITY = "capability"
+LAYER_DEFAULT = "default"
+
+
+class Verdict(enum.Enum):
+    """The reference monitor's final, binary answer."""
+
+    ALLOW = "allow"
+    DENY = "deny"
+
+
+@dataclasses.dataclass(frozen=True)
+class AccessRequest:
+    """One policy question.
+
+    ``dac`` runs *before* the LSM chain (matching the VFS order: a
+    DAC failure is final, modules cannot override it); its return
+    value — typically the resolved inode — is kept on the decision and
+    substituted for the :data:`OBJ` sentinel in ``args``. ``capability``
+    and ``fallback`` form the default policy consulted only when every
+    module passes: capability first, then the identity fallback
+    (e.g. ``setuid`` to one's own ruid/suid).
+    """
+
+    hook: str
+    task: "Task"
+    obj: str
+    mask: int = 0
+    args: Tuple[Any, ...] = ()
+    dac: Optional[Callable[[], Any]] = None
+    capability: Optional[Capability] = None
+    fallback: Optional[Callable[[], bool]] = None
+    deny_errno: Errno = Errno.EPERM
+    context: str = ""
+    cacheable: bool = True
+
+
+@dataclasses.dataclass(frozen=True)
+class Decision:
+    """The reference monitor's answer, with attribution.
+
+    ``layer`` is the deciding layer: ``"dac"``, ``"capability"``,
+    ``"default"``, or the name of the LSM module whose hook decided
+    (``"apparmor"``, ``"protego"``). ``pending`` carries a parked
+    setuid-on-exec transition; ``value`` carries the DAC layer's
+    return value (the resolved inode) so cache hits skip the walk.
+    """
+
+    verdict: Verdict
+    layer: str
+    hook: str
+    obj: str
+    errno: Optional[Errno] = None
+    context: str = ""
+    lsm_module: Optional[str] = None
+    pending: Any = None
+    value: Any = None
+
+    @property
+    def allowed(self) -> bool:
+        return self.verdict is Verdict.ALLOW
+
+    @property
+    def from_lsm(self) -> bool:
+        """Did a security module (not DAC/capability) decide this?"""
+        return self.lsm_module is not None
+
+    def denial(self) -> SyscallError:
+        """The error a denied syscall raises: errno plus a
+        ``<layer>:<hook>`` context naming who said no."""
+        return SyscallError(self.errno or Errno.EPERM, self.context)

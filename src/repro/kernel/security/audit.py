@@ -1,0 +1,88 @@
+"""The reference monitor's audit trail.
+
+Every decision the :class:`~repro.kernel.security.server.SecurityServer`
+renders — cached or freshly computed — appends one bounded-ring entry
+recording subject, object, hook, verdict, and the deciding layer.
+The ring is exposed to userspace through ``/proc/protego/audit``
+(one line per record, newest last), so an administrator can replay
+recent policy decisions without any kernel debugging interface.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+from typing import Deque, List, Optional
+
+
+@dataclasses.dataclass(frozen=True)
+class AuditEntry:
+    """One decision, as recorded in the ring."""
+
+    seq: int
+    clock: int
+    pid: int
+    uid: int
+    euid: int
+    hook: str
+    obj: str
+    mask: int
+    verdict: str
+    layer: str
+    cached: bool
+    errno: str = ""
+    context: str = ""
+
+    def render(self) -> str:
+        line = (
+            f"seq={self.seq} clock={self.clock} pid={self.pid} "
+            f"uid={self.uid} euid={self.euid} hook={self.hook} "
+            f"obj={self.obj} mask={self.mask} verdict={self.verdict} "
+            f"layer={self.layer} cached={int(self.cached)}"
+        )
+        if self.errno:
+            line += f" errno={self.errno}"
+        return line
+
+
+class AuditRing:
+    """A bounded in-kernel ring of decision records.
+
+    Rows are stored as plain tuples and only materialised into
+    :class:`AuditEntry` objects when read back — recording sits on the
+    decision-cache hit path, so it must cost no more than a tuple and
+    a deque append (the AVC audits out-of-line for the same reason).
+    """
+
+    def __init__(self, capacity: int = 4096):
+        self.capacity = capacity
+        self._ring: Deque[tuple] = collections.deque(maxlen=capacity)
+        self._seq = 0
+        self.dropped = 0  # entries pushed out of the ring
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def record(self, row: tuple) -> None:
+        """Append one decision *row*: the :class:`AuditEntry` fields in
+        declaration order, minus the leading ``seq``."""
+        self._seq += 1
+        if len(self._ring) == self.capacity:
+            self.dropped += 1
+        self._ring.append((self._seq,) + row)
+
+    def entries(self, last: Optional[int] = None) -> List[AuditEntry]:
+        """The most recent *last* entries (all when ``None``), oldest
+        first."""
+        items = list(self._ring)
+        if last is not None and last >= 0:
+            items = items[-last:] if last else []
+        return [AuditEntry(*row) for row in items]
+
+    def render(self, last: Optional[int] = None) -> str:
+        """The /proc representation: one line per decision."""
+        lines = [entry.render() for entry in self.entries(last)]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def clear(self) -> None:
+        self._ring.clear()

@@ -1,16 +1,26 @@
 """The syscall layer.
 
 Each method takes the calling :class:`~repro.kernel.task.Task` first,
-mirroring the implicit ``current`` of a real kernel. Policy decisions
-follow the paper's architecture exactly:
+mirroring the implicit ``current`` of a real kernel. Every policy
+question is phrased as an
+:class:`~repro.kernel.security.AccessRequest` and answered by the
+kernel's reference monitor
+(:class:`~repro.kernel.security.SecurityServer`), which composes the
+layers in the paper's order:
 
-1. LSM hooks run first and may DENY outright or ALLOW an operation
-   the default policy would refuse (Protego's object-based policies);
-2. otherwise the stock capability/DAC checks apply.
+1. DAC runs first and its denial is final;
+2. LSM hooks may DENY outright or ALLOW an operation the default
+   policy would refuse (Protego's object-based policies);
+3. otherwise the stock capability checks and identity fallbacks apply.
+
+The server caches repeatable decisions (AVC-style) and appends every
+outcome to the audit ring behind ``/proc/protego/audit``; the syscall
+layer is responsible for telling it when objects change (chmod,
+unlink, mount) and when credentials commit (setuid, exec).
 
 The eight system calls the paper changes — socket, bind, mount,
 umount, setuid, setgid, ioctl, and the exec-side enforcement of
-setuid-on-exec — are all here, each with its LSM call site.
+setuid-on-exec — are all here, each phrased as one request.
 """
 
 from __future__ import annotations
@@ -26,13 +36,10 @@ from repro.kernel.errno import Errno, SyscallError
 from repro.kernel.fdtable import OpenFile
 from repro.kernel.inode import (
     Inode,
-    make_block_device,
-    make_char_device,
     make_dir,
     make_file,
     make_symlink,
 )
-from repro.kernel.lsm import HookResult
 from repro.kernel.net.packets import Packet
 from repro.kernel.net.routing import Route
 from repro.kernel.net.socket import (
@@ -42,6 +49,7 @@ from repro.kernel.net.socket import (
     SocketType,
     PRIVILEGED_PORT_MAX,
 )
+from repro.kernel.security import OBJ, AccessRequest, LAYER_CAPABILITY
 from repro.kernel.task import Task
 from repro.kernel.vfs import Filesystem, normalize
 
@@ -62,24 +70,53 @@ class SyscallMixin:
     """Syscall implementations; mixed into :class:`Kernel`.
 
     Expects the host class to provide: ``vfs``, ``lsm``, ``net``,
-    ``devices``, ``tasks``, ``binaries``, ``audit``, ``clock``
-    and the helpers ``tick()``, ``capable()``, ``log_audit()``.
+    ``devices``, ``tasks``, ``binaries``, ``audit``, ``clock``,
+    ``security_server`` and the helpers ``tick()``, ``capable()``,
+    ``log_audit()``.
     """
 
     # ==================================================================
-    # Capability check (single funnel, so LSMs can veto)
+    # Capability check (single funnel through the reference monitor)
     # ==================================================================
     def capable(self, task: Task, cap: Capability) -> bool:
-        result = self.lsm.call("capable", task, cap)
-        if result is HookResult.DENY:
-            return False
-        if result is HookResult.ALLOW:
-            return True
-        return task.cred.has_cap(cap)
+        return self.security_server.capable(task, cap)
 
     def require_capable(self, task: Task, cap: Capability, what: str) -> None:
         if not self.capable(task, cap):
             raise SyscallError(Errno.EPERM, f"{what} requires {cap.name}")
+
+    # ==================================================================
+    # Monitor plumbing for DAC path checks
+    # ==================================================================
+    def _path_permission(self, task: Task, path: str, mask: int) -> Inode:
+        """A DAC path walk as a monitored (and cacheable) decision."""
+        decision = self.security_server.check(AccessRequest(
+            hook="inode_permission", task=task, obj=path, mask=mask,
+            args=(path, OBJ, mask),
+            dac=lambda: self.vfs.path_permission(task.cred, path, mask),
+        ))
+        if not decision.allowed:
+            raise decision.denial()
+        return decision.value
+
+    def _dir_write_permission(self, task: Task, path: str) -> Tuple[Inode, str]:
+        """Resolve *path*'s parent directory and demand write+search
+        on it (the DAC gate for create/unlink/rename)."""
+        parent, leaf = self.vfs.resolve_parent(path)
+        parent_path = path.rsplit("/", 1)[0] or "/"
+        mask = modes.W_OK | modes.X_OK
+
+        def dac() -> Inode:
+            self.vfs.dac_permission(task.cred, parent, mask)
+            return parent
+
+        decision = self.security_server.check(AccessRequest(
+            hook="inode_permission", task=task, obj=parent_path, mask=mask,
+            args=(parent_path, parent, mask), dac=dac,
+        ))
+        if not decision.allowed:
+            raise decision.denial()
+        return parent, leaf
 
     # ==================================================================
     # Files
@@ -94,21 +131,34 @@ class SyscallMixin:
         if (flags & modes.O_CREAT and flags & modes.O_EXCL
                 and self.vfs.exists(path)):
             raise SyscallError(Errno.EEXIST, path)
+        created: Optional[Inode] = None
         if flags & modes.O_CREAT and not self.vfs.exists(path):
-            parent, leaf = self.vfs.resolve_parent(path)
-            self.vfs.dac_permission(task.cred, parent, modes.W_OK | modes.X_OK)
-            inode = make_file(
+            parent, leaf = self._dir_write_permission(task, path)
+            created = make_file(
                 b"", uid=task.cred.fsuid, gid=task.cred.fsgid,
                 perm=mode & ~0o022,
             )
-            parent.entries[leaf] = inode
-        else:
+            parent.entries[leaf] = created
+            # The name now resolves: drop any stale decisions about it.
+            self.security_server.invalidate_object(path)
+
+        def dac() -> Inode:
+            if created is not None:
+                return created
             inode = self.vfs.path_permission(task.cred, path, mask)
-        if inode.is_dir() and accmode != modes.O_RDONLY:
-            raise SyscallError(Errno.EISDIR, path)
-        lsm_result = self.lsm.call("file_open", task, path, inode, flags)
-        if lsm_result is HookResult.DENY:
-            raise SyscallError(Errno.EACCES, f"lsm denied open of {path}")
+            if inode.is_dir() and accmode != modes.O_RDONLY:
+                raise SyscallError(Errno.EISDIR, path)
+            return inode
+
+        decision = self.security_server.check(AccessRequest(
+            hook="file_open", task=task, obj=path, mask=mask,
+            args=(path, OBJ, flags), dac=dac,
+            deny_errno=Errno.EACCES,
+            cacheable=created is None,
+        ))
+        if not decision.allowed:
+            raise decision.denial()
+        inode = decision.value
         if flags & modes.O_TRUNC and inode.is_regular() and inode.read_fn is None:
             # Pseudo-files (procfs/sysfs) are not truncated on open:
             # only an explicit write reaches their handler.
@@ -174,7 +224,7 @@ class SyscallMixin:
     def sys_access(self, task: Task, path: str, mask: int) -> bool:
         self.tick()
         try:
-            self.vfs.path_permission(task.cred, self._resolve_at(task, path), mask)
+            self._path_permission(task, self._resolve_at(task, path), mask)
             return True
         except SyscallError:
             return False
@@ -182,17 +232,16 @@ class SyscallMixin:
     def sys_mkdir(self, task: Task, path: str, mode: int = 0o755) -> None:
         self.tick()
         path = self._resolve_at(task, path)
-        parent, leaf = self.vfs.resolve_parent(path)
-        self.vfs.dac_permission(task.cred, parent, modes.W_OK | modes.X_OK)
+        parent, leaf = self._dir_write_permission(task, path)
         if leaf in parent.entries:
             raise SyscallError(Errno.EEXIST, path)
         parent.entries[leaf] = make_dir(uid=task.cred.fsuid, gid=task.cred.fsgid, perm=mode)
+        self.security_server.invalidate_object(path)
 
     def sys_unlink(self, task: Task, path: str) -> None:
         self.tick()
         path = self._resolve_at(task, path)
-        parent, leaf = self.vfs.resolve_parent(path)
-        self.vfs.dac_permission(task.cred, parent, modes.W_OK | modes.X_OK)
+        parent, leaf = self._dir_write_permission(task, path)
         victim = parent.lookup(leaf)
         if victim.is_dir():
             raise SyscallError(Errno.EISDIR, path)
@@ -201,27 +250,33 @@ class SyscallMixin:
                     and not self.capable(task, Capability.CAP_FOWNER)):
                 raise SyscallError(Errno.EACCES, f"sticky dir protects {path}")
         parent.unlink(leaf)
+        self.security_server.invalidate_object(path)
 
     def sys_symlink(self, task: Task, target: str, linkpath: str) -> None:
         self.tick()
         linkpath = self._resolve_at(task, linkpath)
-        parent, leaf = self.vfs.resolve_parent(linkpath)
-        self.vfs.dac_permission(task.cred, parent, modes.W_OK | modes.X_OK)
+        parent, leaf = self._dir_write_permission(task, linkpath)
         if leaf in parent.entries:
             raise SyscallError(Errno.EEXIST, linkpath)
         parent.entries[leaf] = make_symlink(target, uid=task.cred.fsuid, gid=task.cred.fsgid)
+        self.security_server.invalidate_object(linkpath)
 
     def sys_chmod(self, task: Task, path: str, mode: int) -> None:
         self.tick()
-        inode = self.vfs.resolve(self._resolve_at(task, path))
+        path = self._resolve_at(task, path)
+        inode = self.vfs.resolve(path)
         if task.cred.fsuid != inode.uid and not self.capable(task, Capability.CAP_FOWNER):
             raise SyscallError(Errno.EPERM, f"chmod {path}")
         inode.mode = (inode.mode & modes.S_IFMT) | (mode & modes.PERM_MASK)
         inode.mtime += 1
+        # Permission bits changed: every cached decision about this
+        # object (and, for a directory, every walk through it) is stale.
+        self.security_server.invalidate_object(path)
 
     def sys_chown(self, task: Task, path: str, uid: int, gid: int = -1) -> None:
         self.tick()
-        inode = self.vfs.resolve(self._resolve_at(task, path))
+        path = self._resolve_at(task, path)
+        inode = self.vfs.resolve(path)
         if uid != -1 and uid != inode.uid:
             self.require_capable(task, Capability.CAP_CHOWN, f"chown {path}")
         if gid != -1 and gid != inode.gid:
@@ -234,6 +289,7 @@ class SyscallMixin:
         if gid != -1:
             inode.gid = gid
         inode.mtime += 1
+        self.security_server.invalidate_object(path)
 
     def sys_link(self, task: Task, target: str, linkpath: str) -> None:
         """Hard link: same inode, another name; nlink bookkeeping."""
@@ -243,9 +299,9 @@ class SyscallMixin:
         inode = self.vfs.resolve(target)
         if inode.is_dir():
             raise SyscallError(Errno.EISDIR, target)
-        parent, leaf = self.vfs.resolve_parent(linkpath)
-        self.vfs.dac_permission(task.cred, parent, modes.W_OK | modes.X_OK)
+        parent, leaf = self._dir_write_permission(task, linkpath)
         parent.link(leaf, inode)
+        self.security_server.invalidate_object(linkpath)
 
     def sys_rename(self, task: Task, old_path: str, new_path: str) -> None:
         """rename(2); both parents need write permission; an existing
@@ -253,10 +309,8 @@ class SyscallMixin:
         self.tick()
         old_path = self._resolve_at(task, old_path)
         new_path = self._resolve_at(task, new_path)
-        old_parent, old_leaf = self.vfs.resolve_parent(old_path)
-        self.vfs.dac_permission(task.cred, old_parent, modes.W_OK | modes.X_OK)
-        new_parent, new_leaf = self.vfs.resolve_parent(new_path)
-        self.vfs.dac_permission(task.cred, new_parent, modes.W_OK | modes.X_OK)
+        old_parent, old_leaf = self._dir_write_permission(task, old_path)
+        new_parent, new_leaf = self._dir_write_permission(task, new_path)
         inode = old_parent.lookup(old_leaf)
         existing = new_parent.entries.get(new_leaf)
         if existing is not None:
@@ -267,12 +321,13 @@ class SyscallMixin:
             new_parent.unlink(new_leaf)
         old_parent.unlink(old_leaf)
         new_parent.link(new_leaf, inode)
+        self.security_server.invalidate_object(old_path)
+        self.security_server.invalidate_object(new_path)
 
     def sys_rmdir(self, task: Task, path: str) -> None:
         self.tick()
         path = self._resolve_at(task, path)
-        parent, leaf = self.vfs.resolve_parent(path)
-        self.vfs.dac_permission(task.cred, parent, modes.W_OK | modes.X_OK)
+        parent, leaf = self._dir_write_permission(task, path)
         victim = parent.lookup(leaf)
         if not victim.is_dir():
             raise SyscallError(Errno.ENOTDIR, path)
@@ -281,11 +336,12 @@ class SyscallMixin:
         if self.vfs.mount_at(path) is not None:
             raise SyscallError(Errno.EBUSY, path)
         parent.unlink(leaf)
+        self.security_server.invalidate_object(path)
 
     def sys_readdir(self, task: Task, path: str) -> List[str]:
         self.tick()
         path = self._resolve_at(task, path)
-        inode = self.vfs.path_permission(task.cred, path, modes.R_OK)
+        inode = self._path_permission(task, path, modes.R_OK)
         if not inode.is_dir():
             raise SyscallError(Errno.ENOTDIR, path)
         return sorted(inode.entries)
@@ -295,7 +351,7 @@ class SyscallMixin:
         path = self._resolve_at(task, path)
         if not self.vfs.resolve(path).is_dir():
             raise SyscallError(Errno.ENOTDIR, path)
-        self.vfs.path_permission(task.cred, path, modes.X_OK)
+        self._path_permission(task, path, modes.X_OK)
         task.cwd = path
 
     def _resolve_at(self, task: Task, path: str) -> str:
@@ -390,20 +446,20 @@ class SyscallMixin:
             mountns.attach(mountpoint, fs)
             self.log_audit("mount.ns", task, f"{source} -> {mountpoint}")
             return
-        lsm_result = self.lsm.call(
-            "sb_mount", task, source, mountpoint, fstype, flags, options
-        )
-        if lsm_result is HookResult.DENY:
+        decision = self.security_server.check(AccessRequest(
+            hook="sb_mount", task=task, obj=mountpoint,
+            args=(source, mountpoint, fstype, flags, options),
+            capability=Capability.CAP_SYS_ADMIN,
+            context=f"mount {source}",
+            cacheable=False,
+        ))
+        if not decision.allowed:
             self.log_audit("mount.denied", task, f"{source} -> {mountpoint}")
-            raise SyscallError(Errno.EPERM, f"mount {source} on {mountpoint} denied by policy")
-        if lsm_result is not HookResult.ALLOW:
-            try:
-                self.require_capable(task, Capability.CAP_SYS_ADMIN, "mount")
-            except SyscallError:
-                self.log_audit("mount.denied", task, f"{source} -> {mountpoint}")
-                raise
+            raise decision.denial()
         fs = self._filesystem_for(source, fstype, flags)
         self.vfs.attach(mountpoint, fs, flags, mounter_uid=task.cred.ruid)
+        # The mount changes what every path beneath it resolves to.
+        self.security_server.invalidate_object(mountpoint)
         self.log_audit("mount", task, f"{source} -> {mountpoint} ({fs.fstype})")
 
     def sys_umount(self, task: Task, mountpoint: str) -> None:
@@ -414,12 +470,15 @@ class SyscallMixin:
             mountns.detach(mountpoint)
             self.log_audit("umount.ns", task, mountpoint)
             return
-        lsm_result = self.lsm.call("sb_umount", task, mountpoint)
-        if lsm_result is HookResult.DENY:
-            raise SyscallError(Errno.EPERM, f"umount {mountpoint} denied by policy")
-        if lsm_result is not HookResult.ALLOW:
-            self.require_capable(task, Capability.CAP_SYS_ADMIN, "umount")
+        decision = self.security_server.check(AccessRequest(
+            hook="sb_umount", task=task, obj=mountpoint, args=(mountpoint,),
+            capability=Capability.CAP_SYS_ADMIN,
+            cacheable=False,
+        ))
+        if not decision.allowed:
+            raise decision.denial()
         self.vfs.detach(mountpoint)
+        self.security_server.invalidate_object(mountpoint)
         self.log_audit("umount", task, mountpoint)
 
     def _filesystem_for(self, source: str, fstype: str, flags: int) -> Filesystem:
@@ -446,11 +505,17 @@ class SyscallMixin:
     def sys_setuid(self, task: Task, uid: int) -> None:
         """setuid(2) with Protego's deferred-transition extension."""
         self.tick()
-        decision = self.lsm.call_setuid("task_fix_setuid", task, uid)
-        if decision.result is HookResult.DENY:
-            self.log_audit("setuid.denied", task, f"-> {uid}")
-            raise SyscallError(Errno.EPERM, f"setuid({uid}) denied by policy")
-        if decision.result is HookResult.ALLOW:
+        decision = self.security_server.check(AccessRequest(
+            hook="task_fix_setuid", task=task, obj=f"uid:{uid}", args=(uid,),
+            capability=Capability.CAP_SETUID,
+            fallback=lambda: uid in (task.cred.ruid, task.cred.suid),
+            cacheable=False,
+        ))
+        if not decision.allowed:
+            if decision.from_lsm:
+                self.log_audit("setuid.denied", task, f"-> {uid}")
+            raise decision.denial()
+        if decision.from_lsm:
             if decision.pending is not None:
                 # Park the transition; exec will validate the binary.
                 task.setsec("protego", "pending_setuid", decision.pending)
@@ -465,47 +530,54 @@ class SyscallMixin:
                 task.cred = task.cred.with_caps(full.cap_permitted, full.cap_effective)
             else:
                 task.cred = task.cred.drop_all_caps()
+            self.security_server.bump_cred_epoch(task)
             self.log_audit("setuid", task, f"-> {uid}")
             return
-        # Stock Linux policy.
-        if self.capable(task, Capability.CAP_SETUID):
+        if decision.layer == LAYER_CAPABILITY:
+            # Stock Linux policy: CAP_SETUID allows any transition.
             task.cred = task.cred.with_uids(ruid=uid, euid=uid, suid=uid)
             if uid != 0:
                 # setuid(nonroot) from root drops capability sets.
                 task.cred = task.cred.drop_all_caps()
+            self.security_server.bump_cred_epoch(task)
             self.log_audit("setuid", task, f"-> {uid}")
             return
-        if uid in (task.cred.ruid, task.cred.suid):
-            task.cred = task.cred.with_uids(euid=uid)
-            self.log_audit("setuid", task, f"euid -> {uid}")
-            return
-        raise SyscallError(Errno.EPERM, f"setuid({uid})")
+        # Identity fallback: uid is the task's own ruid/suid.
+        task.cred = task.cred.with_uids(euid=uid)
+        self.security_server.bump_cred_epoch(task)
+        self.log_audit("setuid", task, f"euid -> {uid}")
 
     def sys_setgid(self, task: Task, gid: int) -> None:
         self.tick()
-        decision = self.lsm.call_setuid("task_fix_setgid", task, gid)
-        if decision.result is HookResult.DENY:
-            raise SyscallError(Errno.EPERM, f"setgid({gid}) denied by policy")
-        if decision.result is HookResult.ALLOW:
+        decision = self.security_server.check(AccessRequest(
+            hook="task_fix_setgid", task=task, obj=f"gid:{gid}", args=(gid,),
+            capability=Capability.CAP_SETGID,
+            fallback=lambda: gid in (task.cred.rgid, task.cred.sgid),
+            cacheable=False,
+        ))
+        if not decision.allowed:
+            raise decision.denial()
+        if decision.from_lsm:
             if decision.pending is not None:
                 task.setsec("protego", "pending_setgid", decision.pending)
                 self.log_audit("setgid.deferred", task, f"-> {gid}")
                 return
             task.cred = task.cred.with_gids(rgid=gid, egid=gid, sgid=gid)
+            self.security_server.bump_cred_epoch(task)
             self.log_audit("setgid", task, f"-> {gid}")
             return
-        if self.capable(task, Capability.CAP_SETGID):
+        if decision.layer == LAYER_CAPABILITY:
             task.cred = task.cred.with_gids(rgid=gid, egid=gid, sgid=gid)
+            self.security_server.bump_cred_epoch(task)
             return
-        if gid in (task.cred.rgid, task.cred.sgid):
-            task.cred = task.cred.with_gids(egid=gid)
-            return
-        raise SyscallError(Errno.EPERM, f"setgid({gid})")
+        task.cred = task.cred.with_gids(egid=gid)
+        self.security_server.bump_cred_epoch(task)
 
     def sys_setgroups(self, task: Task, groups: List[int]) -> None:
         self.tick()
         self.require_capable(task, Capability.CAP_SETGID, "setgroups")
         task.cred = task.cred.with_groups(groups)
+        self.security_server.bump_cred_epoch(task)
 
     # ==================================================================
     # Processes
@@ -525,7 +597,7 @@ class SyscallMixin:
             pidns.enroll(child.pid)
         parent.children.append(child)
         self.tasks[child.pid] = child
-        self.lsm.notify("task_alloc", child)
+        self.security_server.notify("task_alloc", child)
         return child
 
     def sys_execve(self, task: Task, path: str, argv: Optional[List[str]] = None,
@@ -539,14 +611,19 @@ class SyscallMixin:
         self.tick()
         argv = list(argv or [path])
         path = self._resolve_at(task, path)
-        inode = self.vfs.path_permission(task.cred, path, modes.X_OK)
+        inode = self._path_permission(task, path, modes.X_OK)
         if inode.is_dir():
             raise SyscallError(Errno.EISDIR, path)
 
-        lsm_result = self.lsm.call("bprm_check", task, path, inode, argv)
-        if lsm_result is HookResult.DENY:
+        decision = self.security_server.check(AccessRequest(
+            hook="bprm_check", task=task, obj=path,
+            args=(path, inode, argv),
+            deny_errno=Errno.EACCES,
+            cacheable=False,
+        ))
+        if not decision.allowed:
             self.log_audit("exec.denied", task, path)
-            raise SyscallError(Errno.EACCES, f"exec of {path} denied by policy")
+            raise decision.denial()
 
         # Environment scrubbing boundary: exec resets to the provided env.
         if env is not None:
@@ -579,7 +656,10 @@ class SyscallMixin:
         task.fdtable.drop_cloexec()
         task.exe_path = path
         task.comm = path.rsplit("/", 1)[-1]
-        self.lsm.notify("bprm_committing_creds", task, path, inode)
+        self.security_server.notify("bprm_committing_creds", task, path, inode)
+        # Exec is a credential commit (setuid bits, file caps, a
+        # possibly-applied pending transition, a new exe identity).
+        self.security_server.bump_cred_epoch(task)
         self.log_audit("exec", task, path)
 
         if not run:
@@ -623,10 +703,12 @@ class SyscallMixin:
         is still per-binary and coarse."""
         self.tick()
         self.require_capable(task, Capability.CAP_SETFCAP, "setcap")
-        inode = self.vfs.resolve(self._resolve_at(task, path))
+        path = self._resolve_at(task, path)
+        inode = self.vfs.resolve(path)
         if not inode.is_regular():
             raise SyscallError(Errno.EINVAL, path)
         inode.file_caps = caps
+        self.security_server.invalidate_object(path)
         self.log_audit("setcap", task, f"{path} += {len(caps)} caps")
 
     # ==================================================================
@@ -697,15 +779,16 @@ class SyscallMixin:
         in_netns = stack is not self.net
         unprivileged_raw = False
         if sock_type.requires_net_raw() and not in_netns:
-            lsm_result = self.lsm.call(
-                "socket_create", task, family.value, sock_type.value, protocol
-            )
-            if lsm_result is HookResult.DENY:
-                raise SyscallError(Errno.EPERM, "raw socket denied by policy")
-            if lsm_result is HookResult.ALLOW:
+            decision = self.security_server.check(AccessRequest(
+                hook="socket_create", task=task,
+                obj=f"socket:{sock_type.value}/{protocol}",
+                args=(family.value, sock_type.value, protocol),
+                capability=Capability.CAP_NET_RAW,
+            ))
+            if not decision.allowed:
+                raise decision.denial()
+            if decision.from_lsm:
                 unprivileged_raw = not task.cred.has_cap(Capability.CAP_NET_RAW)
-            else:
-                self.require_capable(task, Capability.CAP_NET_RAW, "raw/packet socket")
         # Inside a network namespace the task holds CAP_NET_RAW *over
         # that namespace*: raw sockets are free, but they only ever
         # touch the fake network.
@@ -726,13 +809,17 @@ class SyscallMixin:
         self.tick()
         stack = getattr(sock, "stack", self.net)
         if 0 < port < PRIVILEGED_PORT_MAX and stack is self.net:
-            lsm_result = self.lsm.call("socket_bind", task, sock, port)
-            if lsm_result is HookResult.DENY:
-                self.log_audit("bind.denied", task, f"port {port}")
-                raise SyscallError(Errno.EACCES, f"bind to port {port} denied by policy")
-            if lsm_result is not HookResult.ALLOW:
-                self.require_capable(task, Capability.CAP_NET_BIND_SERVICE,
-                                     f"bind to port {port}")
+            decision = self.security_server.check(AccessRequest(
+                hook="socket_bind", task=task,
+                obj=f"port:{port}/{sock.protocol}", mask=port,
+                args=(sock, port),
+                capability=Capability.CAP_NET_BIND_SERVICE,
+                deny_errno=Errno.EACCES,
+            ))
+            if not decision.allowed:
+                if decision.from_lsm:
+                    self.log_audit("bind.denied", task, f"port {port}")
+                raise decision.denial()
         stack.bind_socket(sock, ip, port)
         self.log_audit("bind", task, f"{sock.protocol}:{port}")
 
@@ -776,11 +863,16 @@ class SyscallMixin:
     # ==================================================================
     def sys_ioctl(self, task: Task, device: Device, cmd: str, arg: object = None) -> object:
         self.tick()
-        lsm_result = self.lsm.call("dev_ioctl", task, device, cmd, arg)
-        if lsm_result is HookResult.DENY:
+        decision = self.security_server.check(AccessRequest(
+            hook="dev_ioctl", task=task, obj=f"dev:{device.name}",
+            args=(device, cmd, arg),
+            context=cmd,
+            cacheable=False,
+        ))
+        if not decision.allowed:
             self.log_audit("ioctl.denied", task, f"{device.name} {cmd}")
-            raise SyscallError(Errno.EPERM, f"ioctl {cmd} on {device.name} denied by policy")
-        allowed_by_lsm = lsm_result is HookResult.ALLOW
+            raise decision.denial()
+        allowed_by_lsm = decision.from_lsm
         handler = getattr(self, f"_ioctl_{cmd.lower()}", None)
         if handler is None:
             raise SyscallError(Errno.ENOTTY, cmd)
@@ -844,16 +936,20 @@ class SyscallMixin:
                       gateway: str = "") -> None:
         self.tick()
         route = Route(destination, device, gateway, added_by_uid=task.cred.ruid)
-        lsm_result = self.lsm.call("route_add", task, destination, device)
-        if lsm_result is HookResult.DENY:
-            self.log_audit("route.denied", task, destination)
-            raise SyscallError(Errno.EPERM, f"route {destination} denied by policy")
-        if lsm_result is HookResult.ALLOW:
-            # Protego's object policy: the route must not conflict.
-            self.net.routing.add(route, check_conflict=True)
-        else:
-            self.require_capable(task, Capability.CAP_NET_ADMIN, "route add")
-            self.net.routing.add(route, check_conflict=False)
+        decision = self.security_server.check(AccessRequest(
+            hook="route_add", task=task, obj=f"route:{destination}",
+            args=(destination, device),
+            capability=Capability.CAP_NET_ADMIN,
+            context=f"dev {device}",
+            cacheable=False,
+        ))
+        if not decision.allowed:
+            if decision.from_lsm:
+                self.log_audit("route.denied", task, destination)
+            raise decision.denial()
+        # Protego's object policy authorizes only non-conflicting
+        # routes; a capability holder may clobber at will.
+        self.net.routing.add(route, check_conflict=decision.from_lsm)
         self.log_audit("route.add", task, f"{destination} dev {device}")
 
     def sys_route_del(self, task: Task, destination: str, device: str = "") -> None:

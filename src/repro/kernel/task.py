@@ -58,6 +58,10 @@ class Task:
         # by object-based policies keyed on (binary, uid) such as the
         # Protego bind(2) port map.
         self.exe_path: str = ""
+        # Credential epoch: bumped by the security server on every
+        # credential commit (setuid/setgid/setgroups/exec), orphaning
+        # cached access decisions made under the old credentials.
+        self.cred_epoch: int = 0
         # LSM security blob: module-name -> arbitrary state. Protego
         # keeps `last_auth_time` and `pending_setuid` here.
         self.security: Dict[str, Any] = {}

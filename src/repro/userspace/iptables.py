@@ -22,7 +22,7 @@ from repro.kernel.kernel import Kernel
 from repro.kernel.net.netfilter import Chain, Rule, Verdict
 from repro.kernel.net.packets import ICMPType, Protocol
 from repro.kernel.task import Task
-from repro.userspace.program import EXIT_FAILURE, EXIT_OK, EXIT_PERM, EXIT_USAGE, Program
+from repro.userspace.program import EXIT_OK, EXIT_PERM, EXIT_USAGE, Program
 
 
 class IptablesProgram(Program):

@@ -21,7 +21,7 @@ from repro.core.authdb import UserDatabase
 from repro.kernel.errno import SyscallError
 from repro.kernel.kernel import Kernel
 from repro.kernel.task import Task
-from repro.userspace.program import EXIT_FAILURE, EXIT_OK, EXIT_PERM, EXIT_USAGE, Program
+from repro.userspace.program import EXIT_FAILURE, EXIT_PERM, EXIT_USAGE, Program
 
 POLKIT_RULES_PATH = "/etc/polkit-1/rules"
 DBUS_SERVICES_PATH = "/etc/dbus-1/system-services"

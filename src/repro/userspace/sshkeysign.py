@@ -21,7 +21,7 @@ from typing import List
 from repro.kernel.errno import SyscallError
 from repro.kernel.kernel import Kernel
 from repro.kernel.task import Task
-from repro.userspace.program import EXIT_FAILURE, EXIT_OK, EXIT_PERM, EXIT_USAGE, Program
+from repro.userspace.program import EXIT_OK, EXIT_PERM, EXIT_USAGE, Program
 
 HOST_KEY_PATH = "/etc/ssh/ssh_host_key"
 

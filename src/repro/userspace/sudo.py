@@ -23,7 +23,7 @@ from repro.core.delegation import scrub_environment
 from repro.kernel.errno import SyscallError
 from repro.kernel.kernel import Kernel
 from repro.kernel.task import Task
-from repro.userspace.program import EXIT_FAILURE, EXIT_OK, EXIT_PERM, EXIT_USAGE, Program
+from repro.userspace.program import EXIT_FAILURE, EXIT_PERM, EXIT_USAGE, Program
 
 SUDOERS_PATH = "/etc/sudoers"
 SUDOERS_DIR = "/etc/sudoers.d"

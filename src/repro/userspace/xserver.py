@@ -18,7 +18,7 @@ from repro.kernel.devices import VideoDevice
 from repro.kernel.errno import SyscallError
 from repro.kernel.kernel import Kernel
 from repro.kernel.task import Task
-from repro.userspace.program import EXIT_FAILURE, EXIT_OK, EXIT_PERM, EXIT_USAGE, Program
+from repro.userspace.program import EXIT_FAILURE, EXIT_OK, EXIT_PERM, Program
 
 
 class XServerProgram(Program):

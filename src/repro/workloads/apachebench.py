@@ -13,7 +13,7 @@ applications using no privileged functionality.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 from repro.core import System, SystemMode
 from repro.kernel.net.packets import Packet, Protocol

@@ -11,7 +11,6 @@ single digits, dominated by the exec hook.
 from __future__ import annotations
 
 import dataclasses
-from typing import Tuple
 
 from repro.core import System, SystemMode
 from repro.workloads.harness import BenchResult, time_pair

@@ -9,7 +9,7 @@ operation on a LINUX and a PROTEGO system and times it.
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Tuple
 
 from repro.core import System, SystemMode
 from repro.kernel import modes

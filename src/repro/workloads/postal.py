@@ -10,7 +10,6 @@ socket exists.
 from __future__ import annotations
 
 import itertools
-from typing import Tuple
 
 from repro.core import System, SystemMode
 from repro.userspace.mailserver import EximProgram

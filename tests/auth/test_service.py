@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.auth.service import AuthenticationService
 from repro.core import System, SystemMode
 
 

@@ -1,7 +1,6 @@
 """Unit tests for passwd/shadow/group record parsing."""
 
 from repro.config.passwd_db import (
-    GroupEntry,
     PasswdEntry,
     ShadowEntry,
     find_entry,

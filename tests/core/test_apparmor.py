@@ -4,7 +4,7 @@ import pytest
 
 from repro.apparmor import AccessMode, AppArmorLSM
 from repro.apparmor.profiles import make_profile
-from repro.kernel import Kernel, modes
+from repro.kernel import Kernel
 from repro.kernel.capabilities import Capability
 from repro.kernel.errno import Errno, SyscallError
 

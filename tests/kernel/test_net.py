@@ -3,7 +3,7 @@
 import pytest
 
 from repro.kernel import Kernel
-from repro.kernel.capabilities import Capability, CapabilitySet
+from repro.kernel.capabilities import Capability
 from repro.kernel.errno import Errno, SyscallError
 from repro.kernel.net import (
     AddressFamily,

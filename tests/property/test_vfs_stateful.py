@@ -6,17 +6,15 @@ against a plain-dict model. Catches path-resolution, offset, and
 permission-bookkeeping bugs that example-based tests miss.
 """
 
-import string
 
 from hypothesis import settings, strategies as st
 from hypothesis.stateful import (
     RuleBasedStateMachine,
     invariant,
-    precondition,
     rule,
 )
 
-from repro.kernel import Kernel, modes
+from repro.kernel import Kernel
 from repro.kernel.errno import Errno, SyscallError
 
 names = st.sampled_from(["a", "b", "c", "dir1", "dir2", "file", "x"])

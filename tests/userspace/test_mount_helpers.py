@@ -1,9 +1,7 @@
 """Tests for the typed mount helpers and kppp (Table 3's nfs-common,
 cifs-utils, ecryptfs-utils, kppp packages)."""
 
-import pytest
 
-from repro.core import SystemMode
 
 
 class TestMountNfs:
