@@ -1,0 +1,134 @@
+"""Dentry-cache microbenchmark: the single-walk payoff, measured.
+
+Repeatedly stats and opens a file twenty directories deep with the
+dentry cache enabled and disabled. A hit is one dict probe plus a
+per-directory permission revalidation from the permission cache; a
+miss re-walks every component with a DAC search check at each step —
+the double-walk cost the refactor removed. The decision cache is held
+off for both passes so the measurement isolates the VFS layer.
+
+The acceptance bar is a >= 2x speedup on repeated deep-path stat and
+open/close, with the numbers written both to the shared report
+directory and ``BENCH_dcache.json`` at the repo root for machine
+consumption. A negative-lookup row (repeated ENOENT probes, the
+O_CREAT/daemon-poll pattern) is reported alongside.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import bench_scale
+from repro.core import System, SystemMode
+from repro.kernel.errno import SyscallError
+
+ITERATIONS = max(300, int(10_000 * bench_scale()))
+BATCHES = 4
+DEPTH = 20
+JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_dcache.json"
+
+
+def _deep_system():
+    """A PROTEGO system with a file DEPTH directories deep, decision
+    cache disabled so only the dcache differs between passes."""
+    system = System(SystemMode.PROTEGO)
+    kernel = system.kernel
+    root = system.root_session()
+    kernel.security_server.cache_enabled = False
+    path = "/bench"
+    kernel.sys_mkdir(root, path)
+    for i in range(DEPTH - 2):
+        path = f"{path}/d{i}"
+        kernel.sys_mkdir(root, path)
+    deep_path = f"{path}/file"
+    kernel.write_file(root, deep_path, b"x" * 64)
+    missing_path = f"{path}/absent"
+    return kernel, root, deep_path, missing_path
+
+
+def _ops(kernel, root, deep_path, missing_path):
+    def op_stat():
+        kernel.sys_stat(root, deep_path)
+
+    def op_open_close():
+        fd = kernel.sys_open(root, deep_path)
+        kernel.sys_close(root, fd)
+
+    def op_negative():
+        try:
+            kernel.sys_stat(root, missing_path)
+        except SyscallError:
+            pass
+        else:  # pragma: no cover - the probe must miss
+            pytest.fail("negative probe unexpectedly resolved")
+
+    return {"stat": op_stat, "open/close": op_open_close,
+            "negative stat": op_negative}
+
+
+def _time_pass(op, iterations):
+    """Microseconds per call over one timed pass."""
+    start = time.perf_counter()
+    for _ in range(iterations):
+        op()
+    return (time.perf_counter() - start) / iterations * 1e6
+
+
+def _measure(dcache, op):
+    """Best-of-N interleaved passes, dcache on vs off."""
+    on_us, off_us = [], []
+    per_pass = max(100, ITERATIONS // BATCHES)
+    for _ in range(BATCHES):
+        dcache.enabled = True
+        dcache.flush()
+        op()  # warm the walk cache
+        on_us.append(_time_pass(op, per_pass))
+        dcache.enabled = False
+        dcache.flush()
+        off_us.append(_time_pass(op, per_pass))
+    dcache.enabled = True
+    return min(on_us), min(off_us)
+
+
+def test_dcache_speedup(write_report):
+    kernel, root, deep_path, missing_path = _deep_system()
+    dcache = kernel.vfs.dcache
+    results = {}
+    for name, op in _ops(kernel, root, deep_path, missing_path).items():
+        on_us, off_us = _measure(dcache, op)
+        results[name] = {
+            "dcache_on_us": round(on_us, 4),
+            "dcache_off_us": round(off_us, 4),
+            "speedup": round(off_us / on_us, 2),
+        }
+
+    payload = {
+        "benchmark": "dcache",
+        "iterations": ITERATIONS,
+        "batches": BATCHES,
+        "path_depth": DEPTH,
+        "ops": results,
+        "mean_speedup": round(
+            sum(r["speedup"] for r in results.values()) / len(results), 2),
+    }
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    lines = [f"Dentry cache — deep-path ({DEPTH} components) repeated "
+             f"lookups ({ITERATIONS} iterations)",
+             f"{'operation':14s} {'dcache on':>12s} {'dcache off':>12s} "
+             f"{'speedup':>9s}"]
+    for name, row in results.items():
+        lines.append(f"{name:14s} {row['dcache_on_us']:>10.3f}us "
+                     f"{row['dcache_off_us']:>10.3f}us "
+                     f"{row['speedup']:>8.2f}x")
+    write_report("dcache", lines)
+
+    # The acceptance bar: a cached walk must be at least twice as
+    # cheap as re-walking all DEPTH components, for stat and open.
+    for name in ("stat", "open/close"):
+        row = results[name]
+        assert row["speedup"] >= 2.0, (
+            f"{name}: {row['speedup']}x < 2x "
+            f"({row['dcache_on_us']}us vs {row['dcache_off_us']}us)")

@@ -1,6 +1,7 @@
 """Decision-cache microbenchmark: the AVC payoff, measured.
 
-Replays 10k repeated stat/open/bind access decisions through the
+Replays repeated stat/open/bind access decisions (iteration count
+scaled by ``REPRO_BENCH_SCALE``, 10k at the default 0.5) through the
 ``SecurityServer`` with the cache enabled and disabled. A hit is a
 keyed lookup plus an audit record; a miss re-runs the full pipeline
 (DAC walk, LSM chain, capability check). The acceptance bar is a >= 2x
@@ -13,6 +14,7 @@ import json
 import time
 from pathlib import Path
 
+from benchmarks.conftest import bench_scale
 from repro.core import System, SystemMode
 from repro.kernel import modes
 from repro.kernel.capabilities import Capability
@@ -20,7 +22,7 @@ from repro.kernel.errno import Errno
 from repro.kernel.net.socket import AddressFamily, SocketType
 from repro.kernel.security import OBJ, AccessRequest
 
-ITERATIONS = 10_000
+ITERATIONS = max(300, int(20_000 * bench_scale()))
 BATCHES = 3
 JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_decision_cache.json"
 

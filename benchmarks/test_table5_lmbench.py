@@ -31,7 +31,7 @@ def test_lmbench_row(name, benchmark):
     factory, iterations = LMBENCH_TESTS[name]
     protego_op = factory(System(SystemMode.PROTEGO))
     benchmark(protego_op)
-    result = run_test(name, scale=bench_scale(), batches=3)
+    result = run_test(name, scale=bench_scale(), batches=5)
     benchmark.extra_info["linux_us"] = round(result.linux_value, 4)
     benchmark.extra_info["protego_us"] = round(result.protego_value, 4)
     benchmark.extra_info["overhead_percent"] = result.overhead_percent
@@ -43,7 +43,7 @@ def test_lmbench_row(name, benchmark):
 
 
 def test_lmbench_bandwidth(benchmark):
-    result = run_bandwidth(scale=bench_scale(), batches=3)
+    result = run_bandwidth(scale=bench_scale(), batches=5)
     benchmark(lambda: None)  # bandwidth measured by the harness above
     benchmark.extra_info["linux_mbps"] = round(result.linux_value, 1)
     benchmark.extra_info["protego_mbps"] = round(result.protego_value, 1)

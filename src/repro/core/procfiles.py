@@ -23,10 +23,11 @@ MOUNTS_PROC_PATH = "/proc/protego/mounts"
 BINDS_PROC_PATH = "/proc/protego/binds"
 SUDOERS_PROC_PATH = "/proc/protego/sudoers"
 AUDIT_PROC_PATH = "/proc/protego/audit"
+DCACHE_PROC_PATH = "/proc/protego/dcache"
 
 
 def register_protego_proc_files(kernel: Kernel, lsm: ProtegoLSM) -> None:
-    """Create /proc/protego/{mounts,binds,sudoers,audit}.
+    """Create /proc/protego/{mounts,binds,sudoers,audit,dcache}.
 
     The files are root-owned mode 0600: only root (in practice the
     monitoring daemon) may reconfigure or inspect kernel policy.
@@ -80,6 +81,11 @@ def register_protego_proc_files(kernel: Kernel, lsm: ProtegoLSM) -> None:
     kernel.procfs.register(
         "protego/audit",
         read_fn=lambda: kernel.security_server.render_audit().encode(),
+        mode=0o600,
+    )
+    kernel.procfs.register(
+        "protego/dcache",
+        read_fn=lambda: kernel.vfs.dcache.render().encode(),
         mode=0o600,
     )
 

@@ -106,13 +106,24 @@ class ProtegoLSM(SecurityModule):
     def decision_cacheable(self, hook: str, task: Task, *args) -> bool:
         """Veto caching for file opens Protego answers statefully:
         /etc/shadows/ reads hinge on authentication recency (and may
-        prompt), and binary-ACL entries are mutated in place without a
-        policy-reload flush."""
+        prompt), and binary-ACL answers depend on the live ACL. The
+        server consults this at insert time, so a vetoed open is never
+        cached; ACL growth additionally invalidates via
+        :meth:`protect_binary` in case the path was cached before it
+        became sensitive."""
         if hook == "file_open" and args:
             path = args[0]
             if path in self.binary_acl or path.startswith("/etc/shadows/"):
                 return False
         return True
+
+    def protect_binary(self, path: str, allowed_exes: Tuple[str, ...]) -> None:
+        """Confine *path* to *allowed_exes* (Protego's binary ACL) and
+        drop any decision cached before the path became sensitive —
+        the cacheability veto only guards inserts made after this."""
+        self.binary_acl[path] = tuple(allowed_exes)
+        if self.kernel is not None:
+            self.kernel.security_server.invalidate_object(path)
 
     # ------------------------------------------------------------------
     # helpers

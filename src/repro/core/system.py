@@ -375,7 +375,7 @@ class System:
             self.kernel.sys_chown(init, frag, spec.uid, spec.gid)
             self.kernel.sys_chmod(init, frag, 0o600)
         self.kernel.sys_chmod(self.kernel.init, HOST_KEY_PATH, 0o644)
-        self.protego.binary_acl[HOST_KEY_PATH] = (SshKeysignProgram.default_path,)
+        self.protego.protect_binary(HOST_KEY_PATH, (SshKeysignProgram.default_path,))
         # The su explication drop-in, then the daemon's initial sync.
         self.kernel.write_file(self.kernel.init, "/etc/sudoers.d/protego-su",
                                PROTEGO_SU_DROPIN.encode())

@@ -39,6 +39,20 @@ class Credentials:
     cap_effective: CapabilitySet = dataclasses.field(default_factory=CapabilitySet.empty)
     cap_inheritable: CapabilitySet = dataclasses.field(default_factory=CapabilitySet.empty)
 
+    def __hash__(self) -> int:
+        # Credentials key both the decision cache and the dentry
+        # permission cache, so they are hashed on every cached syscall;
+        # the snapshot is immutable, so compute the field-tuple hash
+        # once and pin it (dataclasses keeps an explicit __hash__).
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.ruid, self.euid, self.suid, self.fsuid,
+                           self.rgid, self.egid, self.sgid, self.fsgid,
+                           self.groups, self.cap_permitted,
+                           self.cap_effective, self.cap_inheritable))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
     @classmethod
     def for_root(cls) -> "Credentials":
         """Root with the full capability sets, as stock Linux grants."""

@@ -55,6 +55,10 @@ class Inode:
         # granted to the process at exec instead of full setuid-root.
         # None = no file caps.
         self.file_caps = None
+        # DAC generation: bumped whenever mode/uid/gid change (chmod,
+        # chown), orphaning every dentry-cache permission entry keyed
+        # on the old value.
+        self.generation = 0
 
     # ---- type predicates -------------------------------------------------
     def is_dir(self) -> bool:

@@ -52,8 +52,11 @@ class Kernel(SyscallMixin):
         self.lsm = LSMChain()
         # The reference monitor: composes DAC + LSM chain + capability
         # checks, caches decisions, and keeps the audit ring behind
-        # /proc/protego/audit.
+        # /proc/protego/audit. The VFS dentry cache rides the same
+        # invalidation fan-out: one invalidate_object() per mutation
+        # reaches both caches.
         self.security_server = SecurityServer(self.lsm, clock_fn=self.now)
+        self.security_server.attach_dcache(self.vfs.dcache)
         self.tasks: Dict[int, Task] = {}
         self._pids = itertools.count(1)
         self.clock = 0

@@ -264,7 +264,10 @@ class LSMChain:
 
     def cache_ok(self, hook: str, task: "Task", *args: Any) -> bool:
         """May a decision for (*hook*, *args*) be cached? Any module
-        may veto."""
+        may veto. The security server asks at insert time only — a
+        veto keeps the decision out of the cache, so lookups never pay
+        for this call — which means a module whose veto set changes at
+        runtime must invalidate or flush when it does."""
         for module in self.hook_modules(CACHE_VETO_HOOK):
             if not module.decision_cacheable(hook, task, *args):
                 return False

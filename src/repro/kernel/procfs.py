@@ -59,6 +59,11 @@ class PseudoFilesystem(Filesystem):
             write_fn=write_fn,
         )
         parent.entries[leaf] = inode
+        # Registration grafts files in without the syscall layer, so
+        # the dentry cache must be told directly (a pre-registration
+        # lookup may have cached a negative entry for this path).
+        if self.notify_change is not None:
+            self.notify_change()
         return inode
 
 

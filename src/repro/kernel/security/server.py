@@ -93,6 +93,10 @@ class SecurityServer:
         self._epochs = itertools.count(1)
         self.audit = AuditRing(audit_size)
         self.stats = CacheStats()
+        # The VFS dentry cache, when attached, shares this server's
+        # invalidation call sites: the syscall layer announces each
+        # namespace/attribute mutation once and both caches hear it.
+        self._dcache = None
 
     # ------------------------------------------------------------------
     # The monitor
@@ -112,7 +116,13 @@ class SecurityServer:
         else:
             self.stats.uncacheable += 1
         decision = self._decide(req)
-        if key is not None and decision.errno not in _UNCACHEABLE_ERRNOS:
+        # The module cacheability veto runs at insert time only: a
+        # vetoed decision is never inserted, so no hit can ever serve
+        # it, and hits stay a pure dict probe. Modules whose veto set
+        # mutates at runtime must invalidate on mutation (the binary
+        # ACL does; profile loads flush globally).
+        if (key is not None and decision.errno not in _UNCACHEABLE_ERRNOS
+                and self.lsm.cache_ok(req.hook, req.task, *req.args)):
             self._cache[key] = decision
             if len(self._cache) > self.cache_size:
                 self._cache.popitem(last=False)
@@ -202,8 +212,6 @@ class SecurityServer:
         if not (self.cache_enabled and req.cacheable
                 and req.hook in CACHEABLE_HOOKS):
             return None
-        if not self.lsm.cache_ok(req.hook, req.task, *req.args):
-            return None
         task = req.task
         # Credentials are frozen snapshots, so hashing the whole object
         # captures every identity input (uids, gids, capability sets);
@@ -220,10 +228,17 @@ class SecurityServer:
         self.stats.invalidations += 1
         return task.cred_epoch
 
+    def attach_dcache(self, dcache) -> None:
+        """Tie the VFS dentry cache into this server's invalidation
+        fan-out (set up by the kernel at boot)."""
+        self._dcache = dcache
+
     def invalidate_object(self, obj: str) -> int:
         """Drop cached decisions about *obj* and (for paths) anything
         beneath it — a chmod on a directory changes the search
-        permission of every descendant walk."""
+        permission of every descendant walk. Path invalidations are
+        forwarded to the dentry cache so namespace mutations clear
+        stale (including negative) walk entries too."""
         prefix = obj.rstrip("/") + "/"
         stale = [key for key in self._cache
                  if key[5] == obj or key[5].startswith(prefix)]
@@ -231,12 +246,18 @@ class SecurityServer:
             del self._cache[key]
         if stale:
             self.stats.invalidations += 1
+        if self._dcache is not None and obj.startswith("/"):
+            self._dcache.invalidate_prefix(obj)
         return len(stale)
 
     def flush(self, reason: str = "") -> None:
-        """Global invalidation: a policy layer reloaded."""
+        """Global invalidation: a policy layer reloaded. The dentry
+        cache drops its permission entries in sympathy (its path map
+        is policy-independent and stays warm)."""
         self._cache.clear()
         self.stats.flushes += 1
+        if self._dcache is not None:
+            self._dcache.flush_permissions()
 
     def cache_len(self) -> int:
         return len(self._cache)

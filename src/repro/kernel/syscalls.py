@@ -53,6 +53,10 @@ from repro.kernel.security import OBJ, AccessRequest, LAYER_CAPABILITY
 from repro.kernel.task import Task
 from repro.kernel.vfs import Filesystem, normalize
 
+#: open(2) access mode -> the DAC mask it must satisfy.
+_ACCMODE_MASK = {modes.O_RDONLY: modes.R_OK, modes.O_WRONLY: modes.W_OK,
+                 modes.O_RDWR: modes.R_OK | modes.W_OK}
+
 
 @dataclasses.dataclass(frozen=True)
 class StatResult:
@@ -89,11 +93,16 @@ class SyscallMixin:
     # Monitor plumbing for DAC path checks
     # ==================================================================
     def _path_permission(self, task: Task, path: str, mask: int) -> Inode:
-        """A DAC path walk as a monitored (and cacheable) decision."""
+        """A DAC path walk as a monitored (and cacheable) decision.
+
+        The DAC layer is one :meth:`VFS.lookup`: resolution and the
+        per-directory search checks in a single dcache-backed walk.
+        """
         decision = self.security_server.check(AccessRequest(
             hook="inode_permission", task=task, obj=path, mask=mask,
             args=(path, OBJ, mask),
-            dac=lambda: self.vfs.path_permission(task.cred, path, mask),
+            dac=lambda: self.vfs.lookup(path, task.cred, mask,
+                                        cred_epoch=task.cred_epoch),
         ))
         if not decision.allowed:
             raise decision.denial()
@@ -126,8 +135,7 @@ class SyscallMixin:
         self.tick()
         path = self._resolve_at(task, path)
         accmode = flags & modes.O_ACCMODE
-        mask = {modes.O_RDONLY: modes.R_OK, modes.O_WRONLY: modes.W_OK,
-                modes.O_RDWR: modes.R_OK | modes.W_OK}[accmode]
+        mask = _ACCMODE_MASK[accmode]
         if (flags & modes.O_CREAT and flags & modes.O_EXCL
                 and self.vfs.exists(path)):
             raise SyscallError(Errno.EEXIST, path)
@@ -145,7 +153,8 @@ class SyscallMixin:
         def dac() -> Inode:
             if created is not None:
                 return created
-            inode = self.vfs.path_permission(task.cred, path, mask)
+            inode = self.vfs.lookup(path, task.cred, mask,
+                                    cred_epoch=task.cred_epoch)
             if inode.is_dir() and accmode != modes.O_RDONLY:
                 raise SyscallError(Errno.EISDIR, path)
             return inode
@@ -217,7 +226,10 @@ class SyscallMixin:
     def sys_stat(self, task: Task, path: str) -> StatResult:
         self.tick()
         path = self._resolve_at(task, path)
-        inode = self.vfs.resolve(path)
+        # One cached walk: resolution and the directory search checks
+        # together (stat needs no permission on the file itself).
+        inode = self.vfs.lookup(path, task.cred, modes.F_OK,
+                                cred_epoch=task.cred_epoch)
         return StatResult(inode.ino, inode.mode, inode.uid, inode.gid,
                           inode.size(), inode.nlink)
 
@@ -269,8 +281,12 @@ class SyscallMixin:
             raise SyscallError(Errno.EPERM, f"chmod {path}")
         inode.mode = (inode.mode & modes.S_IFMT) | (mode & modes.PERM_MASK)
         inode.mtime += 1
+        inode.generation += 1
         # Permission bits changed: every cached decision about this
-        # object (and, for a directory, every walk through it) is stale.
+        # object (and, for a directory, every walk through it) is
+        # stale; the generation bump orphans the dcache permission
+        # entries, the object invalidation (forwarded to the dcache)
+        # drops the path entries.
         self.security_server.invalidate_object(path)
 
     def sys_chown(self, task: Task, path: str, uid: int, gid: int = -1) -> None:
@@ -289,6 +305,7 @@ class SyscallMixin:
         if gid != -1:
             inode.gid = gid
         inode.mtime += 1
+        inode.generation += 1
         self.security_server.invalidate_object(path)
 
     def sys_link(self, task: Task, target: str, linkpath: str) -> None:

@@ -5,6 +5,15 @@ grafting other filesystems onto directories (the object of the paper's
 motivating ``mount`` example). Path resolution follows symlinks with a
 loop limit and crosses mountpoints exactly as Linux's walk does, so
 "mount over /etc" attacks behave faithfully.
+
+All resolution funnels through :meth:`VFS.lookup`, which performs the
+component walk *and* the per-directory search-permission checks in a
+single pass and memoizes the result in a Linux-style dentry cache
+(:mod:`repro.kernel.dcache`): positive and negative path entries keyed
+on the mount epoch, permission results keyed on the caller's
+credential epoch and each directory's generation. The historical
+entry points (``resolve``, ``path_permission``, ``exists``) remain as
+thin wrappers.
 """
 
 from __future__ import annotations
@@ -17,6 +26,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.kernel import modes
 from repro.kernel.capabilities import Capability
 from repro.kernel.cred import Credentials
+from repro.kernel.dcache import PERM_MISS, Dentry, DentryCache
 from repro.kernel.errno import Errno, SyscallError
 from repro.kernel.inode import Inode, make_dir
 
@@ -34,6 +44,11 @@ class Filesystem:
         self.source = source
         self.flags = flags
         self.root = make_dir()
+        #: Installed by :meth:`VFS.attach`; pseudo-filesystems call it
+        #: when they graft files in at runtime (procfs registration
+        #: mutates directories without going through the syscall
+        #: layer, so the dcache must be told directly).
+        self.notify_change = None
 
     def is_readonly(self) -> bool:
         return bool(self.flags & modes.MS_RDONLY)
@@ -59,6 +74,11 @@ def normalize(path: str) -> str:
     """Collapse ``.``/``..``/double slashes into a canonical abs path."""
     if not path.startswith("/"):
         raise SyscallError(Errno.EINVAL, f"relative path {path!r}")
+    # Already-canonical paths (the common case on the lookup hot path)
+    # skip normpath; anything suspicious falls through to it.
+    if "//" not in path and "/." not in path and (path == "/"
+                                                  or not path.endswith("/")):
+        return path
     return posixpath.normpath(path)
 
 
@@ -69,12 +89,28 @@ def split_path(path: str) -> List[str]:
     return norm.strip("/").split("/")
 
 
+class _WalkState:
+    """Per-lookup bookkeeping the recursive walk threads through."""
+
+    __slots__ = ("dirs", "crossed_symlink")
+
+    def __init__(self):
+        self.dirs: List[Inode] = []
+        self.crossed_symlink = False
+
+
 class VFS:
     """The kernel's file namespace."""
 
     def __init__(self):
         self.rootfs = Filesystem("rootfs", source="rootfs")
         self.mounts: Dict[str, Mount] = {}
+        self.dcache = DentryCache()
+        # Longest-prefix trie over the mount table; each node maps a
+        # path component to a child node, with the mount itself (if
+        # any) stored under the "" key. Rebuilt on attach/detach —
+        # mount-table changes are rare, covering lookups are hot.
+        self._mount_trie: Dict = {}
 
     # ------------------------------------------------------------------
     # Mount table
@@ -93,33 +129,132 @@ class VFS:
         if mountpoint in self.mounts:
             raise SyscallError(Errno.EBUSY, mountpoint)
         self.mounts[mountpoint] = Mount(mountpoint, fs, flags, mounter_uid)
+        fs.notify_change = (
+            lambda mp=mountpoint: self.dcache.invalidate_prefix(mp))
+        self._note_mount_change()
 
     def detach(self, mountpoint: str) -> Mount:
         mountpoint = normalize(mountpoint)
         try:
-            return self.mounts.pop(mountpoint)
+            mount = self.mounts.pop(mountpoint)
         except KeyError:
             raise SyscallError(Errno.EINVAL, f"not mounted: {mountpoint}") from None
+        mount.fs.notify_change = None
+        self._note_mount_change()
+        return mount
+
+    def _note_mount_change(self) -> None:
+        """The mount table changed: bump the global mount epoch (which
+        orphans every cached walk) and rebuild the covering trie."""
+        self.dcache.bump_mount_epoch()
+        trie: Dict = {}
+        for mp, mount in self.mounts.items():
+            node = trie
+            for component in split_path(mp):
+                node = node.setdefault(component, {})
+            node[""] = mount
+        self._mount_trie = trie
 
     def mount_at(self, mountpoint: str) -> Optional[Mount]:
         return self.mounts.get(normalize(mountpoint))
 
     def mount_covering(self, path: str) -> Optional[Mount]:
-        """The innermost mount whose mountpoint is a prefix of *path*."""
-        path = normalize(path)
-        best = None
-        for mp, mount in self.mounts.items():
-            if path == mp or path.startswith(mp.rstrip("/") + "/"):
-                if best is None or len(mp) > len(best.mountpoint):
-                    best = mount
+        """The innermost mount whose mountpoint is a prefix of *path*.
+
+        A longest-prefix walk over the mount trie: O(path components)
+        instead of the old O(mounts) scan over the whole table.
+        """
+        node = self._mount_trie
+        best = node.get("")
+        for component in split_path(path):
+            node = node.get(component)
+            if node is None:
+                break
+            mount = node.get("")
+            if mount is not None:
+                best = mount
         return best
 
     # ------------------------------------------------------------------
-    # Path resolution
+    # Path resolution: the single walk
     # ------------------------------------------------------------------
-    def resolve(self, path: str, follow_final_symlink: bool = True) -> Inode:
-        inode, _parent, _name = self._walk(path, follow_final_symlink)
+    def lookup(
+        self,
+        path: str,
+        cred: Optional[Credentials] = None,
+        mask: int = modes.F_OK,
+        follow_final_symlink: bool = True,
+        cred_epoch: int = 0,
+    ) -> Inode:
+        """Resolve *path* and (when *cred* is given) enforce search
+        permission on every directory plus *mask* on the final inode —
+        one walk, one entry point, memoized.
+
+        A dcache hit revalidates permissions from the per-directory
+        permission cache instead of re-walking; a negative hit raises
+        ENOENT after the same search-permission checks a real walk
+        would have performed. Cold walks (and every walk that crosses
+        a symlink) run the component loop once.
+        """
+        norm = normalize(path)
+        dcache = self.dcache
+        if dcache.enabled:
+            dcache.stats.lookups += 1
+            entry = dcache.get(norm, follow_final_symlink)
+            if entry is not None:
+                if cred is not None:
+                    perms = dcache.perms_for(cred_epoch, cred)
+                    memo_key = (entry, mask)
+                    signature = entry.signature()
+                    if perms.get(memo_key) != signature:
+                        for directory in entry.dirs:
+                            self._cached_permission(
+                                perms, cred, directory, modes.X_OK)
+                        if entry.inode is not None and mask:
+                            self._cached_permission(
+                                perms, cred, entry.inode, mask)
+                        perms[memo_key] = signature
+                    else:
+                        dcache.stats.perm_hits += 1
+                if entry.errno is not None:
+                    dcache.stats.negative_hits += 1
+                    raise SyscallError(entry.errno, norm)
+                dcache.stats.hits += 1
+                return entry.inode
+            dcache.stats.misses += 1
+        dcache.stats.walks += 1
+        state = _WalkState()
+        try:
+            inode, _parent, _leaf = self._walk(
+                norm, follow_final_symlink, cred=cred, mask=mask,
+                cred_epoch=cred_epoch, state=state)
+        except SyscallError as exc:
+            if (dcache.enabled and not state.crossed_symlink
+                    and exc.errno_value is Errno.ENOENT):
+                dcache.put(norm, follow_final_symlink,
+                           Dentry(None, tuple(state.dirs), Errno.ENOENT))
+            raise
+        if dcache.enabled and not state.crossed_symlink:
+            dcache.put(norm, follow_final_symlink,
+                       Dentry(inode, tuple(state.dirs)))
         return inode
+
+    def resolve(self, path: str, follow_final_symlink: bool = True) -> Inode:
+        """Resolve with no permission enforcement (kernel-internal
+        callers); one cached walk."""
+        return self.lookup(path, follow_final_symlink=follow_final_symlink)
+
+    def path_permission(self, cred: Credentials, path: str, mask: int,
+                        cred_epoch: int = 0) -> Inode:
+        """Walk *path* checking execute (search) on every directory,
+        then *mask* on the final inode. Returns the final inode.
+
+        Now a wrapper over :meth:`lookup`: the resolution and the
+        permission checks happen in the same (cached) walk, and the
+        symlink-depth limit applies here too (a loop raises ELOOP, not
+        RecursionError).
+        """
+        return self.lookup(path, cred=cred, mask=mask, cred_epoch=cred_epoch)
 
     def resolve_parent(self, path: str) -> Tuple[Inode, str]:
         """Resolve the parent directory of *path*; return (dir, leafname)."""
@@ -132,8 +267,27 @@ class VFS:
             raise SyscallError(Errno.ENOTDIR, parent_path)
         return parent, leaf
 
+    @staticmethod
+    def _symlink_target(walked: str, link: Inode, rest: List[str]) -> str:
+        """The absolute path a traversed symlink redirects the walk to:
+        the link target (resolved against the link's directory when
+        relative) joined with the not-yet-walked components. The one
+        resolution rule both the plain walk and the permission walk
+        share."""
+        target = link.symlink_target
+        if not target.startswith("/"):
+            target = posixpath.join(posixpath.dirname(walked) or "/", target)
+        return posixpath.join(target, *rest) if rest else target
+
     def _walk(
-        self, path: str, follow_final_symlink: bool, _depth: int = 0
+        self,
+        path: str,
+        follow_final_symlink: bool,
+        cred: Optional[Credentials] = None,
+        mask: int = modes.F_OK,
+        cred_epoch: int = 0,
+        _depth: int = 0,
+        state: Optional[_WalkState] = None,
     ) -> Tuple[Inode, Optional[Inode], str]:
         if _depth > MAX_SYMLINK_DEPTH:
             raise SyscallError(Errno.ELOOP, path)
@@ -147,6 +301,10 @@ class VFS:
         for index, name in enumerate(components):
             if not current.is_dir():
                 raise SyscallError(Errno.ENOTDIR, walked or "/")
+            if cred is not None:
+                self.check_permission(cred, current, modes.X_OK, cred_epoch)
+            if state is not None:
+                state.dirs.append(current)
             child = current.lookup(name)
             walked = walked + "/" + name
             covering = self.mounts.get(walked)
@@ -154,13 +312,15 @@ class VFS:
                 child = covering.fs.root
             is_last = index == len(components) - 1
             if child.is_symlink() and (follow_final_symlink or not is_last):
-                target = child.symlink_target
-                if not target.startswith("/"):
-                    target = posixpath.join(posixpath.dirname(walked) or "/", target)
-                rest = components[index + 1:]
-                full = posixpath.join(target, *rest) if rest else target
-                return self._walk(full, follow_final_symlink, _depth + 1)
+                if state is not None:
+                    state.crossed_symlink = True
+                full = self._symlink_target(walked, child, components[index + 1:])
+                return self._walk(full, follow_final_symlink, cred=cred,
+                                  mask=mask, cred_epoch=cred_epoch,
+                                  _depth=_depth + 1, state=state)
             parent, current = current, child
+        if cred is not None and mask:
+            self.check_permission(cred, current, mask, cred_epoch)
         return current, parent, components[-1] if components else "/"
 
     def exists(self, path: str) -> bool:
@@ -202,28 +362,33 @@ class VFS:
                 return
         raise SyscallError(Errno.EACCES, f"dac denied mask={mask} on ino {inode.ino}")
 
-    def path_permission(self, cred: Credentials, path: str, mask: int) -> Inode:
-        """Walk *path* checking execute (search) on every directory,
-        then *mask* on the final inode. Returns the final inode."""
-        components = split_path(path)
-        current = self.rootfs.root
-        if "/" in self.mounts:
-            current = self.mounts["/"].fs.root
-        walked = ""
-        for index, name in enumerate(components):
-            self.dac_permission(cred, current, modes.X_OK)
-            child = current.lookup(name)
-            walked = walked + "/" + name
-            covering = self.mounts.get(walked)
-            if covering is not None:
-                child = covering.fs.root
-            if child.is_symlink():
-                rest = components[index + 1:]
-                target = child.symlink_target
-                if not target.startswith("/"):
-                    target = posixpath.join(posixpath.dirname(walked) or "/", target)
-                full = posixpath.join(target, *rest) if rest else target
-                return self.path_permission(cred, full, mask)
-            current = child
-        self.dac_permission(cred, current, mask)
-        return current
+    def check_permission(self, cred: Credentials, inode: Inode, mask: int,
+                         cred_epoch: int = 0) -> None:
+        """:meth:`dac_permission` behind the per-directory permission
+        cache: results keyed on ``(inode, generation, mask)`` under the
+        caller's ``(cred epoch, cred)`` map. A chmod/chown bumps the
+        inode's generation; a credential commit bumps the epoch —
+        either orphans the entry."""
+        if not mask:
+            return
+        if not self.dcache.enabled:
+            return self.dac_permission(cred, inode, mask)
+        perms = self.dcache.perms_for(cred_epoch, cred)
+        self._cached_permission(perms, cred, inode, mask)
+
+    def _cached_permission(self, perms: Dict, cred: Credentials,
+                           inode: Inode, mask: int) -> None:
+        key = (inode.ino, inode.generation, mask)
+        errno = perms.get(key, PERM_MISS)
+        if errno is PERM_MISS:
+            self.dcache.stats.perm_misses += 1
+            try:
+                self.dac_permission(cred, inode, mask)
+            except SyscallError as exc:
+                perms[key] = exc.errno_value
+                raise
+            perms[key] = None
+            return
+        self.dcache.stats.perm_hits += 1
+        if errno is not None:
+            raise SyscallError(errno, f"dac denied mask={mask} on ino {inode.ino}")

@@ -45,31 +45,47 @@ def _one_batch(op: Callable[[], None], iterations: int) -> float:
 
 
 def _summarize(per_batch: List[float]) -> Tuple[float, float]:
-    """Median per-op microseconds and a 95% CI half-width.
+    """Trimmed mean per-op microseconds and a 95% CI half-width.
 
-    The median resists the GC/allocator spikes a tracing interpreter
-    adds; the CI is still computed over all batches, as the paper's
-    lmbench runs report.
+    With four or more batches the extreme batch at each end is
+    discarded before both the center and the CI are computed: a GC or
+    allocator spike landing in a single batch otherwise dominates the
+    confidence interval (the 0KB-delete rows used to report ±145-193
+    on ~30µs means). With fewer batches the median stands in — it
+    resists the same spikes, but the CI then spans all batches.
     """
     ordered = sorted(per_batch)
-    mid = len(ordered) // 2
-    if len(ordered) % 2:
-        median = ordered[mid]
+    if len(ordered) >= 4:
+        kept = ordered[1:-1]
+        center = sum(kept) / len(kept)
     else:
-        median = (ordered[mid - 1] + ordered[mid]) / 2
-    mean = sum(per_batch) / len(per_batch)
-    if len(per_batch) > 1:
-        variance = sum((x - mean) ** 2 for x in per_batch) / (len(per_batch) - 1)
-        half_width = _t_value(len(per_batch) - 1) * math.sqrt(variance / len(per_batch))
+        kept = ordered
+        mid = len(ordered) // 2
+        if len(ordered) % 2:
+            center = ordered[mid]
+        else:
+            center = (ordered[mid - 1] + ordered[mid]) / 2
+    mean = sum(kept) / len(kept)
+    if len(kept) > 1:
+        variance = sum((x - mean) ** 2 for x in kept) / (len(kept) - 1)
+        half_width = _t_value(len(kept) - 1) * math.sqrt(variance / len(kept))
     else:
         half_width = 0.0
-    return median, half_width
+    return center, half_width
+
+
+def _warmup_iterations(iterations: int) -> int:
+    """At least 50 warmup calls: enough to populate every cache layer
+    (decision cache, dcache, lazily-built benchmark state) before the
+    first timed batch, even at small bench scales."""
+    return max(1, min(iterations, max(50, iterations // 4)))
 
 
 def time_per_op(op: Callable[[], None], iterations: int,
                 batches: int = 5) -> Tuple[float, float]:
-    """Median microseconds per call of *op*, with a 95% CI half-width."""
-    _one_batch(op, max(1, iterations // 4))  # warmup
+    """Trimmed-mean microseconds per call of *op*, with a 95% CI
+    half-width."""
+    _one_batch(op, _warmup_iterations(iterations))
     per_batch = [_one_batch(op, iterations) for _ in range(batches)]
     return _summarize(per_batch)
 
@@ -79,8 +95,8 @@ def time_pair(linux_op: Callable[[], None], protego_op: Callable[[], None],
                                                           Tuple[float, float]]:
     """Time two ops with interleaved batches so drift (GC pressure,
     CPU frequency) hits both systems equally."""
-    _one_batch(linux_op, max(1, iterations // 4))
-    _one_batch(protego_op, max(1, iterations // 4))
+    _one_batch(linux_op, _warmup_iterations(iterations))
+    _one_batch(protego_op, _warmup_iterations(iterations))
     linux_batches: List[float] = []
     protego_batches: List[float] = []
     for _ in range(batches):

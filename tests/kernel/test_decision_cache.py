@@ -124,6 +124,30 @@ class TestInvalidation:
         kernel.write_file(root, "/tmp/volatile", b"new")
         assert kernel.read_file(root, "/tmp/volatile") == b"new"
 
+    def test_protect_binary_drops_previously_cached_open(self):
+        """The cacheability veto runs at insert time, so registering a
+        binary-ACL entry must evict any decision cached before the
+        path became sensitive — and later opens must stay uncached."""
+        system = System(SystemMode.PROTEGO)
+        kernel = system.kernel
+        root = system.root_session()
+        kernel.sys_mkdir(root, "/opt")
+        kernel.write_file(root, "/opt/appkey", b"SECRET")
+        for _ in range(2):
+            fd = kernel.sys_open(root, "/opt/appkey")
+            kernel.sys_close(root, fd)
+        assert "/opt/appkey" in cached_objects(kernel)
+        protego = kernel.lsm.find("protego")
+        protego.protect_binary("/opt/appkey", ("/usr/bin/app",))
+        assert "/opt/appkey" not in cached_objects(kernel)
+        root.exe_path = "/bin/cat"
+        with pytest.raises(SyscallError):
+            kernel.sys_open(root, "/opt/appkey")
+        root.exe_path = "/usr/bin/app"
+        fd = kernel.sys_open(root, "/opt/appkey")
+        kernel.sys_close(root, fd)
+        assert "/opt/appkey" not in cached_objects(kernel)
+
     def test_setuid_commit_bumps_cred_epoch(self, kernel, root):
         epoch_before = root.cred_epoch
         kernel.sys_setuid(root, 1000)
