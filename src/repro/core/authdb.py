@@ -28,7 +28,7 @@ from repro.config.passwd_db import (
     parse_passwd,
     parse_shadow,
 )
-from repro.kernel.errno import SyscallError
+from repro.kernel.errno import Errno, SyscallError
 from repro.kernel.kernel import Kernel
 from repro.kernel.task import Task
 
@@ -52,41 +52,52 @@ class UserDatabase:
     def _root(self) -> Task:
         return self.kernel.init
 
-    def passwd_entries(self) -> List[PasswdEntry]:
+    def _read_entries(self, path: str, parser):
+        """Read+parse a legacy database. A missing file is an empty
+        database; any other failure propagates — returning ``[]`` for
+        a transient read error would let a caller mistake \"could not
+        read\" for \"no accounts\" and rewrite the file accordingly."""
         try:
-            return parse_passwd(self.kernel.read_file(self._root(), PASSWD_FILE).decode())
-        except SyscallError:
-            return []
+            data = self.kernel.read_file(self._root(), path)
+        except SyscallError as exc:
+            if exc.errno_value is Errno.ENOENT:
+                return []
+            raise
+        return parser(data.decode())
+
+    def passwd_entries(self) -> List[PasswdEntry]:
+        return self._read_entries(PASSWD_FILE, parse_passwd)
 
     def shadow_entries(self) -> List[ShadowEntry]:
-        try:
-            return parse_shadow(self.kernel.read_file(self._root(), SHADOW_FILE).decode())
-        except SyscallError:
-            return []
+        return self._read_entries(SHADOW_FILE, parse_shadow)
 
     def group_entries(self) -> List[GroupEntry]:
-        try:
-            return parse_group(self.kernel.read_file(self._root(), GROUP_FILE).decode())
-        except SyscallError:
-            return []
+        return self._read_entries(GROUP_FILE, parse_group)
+
+    def _replace(self, writer: Task, path: str, payload: bytes, mode: int) -> None:
+        """Crash-safe whole-file replacement: write a sibling temp
+        file, then rename over the target. A failure mid-write leaves
+        the temp file torn and the real database untouched; readers
+        never observe the truncate-then-write window."""
+        tmp = f"{path}.tmp"
+        self.kernel.write_file(writer, tmp, payload)
+        self.kernel.sys_chmod(self._root(), tmp, mode)
+        self.kernel.sys_rename(writer, tmp, path)
 
     def write_passwd(self, entries: List[PasswdEntry], task: Optional[Task] = None) -> None:
         """Rewrite the legacy file *as the given task* (DAC applies);
         the kernel's init context is used only for provisioning and
         the trusted daemon."""
         writer = task or self._root()
-        self.kernel.write_file(writer, PASSWD_FILE, format_passwd(entries).encode())
-        self.kernel.sys_chmod(self._root(), PASSWD_FILE, 0o644)
+        self._replace(writer, PASSWD_FILE, format_passwd(entries).encode(), 0o644)
 
     def write_shadow(self, entries: List[ShadowEntry], task: Optional[Task] = None) -> None:
         writer = task or self._root()
-        self.kernel.write_file(writer, SHADOW_FILE, format_shadow(entries).encode())
-        self.kernel.sys_chmod(self._root(), SHADOW_FILE, 0o640)
+        self._replace(writer, SHADOW_FILE, format_shadow(entries).encode(), 0o640)
 
     def write_group(self, entries: List[GroupEntry], task: Optional[Task] = None) -> None:
         writer = task or self._root()
-        self.kernel.write_file(writer, GROUP_FILE, format_group(entries).encode())
-        self.kernel.sys_chmod(self._root(), GROUP_FILE, 0o644)
+        self._replace(writer, GROUP_FILE, format_group(entries).encode(), 0o644)
 
     # ------------------------------------------------------------------
     # Resolution
@@ -191,9 +202,11 @@ class UserDatabase:
     def _write_fragment(self, path: str, payload: bytes, uid: int, gid: int,
                         mode: int = 0o600) -> None:
         root = self._root()
-        self.kernel.write_file(root, path, payload)
-        self.kernel.sys_chown(root, path, uid, gid)
-        self.kernel.sys_chmod(root, path, mode)
+        tmp = f"{path}.tmp"
+        self.kernel.write_file(root, tmp, payload)
+        self.kernel.sys_chown(root, tmp, uid, gid)
+        self.kernel.sys_chmod(root, tmp, mode)
+        self.kernel.sys_rename(root, tmp, path)
 
     # ---- fragment access, on behalf of a task --------------------------
     def read_own_passwd_fragment(self, task: Task, username: str) -> PasswdEntry:

@@ -41,7 +41,11 @@ from repro.auth.service import AuthenticationService
 from repro.apparmor.module import AppArmorLSM
 from repro.config.passwd_db import GroupEntry, PasswdEntry, ShadowEntry
 from repro.core.authdb import UserDatabase
-from repro.core.procfiles import register_dmcrypt_sys_files, register_protego_proc_files
+from repro.core.procfiles import (
+    register_dmcrypt_sys_files,
+    register_fault_proc_files,
+    register_protego_proc_files,
+)
 from repro.core.protego import ProtegoLSM
 from repro.kernel.cred import Credentials
 from repro.kernel.devices import (
@@ -219,9 +223,11 @@ class System:
         self.kernel.register_module(self.apparmor)
         self.protego: Optional[ProtegoLSM] = None
         self.auth_service: Optional[AuthenticationService] = None
-        self.daemon = None  # MonitoringDaemon, set in _enable_protego
+        self.supervisor = None   # DaemonSupervisor, set in _enable_protego
+        self.status_board = None  # PolicyStatusBoard, shared across restarts
         self.programs: Dict[str, Program] = {}
         self._ttys: Dict[str, TTY] = {}
+        register_fault_proc_files(self.kernel)
 
         self._provision_accounts(group_passwords or {})
         self._provision_config(fstab, sudoers, bind_conf, ppp_options)
@@ -355,6 +361,8 @@ class System:
         # Imported here: the daemon package imports repro.core.authdb,
         # which would recurse through repro.core at module import time.
         from repro.daemon.monitor import MonitoringDaemon
+        from repro.daemon.status import PolicyStatusBoard
+        from repro.daemon.supervisor import DaemonSupervisor
 
         self.protego = ProtegoLSM().attach(self.kernel)
         register_protego_proc_files(self.kernel, self.protego)
@@ -379,10 +387,33 @@ class System:
         # The su explication drop-in, then the daemon's initial sync.
         self.kernel.write_file(self.kernel.init, "/etc/sudoers.d/protego-su",
                                PROTEGO_SU_DROPIN.encode())
-        self.daemon = MonitoringDaemon(self.kernel)
-        self.daemon.attach_route_policy(self.protego.route_policy)
+        # The daemon runs under a supervisor: a crash (fault-injected
+        # or otherwise) triggers a backed-off restart whose fresh
+        # incarnation re-registers every watch and resyncs every
+        # policy. The status board outlives restarts and backs
+        # /proc/protego/status.
+        self.status_board = PolicyStatusBoard()
+
+        def daemon_factory(board) -> MonitoringDaemon:
+            daemon = MonitoringDaemon(self.kernel, status_board=board)
+            daemon.attach_route_policy(self.protego.route_policy)
+            return daemon
+
+        self.supervisor = DaemonSupervisor(self.kernel, daemon_factory,
+                                           self.status_board)
+        self.kernel.procfs.register(
+            "protego/status",
+            read_fn=lambda: self.status_board.render().encode(),
+            mode=0o600,
+        )
         if start_daemon:
-            self.daemon.start()
+            self.supervisor.start()
+
+    @property
+    def daemon(self):
+        """The live MonitoringDaemon incarnation (None on LINUX mode,
+        or while a crashed daemon awaits its restart backoff)."""
+        return self.supervisor.daemon if self.supervisor is not None else None
 
     # ==================================================================
     # Session helpers
@@ -443,6 +474,7 @@ class System:
         raise KeyError(username)
 
     def sync(self) -> None:
-        """One monitoring-daemon wakeup (no-op on LINUX)."""
-        if self.daemon is not None:
-            self.daemon.poll()
+        """One monitoring-daemon wakeup (no-op on LINUX). Goes through
+        the supervisor, so a crashed daemon gets its restart chance."""
+        if self.supervisor is not None:
+            self.supervisor.poll()

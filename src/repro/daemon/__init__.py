@@ -9,6 +9,15 @@ synchronized. It is required only for backward compatibility.
 """
 
 from repro.daemon.inotify import FileWatcher, WatchEvent
-from repro.daemon.monitor import MonitoringDaemon
+from repro.daemon.monitor import DaemonCrash, MonitoringDaemon
+from repro.daemon.status import PolicyStatusBoard
+from repro.daemon.supervisor import DaemonSupervisor
 
-__all__ = ["FileWatcher", "MonitoringDaemon", "WatchEvent"]
+__all__ = [
+    "DaemonCrash",
+    "DaemonSupervisor",
+    "FileWatcher",
+    "MonitoringDaemon",
+    "PolicyStatusBoard",
+    "WatchEvent",
+]

@@ -21,7 +21,7 @@ administrator can write /proc directly instead of 1.
 from __future__ import annotations
 
 import dataclasses
-from typing import List
+from typing import Dict, List, Optional, Tuple
 
 from repro.config.bindconf import BindConfigError, parse_bind_config
 from repro.config.fstab import parse_fstab, user_mountable_entries
@@ -41,9 +41,14 @@ from repro.core.authdb import (
 from repro.core.bind_policy import BindPolicy
 from repro.core.delegation import DelegationPolicy
 from repro.core.mount_policy import MountPolicy, MountRule
-from repro.core.procfiles import BINDS_PROC_PATH, MOUNTS_PROC_PATH, SUDOERS_PROC_PATH
+from repro.core.procfiles import (
+    COMMIT_PROC_PATH,
+    COMMIT_SECTIONS,
+)
 from repro.daemon.inotify import FileWatcher, WatchEvent
-from repro.kernel.errno import SyscallError
+from repro.daemon.status import PolicyStatusBoard
+from repro.kernel.errno import Errno, SyscallError
+from repro.kernel.fault import SITE_DAEMON_CRASH
 from repro.kernel.kernel import Kernel
 
 FSTAB_PATH = "/etc/fstab"
@@ -57,21 +62,42 @@ POLKIT_DROPIN = "/etc/sudoers.d/protego-polkit"
 DBUS_DROPIN = "/etc/sudoers.d/protego-dbus"
 
 
-class MonitoringDaemon:
-    """One instance per machine; drive with :meth:`poll`."""
+class DaemonCrash(RuntimeError):
+    """The daemon process died (the ``daemon.crash`` fault site fired).
+    Caught by :class:`repro.daemon.supervisor.DaemonSupervisor`, which
+    schedules a backed-off restart."""
 
-    def __init__(self, kernel: Kernel, enable_fragment_sync: bool = True):
+
+class MonitoringDaemon:
+    """One instance per machine; drive with :meth:`poll`.
+
+    Policy pushes are *transactional*: each sync serializes locally,
+    then writes the affected sections to ``/proc/protego/commit`` in
+    one write, which the kernel validates in full before applying any
+    of it. A failed push (parse error, injected write fault) leaves
+    the kernel on last-good policy and marks the policy *stale* on the
+    shared :class:`PolicyStatusBoard` (surfaced at
+    ``/proc/protego/status``).
+    """
+
+    def __init__(self, kernel: Kernel, enable_fragment_sync: bool = True,
+                 status_board: Optional[PolicyStatusBoard] = None):
         self.kernel = kernel
         self.userdb = UserDatabase(kernel)
         self.watcher = FileWatcher(kernel)
         self.enable_fragment_sync = enable_fragment_sync
+        self.status = status_board if status_board is not None else PolicyStatusBoard()
         self.sync_log: List[str] = []
         self.error_log: List[str] = []
         self._installed = False
+        self._route_policy = None
 
     # ------------------------------------------------------------------
     def start(self) -> None:
         """Install watches and push the initial policy load."""
+        crash = self.kernel.faults.site(SITE_DAEMON_CRASH)
+        if crash.armed and crash.should_fail():
+            raise DaemonCrash("injected crash in daemon start")
         self.sync_all_policies()
         self.watcher.watch_file(FSTAB_PATH, self._on_fstab)
         self.watcher.watch_file(SUDOERS_PATH, self._on_sudoers)
@@ -97,7 +123,12 @@ class MonitoringDaemon:
         from repro.config.pppoptions import parse_ppp_options
         try:
             text = self.kernel.read_file(self.kernel.init, PPP_OPTIONS_PATH).decode()
-        except SyscallError:
+        except SyscallError as exc:
+            if exc.errno_value is not Errno.ENOENT:
+                self._build_error(
+                    "ppp",
+                    f"ppp: {PPP_OPTIONS_PATH}: {exc.errno_value.name}: "
+                    f"{exc.context}")
             return
         self._route_policy.replace_options(parse_ppp_options(text))
         # This policy swap bypasses the /proc files, so the caches
@@ -107,23 +138,44 @@ class MonitoringDaemon:
         # goes through the syscall layer, whose invalidate_object()
         # call reaches both caches per mutated path.
         self.kernel.security_server.flush(reason="ppp route policy sync")
+        self.status.note_success("ppp", self.kernel.now())
         self.sync_log.append("ppp: route policy synced")
 
     def poll(self) -> List[WatchEvent]:
         """One daemon wakeup: process all pending changes."""
+        crash = self.kernel.faults.site(SITE_DAEMON_CRASH)
+        if crash.armed and crash.should_fail():
+            raise DaemonCrash("injected crash in daemon poll")
         if not self._installed:
             self.start()
             return []
-        return self.watcher.poll()
+        events = self.watcher.poll()
+        if self.status.any_stale():
+            # A previous push failed (fail-stale): the kernel holds
+            # last-good policy and the source file may be newer. Every
+            # wakeup retries until a push lands.
+            self.sync_all_policies()
+        return events
 
     # ------------------------------------------------------------------
-    # Policy pushes
+    # Policy pushes (two-phase: build everything, commit in one write)
     # ------------------------------------------------------------------
     def sync_all_policies(self) -> None:
-        self.sync_mount_policy()
+        """The full resync: explicate polkit, then push every policy
+        that builds cleanly as ONE commit-file transaction. A policy
+        whose source fails to build is excluded (and marked stale);
+        the others still land."""
         self.sync_polkit_explication()
-        self.sync_delegation_policy()
-        self.sync_bind_policy()
+        sections: Dict[str, Tuple[str, str]] = {}
+        for name, builder in (("mounts", self._build_mounts),
+                              ("sudoers", self._build_sudoers),
+                              ("binds", self._build_binds)):
+            built = builder()
+            if built is not None:
+                sections[name] = built
+        self._commit(sections)
+        if self._route_policy is not None:
+            self._sync_route_policy()
 
     def sync_polkit_explication(self) -> None:
         """Explicate PolicyKit/D-Bus configuration as extended
@@ -149,32 +201,57 @@ class MonitoringDaemon:
             try:
                 rules = parse(text)
             except PolkitError as exc:
-                self.error_log.append(str(exc))
+                self._build_error("polkit", str(exc))
                 continue
             self.kernel.write_file(self.kernel.init, dropin,
                                    translate(rules).encode())
             self.watcher.suppress(dropin)
+            self.status.note_success("polkit", self.kernel.now())
             self.sync_log.append(f"polkit: explicated {source}")
 
     def sync_mount_policy(self) -> None:
+        built = self._build_mounts()
+        if built is not None:
+            self._commit({"mounts": built})
+
+    def sync_delegation_policy(self) -> None:
+        built = self._build_sudoers()
+        if built is not None:
+            self._commit({"sudoers": built})
+
+    def sync_bind_policy(self) -> None:
+        built = self._build_binds()
+        if built is not None:
+            self._commit({"binds": built})
+
+    # -- phase 1: build (read + parse + serialize, no kernel effect) ----
+    def _build_mounts(self) -> Optional[Tuple[str, str]]:
         try:
             text = self.kernel.read_file(self.kernel.init, FSTAB_PATH).decode()
             entries = user_mountable_entries(parse_fstab(text))
         except (SyscallError, ValueError) as exc:
-            self.error_log.append(f"fstab: {exc}")
-            return
+            self._build_error("mounts", f"fstab: {exc}")
+            return None
         rules = [MountRule.from_fstab(entry) for entry in entries]
         policy = MountPolicy(rules)
-        self._write_proc(MOUNTS_PROC_PATH, policy.serialize())
-        self.sync_log.append(f"mounts: {len(rules)} rules")
+        return policy.serialize(), f"mounts: {len(rules)} rules"
 
-    def sync_delegation_policy(self) -> None:
+    def _build_sudoers(self) -> Optional[Tuple[str, str]]:
         text = ""
         includes: List[str] = []
         try:
             text = self.kernel.read_file(self.kernel.init, SUDOERS_PATH).decode()
-        except SyscallError:
-            pass
+        except SyscallError as exc:
+            # A missing /etc/sudoers is a legitimate configuration
+            # (drop-ins only); any other failure means we cannot know
+            # the intended policy — keep last-good and mark it stale
+            # rather than silently pushing a partial one.
+            if exc.errno_value is not Errno.ENOENT:
+                self._build_error(
+                    "sudoers",
+                    f"sudoers: {SUDOERS_PATH}: {exc.errno_value.name}: "
+                    f"{exc.context}")
+                return None
         if self.kernel.vfs.exists(SUDOERS_DIR):
             for name in sorted(self.kernel.sys_readdir(self.kernel.init, SUDOERS_DIR)):
                 try:
@@ -182,7 +259,13 @@ class MonitoringDaemon:
                         self.kernel.read_file(self.kernel.init,
                                               f"{SUDOERS_DIR}/{name}").decode()
                     )
-                except SyscallError:
+                except SyscallError as exc:
+                    if exc.errno_value is not Errno.ENOENT:
+                        self._build_error(
+                            "sudoers",
+                            f"sudoers: {SUDOERS_DIR}/{name}: "
+                            f"{exc.errno_value.name}: {exc.context}")
+                        return None
                     continue
         try:
             sudoers = parse_sudoers(text, includes)
@@ -190,32 +273,59 @@ class MonitoringDaemon:
                 sudoers, self.userdb.resolve_user, self.userdb.resolve_group
             )
         except (SudoersError, ValueError) as exc:
-            self.error_log.append(f"sudoers: {exc}")
-            return
-        self._write_proc(SUDOERS_PROC_PATH, delegation.serialize())
-        self.sync_log.append(f"sudoers: {len(delegation.rules())} rules")
+            self._build_error("sudoers", f"sudoers: {exc}")
+            return None
+        return (delegation.serialize(),
+                f"sudoers: {len(delegation.rules())} rules")
 
-    def sync_bind_policy(self) -> None:
+    def _build_binds(self) -> Optional[Tuple[str, str]]:
         try:
             text = self.kernel.read_file(self.kernel.init, BIND_PATH).decode()
-        except SyscallError:
-            return
+        except SyscallError as exc:
+            if exc.errno_value is not Errno.ENOENT:
+                self._build_error(
+                    "binds",
+                    f"bind: {BIND_PATH}: {exc.errno_value.name}: {exc.context}")
+            return None
         try:
             entries = parse_bind_config(text)
             grants = BindPolicy.resolve_entries(entries, self.userdb.resolve_user)
         except (BindConfigError, ValueError) as exc:
-            self.error_log.append(f"bind: {exc}")
-            return
+            self._build_error("binds", f"bind: {exc}")
+            return None
         policy = BindPolicy(grants)
-        self._write_proc(BINDS_PROC_PATH, policy.serialize())
-        self.sync_log.append(f"binds: {len(grants)} grants")
+        return policy.serialize(), f"binds: {len(grants)} grants"
 
-    def _write_proc(self, path: str, payload: str) -> None:
+    def _build_error(self, policy_name: str, message: str) -> None:
+        self.error_log.append(message)
+        self.status.note_error(policy_name, message)
+
+    # -- phase 2: commit (one write, validated in full by the kernel) ---
+    def _commit(self, sections: Dict[str, Tuple[str, str]]) -> None:
+        """Write the built *sections* to /proc/protego/commit. The
+        kernel parses every section before swapping any, and the
+        ``proc.write`` fault site fires before the handler runs — so
+        the observable outcomes are exactly two: all sections applied,
+        or none (last-good policy stays in force, policies marked
+        stale)."""
+        if not sections:
+            return
+        blob = "".join(
+            f"%%{name}\n{sections[name][0]}"
+            for name in COMMIT_SECTIONS if name in sections
+        )
         try:
-            self.kernel.write_file(self.kernel.init, path, payload.encode(),
-                                   create=False)
+            self.kernel.write_file(self.kernel.init, COMMIT_PROC_PATH,
+                                   blob.encode(), create=False)
         except SyscallError as exc:
-            self.error_log.append(f"{path}: {exc.errno_value.name}: {exc.context}")
+            message = f"{exc.errno_value.name}: {exc.context}"
+            for name in sections:
+                self._build_error(name, f"commit {name}: {message}")
+            return
+        now = self.kernel.now()
+        for name in sections:
+            self.status.note_success(name, now)
+            self.sync_log.append(sections[name][1])
 
     # ------------------------------------------------------------------
     # Watch callbacks: policy files

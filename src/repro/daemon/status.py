@@ -1,0 +1,91 @@
+"""Per-policy sync health, surfaced at ``/proc/protego/status``.
+
+The monitoring daemon fails *stale*, never open: when a sync cannot
+complete (unreadable source file, a fault-injected /proc write
+failure), the kernel keeps enforcing the last successfully committed
+policy. This board is the administrator's visibility into that state —
+per policy, the epoch of the last good commit, whether the current
+source is known to be newer than what the kernel holds (``stale``),
+and the error tally. It outlives daemon crashes: the supervisor owns
+the board and hands it to every daemon incarnation, so restart counts
+and stale flags survive the restarts they describe.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+#: The policies the daemon pushes, in render order.
+POLICY_NAMES = ("mounts", "sudoers", "binds", "polkit", "ppp")
+
+
+@dataclasses.dataclass
+class PolicyStatus:
+    """One policy's sync health."""
+
+    name: str
+    epoch: int = 0            # successful commits so far
+    stale: bool = False       # source changed but last push failed
+    errors: int = 0
+    last_good_clock: int = -1  # kernel clock of the last good commit
+    last_error: str = ""
+
+    def render(self) -> str:
+        return (
+            f"{self.name} epoch={self.epoch} stale={int(self.stale)} "
+            f"errors={self.errors} last_good={self.last_good_clock}"
+        )
+
+
+class PolicyStatusBoard:
+    """The shared health record for one machine's policy syncs."""
+
+    def __init__(self):
+        self.policies: Dict[str, PolicyStatus] = {
+            name: PolicyStatus(name) for name in POLICY_NAMES
+        }
+        self.crashes = 0
+        self.restarts = 0
+        self.last_crash_clock = -1
+
+    # ------------------------------------------------------------------
+    def policy(self, name: str) -> PolicyStatus:
+        status = self.policies.get(name)
+        if status is None:
+            status = self.policies[name] = PolicyStatus(name)
+        return status
+
+    def note_success(self, name: str, clock: int) -> None:
+        status = self.policy(name)
+        status.epoch += 1
+        status.stale = False
+        status.last_good_clock = clock
+
+    def note_error(self, name: str, message: str) -> None:
+        status = self.policy(name)
+        status.stale = True
+        status.errors += 1
+        status.last_error = message
+
+    def record_crash(self, clock: int) -> None:
+        self.crashes += 1
+        self.last_crash_clock = clock
+
+    def record_restart(self, clock: int) -> None:
+        self.restarts += 1
+
+    # ------------------------------------------------------------------
+    def any_stale(self) -> bool:
+        return any(s.stale for s in self.policies.values())
+
+    def render(self) -> str:
+        """The /proc/protego/status payload."""
+        lines: List[str] = [
+            f"daemon crashes={self.crashes} restarts={self.restarts} "
+            f"last_crash={self.last_crash_clock} "
+            f"stale={int(self.any_stale())}"
+        ]
+        for name in sorted(self.policies):
+            lines.append(self.policies[name].render())
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,111 @@
+"""Crash supervision for the monitoring daemon.
+
+The daemon is userspace: it can die (here, when the ``daemon.crash``
+fault site fires inside :meth:`MonitoringDaemon.poll`). Because the
+kernel fails stale, a dead daemon is a liveness problem, not a safety
+one — policy edits stop propagating until a new incarnation comes up.
+The supervisor bounds that window: it restarts the daemon with
+exponential backoff on the kernel clock, and every restart is a *full*
+recovery — a fresh :class:`FileWatcher` (so all watches re-register
+against current file fingerprints) plus the daemon's initial
+:meth:`start` resync, which re-pushes every policy. Edits that landed
+while the daemon was down are therefore picked up by the resync even
+though their watch events were never seen.
+
+The :class:`PolicyStatusBoard` lives here, not in the daemon, so
+crash/restart counts and per-policy stale flags survive the very
+restarts they describe.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.daemon.monitor import DaemonCrash, MonitoringDaemon
+from repro.daemon.status import PolicyStatusBoard
+from repro.kernel.errno import SyscallError
+from repro.kernel.kernel import Kernel
+
+#: What kills a daemon incarnation: an explicit crash, or a syscall
+#: failure that escaped every handler in its event loop (exactly what
+#: would take down the real process).
+_FATAL = (DaemonCrash, SyscallError)
+
+
+class DaemonSupervisor:
+    """Owns the daemon's lifecycle; drive with :meth:`poll`."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        factory: Callable[[PolicyStatusBoard], MonitoringDaemon],
+        status_board: Optional[PolicyStatusBoard] = None,
+        base_backoff: int = 8,
+        max_backoff: int = 256,
+    ):
+        self.kernel = kernel
+        self.factory = factory
+        self.board = status_board if status_board is not None else PolicyStatusBoard()
+        self.base_backoff = base_backoff
+        self.max_backoff = max_backoff
+        self.daemon: Optional[MonitoringDaemon] = None
+        self._backoff = base_backoff
+        self._retry_at: Optional[int] = None
+        self._ever_started = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Bring up the first daemon incarnation. A crash during boot
+        is contained like any other: backoff, then retry on poll."""
+        try:
+            self._spawn()
+        except _FATAL as exc:
+            self._on_crash(str(exc))
+
+    def poll(self) -> List:
+        """One supervision wakeup.
+
+        A live daemon is polled (a crash there is caught and schedules
+        a restart). A dead one is restarted once the backoff deadline
+        passes; before that the poll is a no-op — the kernel keeps
+        enforcing last-good policy meanwhile.
+        """
+        if self.daemon is None:
+            if self._ever_started and self.kernel.now() < (self._retry_at or 0):
+                return []
+            try:
+                self._spawn()
+            except _FATAL as exc:
+                self._on_crash(str(exc))
+            return []
+        try:
+            return self.daemon.poll()
+        except _FATAL as exc:
+            self._on_crash(str(exc))
+            return []
+
+    def kill(self) -> None:
+        """Tear the daemon down without scheduling a restart until the
+        next poll (models an operator SIGKILL)."""
+        self.daemon = None
+        self._retry_at = self.kernel.now()
+
+    # ------------------------------------------------------------------
+    def _spawn(self) -> None:
+        """Construct and start a fresh incarnation: new watcher, all
+        watches re-registered, full policy resync."""
+        restarting = self._ever_started
+        daemon = self.factory(self.board)
+        daemon.start()
+        self.daemon = daemon
+        self._backoff = self.base_backoff
+        self._retry_at = None
+        if restarting:
+            self.board.record_restart(self.kernel.now())
+        self._ever_started = True
+
+    def _on_crash(self, reason: str) -> None:
+        self.board.record_crash(self.kernel.now())
+        self.daemon = None
+        self._retry_at = self.kernel.now() + self._backoff
+        self._backoff = min(self._backoff * 2, self.max_backoff)

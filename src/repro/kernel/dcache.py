@@ -42,6 +42,7 @@ import dataclasses
 from typing import Dict, Optional, Tuple
 
 from repro.kernel.errno import Errno
+from repro.kernel.fault import SITE_DCACHE_ALLOC, FaultSite
 from repro.kernel.inode import Inode
 
 #: Sentinel distinguishing "no cached permission entry" from a cached
@@ -65,6 +66,9 @@ class DcacheStats:
     perm_misses: int = 0
     invalidations: int = 0
     flushes: int = 0
+    #: Insertions refused by an injected allocation failure — the walk
+    #: result was still correct, it just stayed uncached.
+    alloc_failures: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -122,6 +126,11 @@ class DentryCache:
         #: collisions pay a full credential comparison per lookup.
         self._last_perms: Optional[Tuple] = None
         self.stats = DcacheStats()
+        #: Simulated dentry-allocation failure: an armed site makes
+        #: :meth:`put` a counted no-op, so the cache degrades to
+        #: uncached walks — never to a wrong answer. Rebound to the
+        #: kernel's shared injector at boot.
+        self.fault_site = FaultSite(SITE_DCACHE_ALLOC)
 
     # ------------------------------------------------------------------
     # Path map
@@ -134,6 +143,9 @@ class DentryCache:
         return entry
 
     def put(self, path: str, follow: bool, entry: Dentry) -> None:
+        if self.fault_site.armed and self.fault_site.should_fail(path):
+            self.stats.alloc_failures += 1
+            return
         self._entries[(self.mount_epoch, path, follow)] = entry
         if len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
@@ -151,6 +163,11 @@ class DentryCache:
         key = (cred_epoch, cred)
         perms = self._perms.get(key)
         if perms is None:
+            if self.fault_site.armed and self.fault_site.should_fail():
+                # Simulated allocation failure: hand back a throwaway
+                # map — this walk's checks run uncached but correct.
+                self.stats.alloc_failures += 1
+                return {}
             perms = self._perms[key] = {}
             if len(self._perms) > self.max_creds:
                 self._perms.popitem(last=False)
@@ -217,5 +234,6 @@ class DentryCache:
             f"negative_hits={s.negative_hits} hit_rate={s.hit_rate:.3f}\n"
             f"walks={s.walks} perm_hits={s.perm_hits} "
             f"perm_misses={s.perm_misses} "
-            f"invalidations={s.invalidations} flushes={s.flushes}\n"
+            f"invalidations={s.invalidations} flushes={s.flushes} "
+            f"alloc_failures={s.alloc_failures}\n"
         )

@@ -15,6 +15,17 @@ from typing import Deque, Dict, List, Optional
 
 from repro.kernel.cred import Credentials
 from repro.kernel.devices import DeviceRegistry
+from repro.kernel.fault import (
+    SITE_AUDIT_APPEND,
+    SITE_AVC_ALLOC,
+    SITE_DCACHE_ALLOC,
+    SITE_NET_DROP,
+    SITE_NET_DUP,
+    SITE_NET_REORDER,
+    SITE_PROC_WRITE,
+    SITE_SYSCALL_ENTRY,
+    FaultInjector,
+)
 from repro.kernel.inode import make_dir
 from repro.kernel.lsm import LSMChain, SecurityModule
 from repro.kernel.net.stack import NetworkStack
@@ -46,6 +57,10 @@ class Kernel(SyscallMixin):
         # Linux 3.6.0 is the paper's base; bump to (3, 8) to enable
         # unprivileged user namespaces (section 4.6).
         self.version = version or KernelVersion(3, 6)
+        # Deterministic fault injection (CONFIG_FAULT_INJECTION-style):
+        # every degradable layer holds a named site from this registry,
+        # guarded by a single `site.armed` load when disarmed.
+        self.faults = FaultInjector()
         self.vfs = VFS()
         self.devices = DeviceRegistry()
         self.net = NetworkStack()
@@ -57,6 +72,17 @@ class Kernel(SyscallMixin):
         # reaches both caches.
         self.security_server = SecurityServer(self.lsm, clock_fn=self.now)
         self.security_server.attach_dcache(self.vfs.dcache)
+        # Bind the injection sites into the layers they degrade.
+        self.vfs.dcache.fault_site = self.faults.site(SITE_DCACHE_ALLOC)
+        self.security_server.fault_site = self.faults.site(SITE_AVC_ALLOC)
+        self.security_server.audit.fault_site = self.faults.site(SITE_AUDIT_APPEND)
+        self.net.bind_faults(
+            self.faults.site(SITE_NET_DROP),
+            self.faults.site(SITE_NET_DUP),
+            self.faults.site(SITE_NET_REORDER),
+        )
+        self._syscall_fault = self.faults.site(SITE_SYSCALL_ENTRY)
+        self._proc_write_fault = self.faults.site(SITE_PROC_WRITE)
         self.tasks: Dict[int, Task] = {}
         self._pids = itertools.count(1)
         self.clock = 0

@@ -15,6 +15,12 @@ import collections
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.kernel.errno import Errno, SyscallError
+from repro.kernel.fault import (
+    SITE_NET_DROP,
+    SITE_NET_DUP,
+    SITE_NET_REORDER,
+    FaultSite,
+)
 from repro.kernel.net.netfilter import Chain, NetfilterTable, Verdict
 from repro.kernel.net.packets import ICMPType, Packet, Protocol
 from repro.kernel.net.routing import RoutingTable
@@ -87,6 +93,23 @@ class NetworkStack:
         # the authoritative tallies.
         self.sent_log: Deque[Packet] = collections.deque(maxlen=1024)
         self.dropped_log: Deque[Packet] = collections.deque(maxlen=1024)
+        # Simulated wire faults (rebound to the kernel's injector at
+        # boot): drop is silent loss, dup delivers twice, reorder
+        # defers a packet behind the next transmission. All model
+        # conditions a correct client must tolerate — never a policy
+        # bypass, since they act after the netfilter verdict.
+        self.fault_drop = FaultSite(SITE_NET_DROP)
+        self.fault_dup = FaultSite(SITE_NET_DUP)
+        self.fault_reorder = FaultSite(SITE_NET_REORDER)
+        self._deferred: Deque[Tuple[Packet, Optional[Socket]]] = collections.deque()
+        self._flushing = False
+
+    def bind_faults(self, drop: FaultSite, dup: FaultSite,
+                    reorder: FaultSite) -> None:
+        """Adopt the kernel's shared fault sites (boot-time wiring)."""
+        self.fault_drop = drop
+        self.fault_dup = dup
+        self.fault_reorder = reorder
 
     # ------------------------------------------------------------------
     # Interfaces & peers
@@ -160,6 +183,47 @@ class NetworkStack:
             if verdict is Verdict.DROP:
                 self.dropped_log.append(packet)
                 raise SyscallError(Errno.EPERM, "netfilter PROTEGO_RAW drop")
+
+        # Injected wire faults run strictly after the policy verdict:
+        # they can lose or repeat traffic, never smuggle it past the
+        # filter. Loss is silent (the caller sees a send that drew no
+        # reply, exactly like real packet loss).
+        if self.fault_drop.armed and self.fault_drop.should_fail():
+            self.dropped_log.append(packet)
+            return []
+        if (self.fault_reorder.armed and not self._flushing
+                and self.fault_reorder.should_fail()):
+            # Defer this packet behind the next transmission.
+            self._deferred.append((packet, socket))
+            return []
+        replies = self._transmit(packet)
+        if self.fault_dup.armed and self.fault_dup.should_fail():
+            replies = replies + self._transmit(packet)
+        if self._deferred and not self._flushing:
+            self._flushing = True
+            try:
+                while self._deferred:
+                    late_packet, _ = self._deferred.popleft()
+                    replies = replies + self._transmit(late_packet)
+            finally:
+                self._flushing = False
+        return replies
+
+    def flush_deferred(self) -> List[Packet]:
+        """Deliver any packets a reorder fault is still holding (a
+        sweep calls this after disarming, so no traffic is stranded)."""
+        delivered: List[Packet] = []
+        self._flushing = True
+        try:
+            while self._deferred:
+                late_packet, _ = self._deferred.popleft()
+                delivered.extend(self._transmit(late_packet))
+        finally:
+            self._flushing = False
+        return delivered
+
+    def _transmit(self, packet: Packet) -> List[Packet]:
+        """The post-filter delivery path: route and deliver."""
         self.sent_log.append(packet)
 
         if packet.dst_ip in self.local_ips():

@@ -14,6 +14,8 @@ import collections
 import dataclasses
 from typing import Deque, List, Optional
 
+from repro.kernel.fault import SITE_AUDIT_APPEND, FaultSite
+
 
 @dataclasses.dataclass(frozen=True)
 class AuditEntry:
@@ -54,19 +56,42 @@ class AuditRing:
     a deque append (the AVC audits out-of-line for the same reason).
     """
 
+    #: Index of the verdict field in a seq-less row (see
+    #: :class:`AuditEntry` declaration order).
+    _VERDICT_INDEX = 7
+
     def __init__(self, capacity: int = 4096):
         self.capacity = capacity
         self._ring: Deque[tuple] = collections.deque(maxlen=capacity)
         self._seq = 0
-        self.dropped = 0  # entries pushed out of the ring
+        self.dropped = 0  # entries rotated out of the full ring
+        self.lost = 0     # appends refused by an injected alloc failure
+        self.rescued_denials = 0  # DENY rows forced in past a failure
+        #: Simulated append/allocation failure: a refused append is a
+        #: counted drop (``lost``) — except for DENY rows, which ride
+        #: an emergency reserve so a denial never vanishes without a
+        #: trace. Rebound to the kernel's shared injector at boot.
+        self.fault_site = FaultSite(SITE_AUDIT_APPEND)
 
     def __len__(self) -> int:
         return len(self._ring)
 
     def record(self, row: tuple) -> None:
         """Append one decision *row*: the :class:`AuditEntry` fields in
-        declaration order, minus the leading ``seq``."""
+        declaration order, minus the leading ``seq``.
+
+        ``seq`` advances even for rows an injected failure refuses, so
+        a reader can detect the gap; the refusal itself is counted in
+        ``lost`` and surfaced by :meth:`render`.
+        """
         self._seq += 1
+        if self.fault_site.armed and self.fault_site.should_fail():
+            if row[self._VERDICT_INDEX] != "deny":
+                self.lost += 1
+                return
+            # Fail-closed rule: a DENY must leave a trace. Spend the
+            # emergency reserve (the ring slot the eviction frees).
+            self.rescued_denials += 1
         if len(self._ring) == self.capacity:
             self.dropped += 1
         self._ring.append((self._seq,) + row)
@@ -80,9 +105,13 @@ class AuditRing:
         return [AuditEntry(*row) for row in items]
 
     def render(self, last: Optional[int] = None) -> str:
-        """The /proc representation: one line per decision."""
+        """The /proc representation: a header accounting for every
+        record that is *not* below (rotation and injected loss), then
+        one line per surviving decision."""
+        header = (f"# capacity={self.capacity} dropped={self.dropped} "
+                  f"lost={self.lost} rescued_denials={self.rescued_denials}")
         lines = [entry.render() for entry in self.entries(last)]
-        return "\n".join(lines) + ("\n" if lines else "")
+        return "\n".join([header] + lines) + "\n"
 
     def clear(self) -> None:
         self._ring.clear()

@@ -28,6 +28,7 @@ from typing import Any, Callable, Optional, Tuple, TYPE_CHECKING
 
 from repro.kernel.capabilities import Capability
 from repro.kernel.errno import Errno, SyscallError
+from repro.kernel.fault import SITE_AVC_ALLOC, FaultSite
 from repro.kernel.lsm import HookResult, LSMChain
 from repro.kernel.security.access import (
     OBJ,
@@ -69,6 +70,10 @@ class CacheStats:
     uncacheable: int = 0
     invalidations: int = 0
     flushes: int = 0
+    #: Insertions refused by an injected allocation failure: the
+    #: decision was still computed and returned, it just went uncached
+    #: (the fail-closed degradation — never a stale answer).
+    alloc_failures: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -97,6 +102,10 @@ class SecurityServer:
         # invalidation call sites: the syscall layer announces each
         # namespace/attribute mutation once and both caches hear it.
         self._dcache = None
+        #: Simulated AVC-node allocation failure: an armed site makes
+        #: the cache insert a counted no-op, so decisions degrade to
+        #: fresh computation. Rebound to the kernel's injector at boot.
+        self.fault_site = FaultSite(SITE_AVC_ALLOC)
 
     # ------------------------------------------------------------------
     # The monitor
@@ -123,9 +132,12 @@ class SecurityServer:
         # ACL does; profile loads flush globally).
         if (key is not None and decision.errno not in _UNCACHEABLE_ERRNOS
                 and self.lsm.cache_ok(req.hook, req.task, *req.args)):
-            self._cache[key] = decision
-            if len(self._cache) > self.cache_size:
-                self._cache.popitem(last=False)
+            if self.fault_site.armed and self.fault_site.should_fail(req.hook):
+                self.stats.alloc_failures += 1
+            else:
+                self._cache[key] = decision
+                if len(self._cache) > self.cache_size:
+                    self._cache.popitem(last=False)
         self._record(req, decision, cached=False)
         return decision
 

@@ -80,6 +80,20 @@ class SyscallMixin:
     """
 
     # ==================================================================
+    # Fault injection (syscall-entry site)
+    # ==================================================================
+    def _fault_entry(self, name: str) -> None:
+        """An armed ``syscall.entry`` site may abort this call before
+        any work happens — the EINTR/ENOMEM a real kernel surfaces
+        when interrupted or out of memory at entry. Callers guard with
+        ``if self._syscall_fault.armed:`` so the disarmed cost is one
+        attribute load. The site's ``only`` filter scopes injection to
+        a named subset of syscalls."""
+        site = self._syscall_fault
+        if site.should_fail(name):
+            site.fail(name)
+
+    # ==================================================================
     # Capability check (single funnel through the reference monitor)
     # ==================================================================
     def capable(self, task: Task, cap: Capability) -> bool:
@@ -133,6 +147,8 @@ class SyscallMixin:
     def sys_open(self, task: Task, path: str, flags: int = modes.O_RDONLY,
                  mode: int = 0o644) -> int:
         self.tick()
+        if self._syscall_fault.armed:
+            self._fault_entry("open")
         path = self._resolve_at(task, path)
         accmode = flags & modes.O_ACCMODE
         mask = _ACCMODE_MASK[accmode]
@@ -179,6 +195,8 @@ class SyscallMixin:
 
     def sys_read(self, task: Task, fd: int, size: int = -1) -> bytes:
         self.tick()
+        if self._syscall_fault.armed:
+            self._fault_entry("read")
         open_file = task.fdtable.get(fd)
         if not open_file.readable():
             raise SyscallError(Errno.EBADF, f"fd {fd} not readable")
@@ -194,11 +212,19 @@ class SyscallMixin:
 
     def sys_write(self, task: Task, fd: int, payload: bytes) -> int:
         self.tick()
+        if self._syscall_fault.armed:
+            self._fault_entry("write")
         open_file = task.fdtable.get(fd)
         if not open_file.writable():
             raise SyscallError(Errno.EBADF, f"fd {fd} not writable")
         inode = open_file.inode
         if inode.write_fn is not None:
+            # The proc.write site fires *before* the handler runs, so
+            # an injected failure can never half-apply a policy write:
+            # the old payload stays in force (fail-stale).
+            if (self._proc_write_fault.armed
+                    and self._proc_write_fault.should_fail(open_file.path)):
+                self._proc_write_fault.fail(open_file.path)
             inode.write_bytes(payload)
             return len(payload)
         if inode.read_fn is not None:
@@ -225,6 +251,8 @@ class SyscallMixin:
 
     def sys_stat(self, task: Task, path: str) -> StatResult:
         self.tick()
+        if self._syscall_fault.armed:
+            self._fault_entry("stat")
         path = self._resolve_at(task, path)
         # One cached walk: resolution and the directory search checks
         # together (stat needs no permission on the file itself).
@@ -449,6 +477,8 @@ class SyscallMixin:
     def sys_mount(self, task: Task, source: str, mountpoint: str,
                   fstype: str = "auto", flags: int = 0, options: str = "") -> None:
         self.tick()
+        if self._syscall_fault.armed:
+            self._fault_entry("mount")
         mountpoint = self._resolve_at(task, mountpoint)
         mountns = task.namespaces.get("mount")
         if mountns is not None:
@@ -481,6 +511,8 @@ class SyscallMixin:
 
     def sys_umount(self, task: Task, mountpoint: str) -> None:
         self.tick()
+        if self._syscall_fault.armed:
+            self._fault_entry("umount")
         mountpoint = self._resolve_at(task, mountpoint)
         mountns = task.namespaces.get("mount")
         if mountns is not None:
@@ -522,6 +554,8 @@ class SyscallMixin:
     def sys_setuid(self, task: Task, uid: int) -> None:
         """setuid(2) with Protego's deferred-transition extension."""
         self.tick()
+        if self._syscall_fault.armed:
+            self._fault_entry("setuid")
         decision = self.security_server.check(AccessRequest(
             hook="task_fix_setuid", task=task, obj=f"uid:{uid}", args=(uid,),
             capability=Capability.CAP_SETUID,
@@ -566,6 +600,8 @@ class SyscallMixin:
 
     def sys_setgid(self, task: Task, gid: int) -> None:
         self.tick()
+        if self._syscall_fault.armed:
+            self._fault_entry("setgid")
         decision = self.security_server.check(AccessRequest(
             hook="task_fix_setgid", task=task, obj=f"gid:{gid}", args=(gid,),
             capability=Capability.CAP_SETGID,
@@ -626,6 +662,8 @@ class SyscallMixin:
         keeps driving code simple and benchmarks cheap.
         """
         self.tick()
+        if self._syscall_fault.armed:
+            self._fault_entry("execve")
         argv = list(argv or [path])
         path = self._resolve_at(task, path)
         inode = self._path_permission(task, path, modes.X_OK)
@@ -788,6 +826,8 @@ class SyscallMixin:
     def sys_socket(self, task: Task, family: AddressFamily, sock_type: SocketType,
                    protocol: str = "") -> Socket:
         self.tick()
+        if self._syscall_fault.armed:
+            self._fault_entry("socket")
         protocol = protocol or {
             SocketType.STREAM: "tcp", SocketType.DGRAM: "udp",
             SocketType.RAW: "icmp", SocketType.PACKET: "all",
@@ -824,6 +864,8 @@ class SyscallMixin:
 
     def sys_bind(self, task: Task, sock: Socket, ip: str, port: int) -> None:
         self.tick()
+        if self._syscall_fault.armed:
+            self._fault_entry("bind")
         stack = getattr(sock, "stack", self.net)
         if 0 < port < PRIVILEGED_PORT_MAX and stack is self.net:
             decision = self.security_server.check(AccessRequest(
@@ -863,6 +905,8 @@ class SyscallMixin:
 
     def sys_sendto(self, task: Task, sock: Socket, packet: Packet) -> List[Packet]:
         self.tick()
+        if self._syscall_fault.armed:
+            self._fault_entry("sendto")
         packet.sender_uid = task.cred.euid
         peer = getattr(sock, "peer", None)
         if sock.family is AddressFamily.AF_UNIX and peer is not None:

@@ -1,0 +1,133 @@
+"""Daemon supervision: crash, backed-off restart, full recovery."""
+
+from repro.core import System, SystemMode
+from repro.daemon.monitor import DaemonCrash, MonitoringDaemon
+from repro.daemon.status import PolicyStatusBoard
+from repro.daemon.supervisor import DaemonSupervisor
+from repro.kernel.fault import SITE_DAEMON_CRASH
+
+
+def crash_once(system):
+    """Arm the crash site for exactly one firing and trip it."""
+    system.kernel.faults.configure(SITE_DAEMON_CRASH, times=1)
+    system.sync()
+
+
+class TestCrashAndRestart:
+    def test_crash_takes_daemon_down_and_counts(self):
+        system = System(SystemMode.PROTEGO)
+        assert system.daemon is not None
+        crash_once(system)
+        assert system.daemon is None
+        assert system.status_board.crashes == 1
+
+    def test_restart_after_backoff_re_registers_and_resyncs(self):
+        system = System(SystemMode.PROTEGO)
+        kernel, root = system.kernel, system.root_session()
+        crash_once(system)
+        # An edit landing while the daemon is down: its watch event is
+        # lost forever, only a restart resync can pick it up.
+        fstab = kernel.read_file(root, "/etc/fstab").decode()
+        fstab += "/dev/usb1 /media/usb1 vfat user,noauto,rw 0 0\n"
+        kernel.write_file(root, "/etc/fstab", fstab.encode())
+        # Before the backoff deadline: still down.
+        system.sync()
+        assert system.daemon is None
+        kernel.tick(system.supervisor.max_backoff + 1)
+        system.sync()
+        assert system.daemon is not None
+        assert system.status_board.restarts == 1
+        # The restart resync pushed the edit made during downtime.
+        assert b"/media/usb1" in kernel.read_file(
+            root, "/proc/protego/mounts")
+        # And the fresh watcher sees subsequent edits.
+        kernel.write_file(root, "/etc/fstab",
+                          fstab.replace("usb1", "usb9").encode())
+        system.sync()
+        assert b"/media/usb9" in kernel.read_file(
+            root, "/proc/protego/mounts")
+
+    def test_board_survives_restart(self):
+        system = System(SystemMode.PROTEGO)
+        board = system.status_board
+        crash_once(system)
+        system.kernel.tick(system.supervisor.max_backoff + 1)
+        system.sync()
+        assert system.status_board is board
+        assert system.daemon.status is board
+        assert board.crashes == 1 and board.restarts == 1
+
+    def test_kill_then_poll_restarts_immediately(self):
+        system = System(SystemMode.PROTEGO)
+        first = system.daemon
+        system.supervisor.kill()
+        assert system.daemon is None
+        system.sync()
+        assert system.daemon is not None and system.daemon is not first
+
+
+class TestBackoff:
+    def test_crash_loop_backs_off_exponentially_and_caps(self):
+        """With the crash site armed unconditionally, even start()
+        crashes; the retry schedule must double up to the cap."""
+        system = System(SystemMode.PROTEGO, start_daemon=False)
+        supervisor = system.supervisor
+        kernel = system.kernel
+        kernel.faults.configure(SITE_DAEMON_CRASH)
+        deadlines = []
+        for _ in range(8):
+            kernel.tick(supervisor.max_backoff + 1)
+            system.sync()
+            assert system.daemon is None
+            deadlines.append(supervisor._retry_at - kernel.now())
+        waits = deadlines
+        assert waits[0] == supervisor.base_backoff
+        for earlier, later in zip(waits, waits[1:]):
+            assert later == min(earlier * 2, supervisor.max_backoff)
+        assert waits[-1] == supervisor.max_backoff
+        # Disarm: the next due poll brings a healthy daemon up.
+        kernel.faults.disarm_all()
+        kernel.tick(supervisor.max_backoff + 1)
+        system.sync()
+        assert system.daemon is not None
+
+    def test_successful_spawn_resets_backoff(self):
+        system = System(SystemMode.PROTEGO)
+        supervisor = system.supervisor
+        crash_once(system)
+        system.kernel.tick(supervisor.max_backoff + 1)
+        system.sync()
+        assert system.daemon is not None
+        assert supervisor._backoff == supervisor.base_backoff
+
+
+class TestStandaloneSupervisor:
+    def test_lazy_start_on_first_poll(self):
+        system = System(SystemMode.PROTEGO, start_daemon=False)
+        assert system.daemon is None
+        system.sync()
+        assert system.daemon is not None
+
+    def test_factory_receives_the_shared_board(self):
+        system = System(SystemMode.PROTEGO, start_daemon=False)
+        board = PolicyStatusBoard()
+        seen = []
+
+        def factory(b):
+            seen.append(b)
+            return MonitoringDaemon(system.kernel, status_board=b)
+
+        supervisor = DaemonSupervisor(system.kernel, factory, board)
+        supervisor.start()
+        assert seen == [board]
+        assert supervisor.daemon.status is board
+
+    def test_crash_in_poll_is_contained(self):
+        system = System(SystemMode.PROTEGO, start_daemon=False)
+        system.sync()
+        system.kernel.faults.configure(SITE_DAEMON_CRASH, times=1)
+        try:
+            system.sync()
+        except DaemonCrash:  # pragma: no cover - the bug this guards
+            raise AssertionError("supervisor must contain the crash")
+        assert system.daemon is None

@@ -1,0 +1,227 @@
+"""Seeded randomized fault sweep across the whole substrate.
+
+Each schedule arms 1–3 fault sites with schedule-derived parameters,
+drives the paper's flagship workloads (user mount, sudo delegation,
+ping, passwd, umount) plus a battery of must-stay-denied probes, then
+disarms everything and checks the system converged back to the
+fault-free oracle. The invariants:
+
+1. **Fail closed** — no probe the oracle denies ever succeeds under
+   faults, whatever the schedule.
+2. **Plausible errnos** — every failure surfaces an errno a real
+   kernel could return at that boundary.
+3. **Cache coherence** — after disarming (with no cache flush), an
+   access-decision matrix over stable paths matches the oracle's.
+4. **Reconvergence** — the supervisor brings the daemon back, no
+   policy is left stale, and the committed policy equals the oracle's.
+5. **Determinism** — the same seed replays to the identical record.
+
+Schedule count and base seed come from ``REPRO_FAULT_SCHEDULES``
+(default 200) and ``REPRO_FAULT_SEED`` (default 1337) so CI can run a
+cheaper pinned smoke while the full sweep stays the local default.
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.core import System, SystemMode
+from repro.kernel import modes
+from repro.kernel.errno import Errno, SyscallError
+from repro.kernel.fault import CATALOG
+from repro.kernel.net.socket import AddressFamily, SocketType
+
+SCHEDULES = int(os.environ.get("REPRO_FAULT_SCHEDULES", "200"))
+BASE_SEED = int(os.environ.get("REPRO_FAULT_SEED", "1337"))
+
+#: Errnos a real kernel could plausibly return from these workloads:
+#: policy denials, injected resource exhaustion/interruption, and the
+#: ordinary failure modes of mount/umount/net paths.
+PLAUSIBLE_ERRNOS = frozenset(int(e) for e in (
+    Errno.EPERM, Errno.EACCES, Errno.EINTR, Errno.ENOMEM, Errno.EINVAL,
+    Errno.ENOENT, Errno.EEXIST, Errno.EBUSY, Errno.EISDIR, Errno.ENOTDIR,
+    Errno.EAGAIN, Errno.ETIMEDOUT, Errno.ENETUNREACH, Errno.EBADF,
+))
+
+#: (path, user) cells of the post-sweep coherence matrix. Only paths
+#: no workload re-modes: the sweep changes file *contents* (shadow) and
+#: mount state (/cdrom), never the permission bits on these.
+MATRIX_PATHS = ("/etc/passwd", "/etc/fstab", "/etc/sudoers",
+                "/etc/shadows/alice", "/home/alice", "/home/bob")
+MATRIX_MASKS = (modes.R_OK, modes.W_OK, modes.X_OK)
+
+
+# ----------------------------------------------------------------------
+# Workloads: each returns a hashable outcome token.
+# ----------------------------------------------------------------------
+def _run(system, task, prog, argv, feed=None):
+    try:
+        status, out = system.run(task, prog, argv, feed=feed)
+        return ("exit", status, tuple(out))
+    except SyscallError as exc:
+        return ("errno", int(exc.errno))
+
+
+WORKLOADS = (
+    ("mount", lambda s, a: _run(s, a, "/bin/mount",
+                                ["mount", "/dev/cdrom", "/cdrom"])),
+    ("sudo", lambda s, a: _run(s, a, "/usr/bin/sudo",
+                               ["sudo", "-u", "bob", "/usr/bin/lpr", "cv.pdf"],
+                               feed=["alice-password"])),
+    ("ping", lambda s, a: _run(s, a, "/bin/ping",
+                               ["ping", "-c", "1", "8.8.8.8"])),
+    ("passwd", lambda s, a: _run(s, a, "/usr/bin/passwd", ["passwd"],
+                                 feed=["sweep-pw"])),
+    ("umount", lambda s, a: _run(s, a, "/bin/umount", ["umount", "/cdrom"])),
+)
+
+
+def negative_probes(system, bob):
+    """Operations the fault-free system denies. Returns outcome tokens;
+    any ``"OK"`` is an invariant violation."""
+    kernel = system.kernel
+
+    def attempt(fn):
+        try:
+            fn()
+            return "OK"
+        except SyscallError as exc:
+            return int(exc.errno)
+
+    def bind_80():
+        sock = kernel.sys_socket(bob, AddressFamily.AF_INET,
+                                 SocketType.STREAM)
+        kernel.sys_bind(bob, sock, "192.168.1.10", 80)
+
+    return (
+        ("setuid-root", attempt(lambda: kernel.sys_setuid(bob, 0))),
+        ("read-other-shadow", attempt(
+            lambda: kernel.sys_open(bob, "/etc/shadows/alice",
+                                    modes.O_RDONLY))),
+        ("bind-privileged", attempt(bind_80)),
+        ("mount-unlisted", attempt(
+            lambda: kernel.sys_mount(bob, "/dev/sda1", "/mnt"))),
+    )
+
+
+def access_matrix(system, alice, bob):
+    kernel = system.kernel
+    return tuple(
+        (path, task.cred.euid, mask,
+         kernel.sys_access(task, path, mask))
+        for path in MATRIX_PATHS
+        for task in (alice, bob)
+        for mask in MATRIX_MASKS)
+
+
+def read_commit(system):
+    return system.kernel.read_file(system.root_session(),
+                                   "/proc/protego/commit").decode()
+
+
+# ----------------------------------------------------------------------
+# Schedules
+# ----------------------------------------------------------------------
+def schedule_for(seed):
+    """1–3 armed sites with parameters drawn from the schedule seed."""
+    rng = random.Random(f"sweep:{seed}")
+    names = rng.sample(sorted(CATALOG), rng.randint(1, 3))
+    return tuple(
+        (name, {
+            "probability": rng.choice((0.05, 0.2, 0.5, 1.0)),
+            "times": rng.choice((-1, 1, 3, 8)),
+            "space": rng.choice((0, 0, 0, 4)),
+            "seed": seed,
+        })
+        for name in names)
+
+
+def run_schedule(seed):
+    """One full sweep iteration; returns the (hashable) outcome record
+    and the system for post-run assertions."""
+    system = System(SystemMode.PROTEGO)
+    alice = system.login("alice", "alice-password")
+    bob = system.session_for("bob")
+    kernel = system.kernel
+
+    for name, config in schedule_for(seed):
+        kernel.faults.configure(name, **config)
+
+    record = []
+    for name, workload in WORKLOADS:
+        record.append((name, workload(system, alice)))
+        record.append(("probes", negative_probes(system, bob)))
+        system.sync()
+
+    # Recovery: disarm, flush in-flight packets, ride out the longest
+    # possible restart backoff, and let the daemon resync.
+    kernel.faults.disarm_all()
+    kernel.net.flush_deferred()
+    for _ in range(3):
+        kernel.tick(system.supervisor.max_backoff + 1)
+        system.sync()
+    record.append(("status", system.status_board.render()))
+    record.append(("commit", read_commit(system)))
+    return tuple(record), system, alice, bob
+
+
+# ----------------------------------------------------------------------
+# The oracle: one fault-free run of the identical session.
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def oracle():
+    system = System(SystemMode.PROTEGO)
+    alice = system.login("alice", "alice-password")
+    bob = system.session_for("bob")
+    outcomes = {}
+    for name, workload in WORKLOADS:
+        outcomes[name] = workload(system, alice)
+        for probe, result in negative_probes(system, bob):
+            assert result != "OK", f"oracle must deny {probe}"
+        system.sync()
+    assert all(token[0] == "exit" and token[1] == 0
+               for token in outcomes.values()), outcomes
+    return {
+        "outcomes": outcomes,
+        "matrix": access_matrix(system, alice, bob),
+        "commit": read_commit(system),
+    }
+
+
+# ----------------------------------------------------------------------
+# The sweep
+# ----------------------------------------------------------------------
+class TestFaultSweep:
+    @pytest.mark.parametrize("seed", range(BASE_SEED, BASE_SEED + SCHEDULES))
+    def test_schedule_upholds_invariants(self, seed, oracle):
+        record, system, alice, bob = run_schedule(seed)
+
+        for kind, token in record:
+            # Invariant 1: nothing the oracle denies ever succeeds.
+            if kind == "probes":
+                for probe, result in token:
+                    assert result != "OK", (seed, probe)
+                    assert result in PLAUSIBLE_ERRNOS, (seed, probe, result)
+            # Invariant 2: failures carry POSIX-plausible errnos.
+            elif kind in dict(WORKLOADS):
+                if token[0] == "errno":
+                    assert token[1] in PLAUSIBLE_ERRNOS, (seed, kind, token)
+
+        # Invariant 4: the daemon reconverged — alive, nothing stale,
+        # and the committed policy equals the fault-free policy.
+        assert system.daemon is not None, seed
+        assert not system.status_board.any_stale(), (
+            seed, system.status_board.render())
+        assert read_commit(system) == oracle["commit"], seed
+
+        # Invariant 3: with every site disarmed and no cache flushed,
+        # whatever the faults left in the caches answers exactly like
+        # the oracle.
+        assert access_matrix(system, alice, bob) == oracle["matrix"], seed
+
+    @pytest.mark.parametrize("seed", range(BASE_SEED, BASE_SEED + 3))
+    def test_same_seed_replays_identically(self, seed, oracle):
+        first, *_ = run_schedule(seed)
+        second, *_ = run_schedule(seed)
+        assert first == second, seed
