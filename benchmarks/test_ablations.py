@@ -146,11 +146,15 @@ class TestNetfilterScalingAblation:
     def test_send_path_vs_rule_count(self, rule_count, benchmark):
         system = System(SystemMode.PROTEGO)
         kernel = system.kernel
+        # This ablation measures the raw chain walk, so the flow cache
+        # (which flattens repeated same-flow sends to one dict probe —
+        # see benchmarks/test_policy_compile_bench.py) is disabled.
+        kernel.net.netfilter.flow_cache_enabled = False
         # Non-matching admin rules ahead of the Protego defaults.
         for port in range(rule_count):
-            kernel.net.netfilter._chains[Chain.OUTPUT].insert(
-                0, Rule(Verdict.DROP, protocol=Protocol.UDP,
-                        dst_port=40000 + port))
+            kernel.net.netfilter.insert(
+                Rule(Verdict.DROP, protocol=Protocol.UDP,
+                     dst_port=40000 + port))
         root = system.root_session()
         sock = kernel.sys_socket(root, AddressFamily.AF_INET, SocketType.RAW,
                                  "icmp")

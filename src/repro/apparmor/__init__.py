@@ -5,7 +5,11 @@ Linux with AppArmor enabled); this package provides the path-based
 profile confinement Protego stacks on.
 """
 
+from repro.apparmor.compiler import CompileStats, PathAutomaton, compile_rules
 from repro.apparmor.module import AppArmorLSM
 from repro.apparmor.profiles import AccessMode, Profile, ProfileRule
 
-__all__ = ["AccessMode", "AppArmorLSM", "Profile", "ProfileRule"]
+__all__ = [
+    "AccessMode", "AppArmorLSM", "CompileStats", "PathAutomaton",
+    "Profile", "ProfileRule", "compile_rules",
+]

@@ -1,0 +1,297 @@
+"""Compiled profile matching: the apparmor_parser pipeline in miniature.
+
+In the real kernel, ``apparmor_parser`` compiles every profile's path
+rules into one minimized DFA before loading it, so a path match costs
+O(len(path)) however many rules the profile carries. This module
+reproduces that pipeline for our glob grammar:
+
+* per-rule Thompson NFA over **character equivalence classes** (every
+  literal character that appears in some pattern gets its own class,
+  plus one class for ``/`` and one catch-all for everything else);
+* an alternation NFA whose accepting states are tagged with the rule's
+  :class:`~repro.apparmor.profiles.AccessMode` bitmask;
+* subset construction to a deterministic automaton;
+* Hopcroft-style partition-refinement minimization, seeded by the
+  accepting-state permission signature (states granting different
+  permission unions must never merge);
+* a dense transition table: ``table[state][class] -> state`` with
+  ``-1`` for the dead state, walked once per query.
+
+Glob grammar (shared with the regex oracle in ``profiles.py``):
+
+========  =====================================================
+``c``     the literal character ``c``
+``?``     exactly one character, never ``/``
+``*``     zero or more characters, none of them ``/``
+``**``    zero or more characters, ``/`` included
+========  =====================================================
+
+The accepting mask of the combined automaton is the *union* of the
+masks of every rule whose pattern matches — exactly what
+``Profile.allows_path`` used to compute with an O(rules) regex loop.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, List, Sequence, Tuple
+
+from repro.apparmor.profiles import AccessMode, ProfileRule
+
+
+@dataclasses.dataclass
+class CompileStats:
+    """What the compilation pipeline did (surfaced in /proc)."""
+
+    rules: int = 0
+    nfa_states: int = 0
+    dfa_states: int = 0
+    states: int = 0          # after minimization (dead state excluded)
+    classes: int = 0
+    table_cells: int = 0
+    compile_us: float = 0.0
+
+
+class PathAutomaton:
+    """A compiled rule set: one dense-table DFA, masks on acceptance.
+
+    ``rules_key`` remembers the exact rules tuple the automaton was
+    built from; :class:`~repro.apparmor.profiles.Profile` uses it to
+    recompile if its rules are ever swapped.
+    """
+
+    def __init__(self, rules_key: Tuple[ProfileRule, ...],
+                 classmap: Dict[str, int], other_class: int,
+                 table: List[List[int]], accept: List[int], start: int,
+                 stats: CompileStats):
+        self.rules_key = rules_key
+        self.classmap = classmap
+        self.other_class = other_class
+        self.table = table
+        self.accept = accept
+        self.start = start
+        self.stats = stats
+        self.queries = 0
+
+    def match_mask(self, path: str) -> int:
+        """The union of rule masks matching *path*, as a raw int."""
+        self.queries += 1
+        state = self.start
+        table = self.table
+        classes = self.classmap
+        other = self.other_class
+        for char in path:
+            state = table[state][classes.get(char, other)]
+            if state < 0:
+                return 0
+        return self.accept[state]
+
+    def match(self, path: str) -> AccessMode:
+        return AccessMode(self.match_mask(path))
+
+
+# ----------------------------------------------------------------------
+# NFA construction
+# ----------------------------------------------------------------------
+class _NFA:
+    """Character-class NFA with epsilon edges and mask-tagged accepts."""
+
+    def __init__(self, n_classes: int, slash_class: int):
+        self.n_classes = n_classes
+        self.slash_class = slash_class
+        self.eps: List[List[int]] = []
+        self.trans: List[Dict[int, List[int]]] = []
+        self.accept_mask: Dict[int, int] = {}
+
+    def new_state(self) -> int:
+        self.eps.append([])
+        self.trans.append({})
+        return len(self.eps) - 1
+
+    def edge(self, src: int, cls: int, dst: int) -> None:
+        self.trans[src].setdefault(cls, []).append(dst)
+
+    def edge_nonslash(self, src: int, dst: int) -> None:
+        for cls in range(self.n_classes):
+            if cls != self.slash_class:
+                self.edge(src, cls, dst)
+
+    def edge_any(self, src: int, dst: int) -> None:
+        for cls in range(self.n_classes):
+            self.edge(src, cls, dst)
+
+    def add_pattern(self, pattern: str,
+                    literal_class: Dict[str, int]) -> Tuple[int, int]:
+        """Thompson-build one glob; returns the fragment's start state."""
+        start = self.new_state()
+        cur = start
+        i = 0
+        while i < len(pattern):
+            char = pattern[i]
+            if char == "*":
+                nxt = self.new_state()
+                self.eps[cur].append(nxt)
+                if pattern[i:i + 2] == "**":
+                    self.edge_any(nxt, nxt)       # (any char)*
+                    i += 2
+                else:
+                    self.edge_nonslash(nxt, nxt)  # (non-slash)*
+                    i += 1
+                cur = nxt
+                continue
+            nxt = self.new_state()
+            if char == "?":
+                self.edge_nonslash(cur, nxt)
+            else:
+                self.edge(cur, literal_class[char], nxt)
+            cur = nxt
+            i += 1
+        return start, cur
+
+
+def _eps_closure(nfa: _NFA, states: Sequence[int]) -> frozenset:
+    seen = set(states)
+    stack = list(states)
+    while stack:
+        for nxt in nfa.eps[stack.pop()]:
+            if nxt not in seen:
+                seen.add(nxt)
+                stack.append(nxt)
+    return frozenset(seen)
+
+
+# ----------------------------------------------------------------------
+# The pipeline
+# ----------------------------------------------------------------------
+def compile_rules(rules: Tuple[ProfileRule, ...]) -> PathAutomaton:
+    """NFA -> subset construction -> minimization -> dense table."""
+    started = time.perf_counter()
+
+    # Character equivalence classes: each literal character in the rule
+    # set is distinguishable; '/' always gets a class (the wildcards
+    # treat it specially even when no pattern names it); every other
+    # character is interchangeable and shares the OTHER class.
+    literals = {"/"}
+    for rule in rules:
+        pattern = rule.pattern
+        i = 0
+        while i < len(pattern):
+            if pattern[i] == "*":
+                i += 2 if pattern[i:i + 2] == "**" else 1
+                continue
+            if pattern[i] != "?":
+                literals.add(pattern[i])
+            i += 1
+    classmap = {char: idx for idx, char in enumerate(sorted(literals))}
+    other_class = len(classmap)
+    n_classes = other_class + 1
+
+    nfa = _NFA(n_classes, classmap["/"])
+    root = nfa.new_state()
+    for rule in rules:
+        start, accept = nfa.add_pattern(rule.pattern, classmap)
+        nfa.eps[root].append(start)
+        nfa.accept_mask[accept] = nfa.accept_mask.get(accept, 0) | rule.mode.value
+
+    # Subset construction over class ids; state 0 of the DFA is the
+    # explicit dead state (all transitions self-loop) so the automaton
+    # is total and minimization can fold unreachable suffixes into it.
+    dead = 0
+    dfa_trans: List[List[int]] = [[dead] * n_classes]
+    dfa_mask: List[int] = [0]
+    start_set = _eps_closure(nfa, [root])
+    index: Dict[frozenset, int] = {start_set: 1}
+    dfa_trans.append([dead] * n_classes)
+    dfa_mask.append(_mask_of(nfa, start_set))
+    worklist = [start_set]
+    while worklist:
+        src_set = worklist.pop()
+        src = index[src_set]
+        for cls in range(n_classes):
+            targets = []
+            for state in src_set:
+                targets.extend(nfa.trans[state].get(cls, ()))
+            if not targets:
+                continue
+            dst_set = _eps_closure(nfa, targets)
+            dst = index.get(dst_set)
+            if dst is None:
+                dst = len(dfa_trans)
+                index[dst_set] = dst
+                dfa_trans.append([dead] * n_classes)
+                dfa_mask.append(_mask_of(nfa, dst_set))
+                worklist.append(dst_set)
+            dfa_trans[src][cls] = dst
+    dfa_start = 1
+
+    part, n_parts = _minimize(dfa_trans, dfa_mask, n_classes)
+
+    # Dense table over the minimized partitions. The partition holding
+    # the dead state becomes -1 so the walk can bail out early.
+    dead_part = part[dead]
+    remap = {}
+    for p in range(n_parts):
+        if p != dead_part:
+            remap[p] = len(remap)
+    table = [[0] * n_classes for _ in remap]
+    accept = [0] * len(remap)
+    for state, row in enumerate(dfa_trans):
+        p = part[state]
+        if p == dead_part:
+            continue
+        new = remap[p]
+        accept[new] = dfa_mask[state]
+        table[new] = [
+            -1 if part[dst] == dead_part else remap[part[dst]] for dst in row
+        ]
+
+    stats = CompileStats(
+        rules=len(rules),
+        nfa_states=len(nfa.eps),
+        dfa_states=len(dfa_trans) - 1,
+        states=len(table),
+        classes=n_classes,
+        table_cells=len(table) * n_classes,
+        compile_us=round((time.perf_counter() - started) * 1e6, 1),
+    )
+    if part[dfa_start] == dead_part:
+        # No rule matches anything (empty rule set): a one-state
+        # automaton that rejects every path.
+        return PathAutomaton(rules, classmap, other_class,
+                             [[-1] * n_classes], [0], 0, stats)
+    return PathAutomaton(rules, classmap, other_class, table, accept,
+                         remap[part[dfa_start]], stats)
+
+
+def _mask_of(nfa: _NFA, state_set: frozenset) -> int:
+    mask = 0
+    for state in state_set:
+        mask |= nfa.accept_mask.get(state, 0)
+    return mask
+
+
+def _minimize(trans: List[List[int]], mask: List[int],
+              n_classes: int) -> Tuple[List[int], int]:
+    """Partition-refinement minimization (the Hopcroft fixpoint,
+    computed Moore-style: split until every block is closed under
+    every input class). The initial partition groups states by their
+    permission mask, not by a boolean accept bit — accepting states
+    granting different unions must stay distinct."""
+    masks = sorted(set(mask))
+    block = {m: idx for idx, m in enumerate(masks)}
+    part = [block[m] for m in mask]
+    n_parts = len(masks)
+    while True:
+        signatures: Dict[Tuple, int] = {}
+        new_part = [0] * len(trans)
+        for state, row in enumerate(trans):
+            sig = (part[state], tuple(part[dst] for dst in row))
+            idx = signatures.get(sig)
+            if idx is None:
+                idx = len(signatures)
+                signatures[sig] = idx
+            new_part[state] = idx
+        if len(signatures) == n_parts:
+            return new_part, n_parts
+        part, n_parts = new_part, len(signatures)

@@ -29,6 +29,11 @@ class AppArmorLSM(SecurityModule):
         self.denial_log: List[str] = []
 
     def load_profile(self, profile: Profile) -> None:
+        """(Re)load a profile. The profile's automaton compiles lazily
+        on its first query; replacing a binary's profile swaps in the
+        new rule set atomically, and the decision-cache flush below
+        guarantees no verdict computed under the old profile is ever
+        served again."""
         self._profiles[profile.binary] = profile
         self.flush_decisions()
 
@@ -38,6 +43,35 @@ class AppArmorLSM(SecurityModule):
 
     def profile_for(self, task: Task) -> Optional[Profile]:
         return self._profiles.get(task.exe_path)
+
+    def render_policy_stats(self) -> str:
+        """The profile-DFA block of /proc/protego/policy: one line per
+        loaded profile (compiled or not), plus aggregate totals."""
+        lines = []
+        compiled_count = states = cells = queries = 0
+        compile_us = 0.0
+        for binary in sorted(self._profiles):
+            profile = self._profiles[binary]
+            automaton = profile.compiled
+            if automaton is None:
+                lines.append(f"profile {binary}: rules={len(profile.rules)} "
+                             f"uncompiled")
+                continue
+            s = automaton.stats
+            compiled_count += 1
+            states += s.states
+            cells += s.table_cells
+            queries += automaton.queries
+            compile_us += s.compile_us
+            lines.append(
+                f"profile {binary}: rules={s.rules} states={s.states} "
+                f"classes={s.classes} cells={s.table_cells} "
+                f"compile_us={s.compile_us} queries={automaton.queries}")
+        header = (
+            f"profiles={len(self._profiles)} compiled={compiled_count} "
+            f"states={states} table_cells={cells} queries={queries} "
+            f"compile_us={round(compile_us, 1)}")
+        return "\n".join([header] + lines) + "\n"
 
     def decision_cacheable(self, hook: str, task: Task, *args) -> bool:
         """A complain-mode profile logs every would-be denial; a cache

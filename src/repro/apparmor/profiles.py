@@ -14,8 +14,9 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+import functools
 import re
-from typing import FrozenSet, Iterable, Tuple
+from typing import FrozenSet, Iterable, Optional, Tuple
 
 from repro.kernel.capabilities import Capability
 
@@ -42,15 +43,26 @@ class ProfileRule:
     mode: AccessMode
 
     def matches(self, path: str) -> bool:
-        if self.pattern.endswith("/**"):
-            prefix = self.pattern[:-3]
-            return path == prefix or path.startswith(prefix + "/")
+        """The regex oracle for one pattern.
+
+        AppArmor semantics throughout: ``/media/**`` matches anything
+        *under* ``/media`` but not ``/media`` itself (the literal
+        ``/`` before ``**`` must be present in the path). The compiled
+        DFA, this oracle, and the old special-cased prefix matcher
+        used to disagree on exactly that; the translation below is now
+        the single definition.
+        """
         return _glob_to_regex(self.pattern).match(path) is not None
 
 
+@functools.lru_cache(maxsize=4096)
 def _glob_to_regex(pattern: str) -> "re.Pattern":
     """AppArmor-style glob: ``*`` stays within one path segment,
-    ``**`` crosses segments, ``?`` matches one non-slash character."""
+    ``**`` crosses segments, ``?`` matches one non-slash character.
+
+    Memoized: this used to recompile on every ``matches()`` call,
+    which made the per-rule scan quadratically silly and the regex
+    oracle an unfair baseline for the compiled automaton."""
     out = []
     i = 0
     while i < len(pattern):
@@ -78,8 +90,36 @@ class Profile:
     capabilities: FrozenSet[Capability] = frozenset()
     #: complain mode logs would-be denials without enforcing them.
     enforce: bool = True
+    #: The compiled path automaton, built lazily on the first query
+    #: and rebuilt if ``rules`` is ever swapped for a new tuple.
+    _compiled: Optional[object] = dataclasses.field(
+        default=None, init=False, repr=False, compare=False)
+
+    @property
+    def compiled(self):
+        """The automaton if this profile has compiled yet, else None
+        (introspection for /proc/protego/policy — never forces a
+        compile)."""
+        return self._compiled
+
+    @property
+    def automaton(self):
+        compiled = self._compiled
+        if compiled is None or compiled.rules_key is not self.rules:
+            from repro.apparmor.compiler import compile_rules
+            compiled = compile_rules(self.rules)
+            self._compiled = compiled
+        return compiled
 
     def allows_path(self, path: str, mode: AccessMode) -> bool:
+        """One O(len(path)) walk over the combined automaton; the
+        accepting state already carries the union of every matching
+        rule's mode bits."""
+        return (self.automaton.match_mask(path) & mode.value) == mode.value
+
+    def allows_path_linear(self, path: str, mode: AccessMode) -> bool:
+        """The pre-compilation O(rules x len(path)) scan, kept as the
+        differential-testing oracle and benchmark baseline."""
         granted = AccessMode.NONE
         for rule in self.rules:
             if rule.matches(path):

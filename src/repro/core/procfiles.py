@@ -25,6 +25,7 @@ BINDS_PROC_PATH = "/proc/protego/binds"
 SUDOERS_PROC_PATH = "/proc/protego/sudoers"
 AUDIT_PROC_PATH = "/proc/protego/audit"
 DCACHE_PROC_PATH = "/proc/protego/dcache"
+POLICY_PROC_PATH = "/proc/protego/policy"
 COMMIT_PROC_PATH = "/proc/protego/commit"
 STATUS_PROC_PATH = "/proc/protego/status"
 FAULT_PROC_DIR = "/proc/protego/fault"
@@ -163,6 +164,28 @@ def _split_commit_sections(text: str) -> dict:
         else:
             sections[current].append(line)
     return {name: "\n".join(lines) + "\n" for name, lines in sections.items()}
+
+
+def register_policy_proc_files(kernel: Kernel) -> None:
+    """Create ``/proc/protego/policy``: the compiled-policy stats of
+    both per-event engines — the AppArmor profile DFAs (states, table
+    size, compile time, query counts) and the netfilter flow cache
+    (entries, generation, hit rates). Registered in both system modes
+    (AppArmor and netfilter exist on stock Linux too); root-only 0600
+    like every other protego control surface."""
+
+    def read_policy() -> bytes:
+        sections = ["== apparmor profile DFAs =="]
+        apparmor = kernel.lsm.find("apparmor")
+        if apparmor is None:
+            sections.append("no apparmor module\n")
+        else:
+            sections.append(apparmor.render_policy_stats())
+        sections.append("== netfilter flow cache ==")
+        sections.append(kernel.net.netfilter.render())
+        return "\n".join(sections).encode()
+
+    kernel.procfs.register("protego/policy", read_fn=read_policy, mode=0o600)
 
 
 def register_fault_proc_files(kernel: Kernel) -> None:

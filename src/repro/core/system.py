@@ -44,6 +44,7 @@ from repro.core.authdb import UserDatabase
 from repro.core.procfiles import (
     register_dmcrypt_sys_files,
     register_fault_proc_files,
+    register_policy_proc_files,
     register_protego_proc_files,
 )
 from repro.core.protego import ProtegoLSM
@@ -228,6 +229,10 @@ class System:
         self.programs: Dict[str, Program] = {}
         self._ttys: Dict[str, TTY] = {}
         register_fault_proc_files(self.kernel)
+        # Compiled-policy stats (profile DFAs + the netfilter flow
+        # cache) exist in both modes: AppArmor and netfilter are part
+        # of the stock baseline too.
+        register_policy_proc_files(self.kernel)
 
         self._provision_accounts(group_passwords or {})
         self._provision_config(fstab, sudoers, bind_conf, ppp_options)

@@ -98,7 +98,7 @@ class Dentry:
         map) skips the per-directory revalidation loop entirely; any
         chmod/chown along the chain changes the vector."""
         final = self.inode
-        return (tuple([d.generation for d in self.dirs]),
+        return (tuple(d.generation for d in self.dirs),
                 final.generation if final is not None else -1)
 
     def __repr__(self) -> str:

@@ -14,9 +14,10 @@ to packets from capability-less raw sockets.
 
 from __future__ import annotations
 
+import collections
 import dataclasses
 import enum
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Optional, Tuple
 
 from repro.kernel.net.packets import HeaderOrigin, ICMPType, Packet, Protocol
 from repro.kernel.net.socket import Socket
@@ -74,44 +75,149 @@ class Rule:
         return True
 
 
+class _PolicyMap(dict):
+    """Per-chain default verdicts. Assigning a policy is a rule-set
+    change like any other, so it runs the flow-cache invalidation."""
+
+    def __init__(self, table: "NetfilterTable", *args):
+        super().__init__(*args)
+        self._table = table
+
+    def __setitem__(self, key, value):
+        super().__setitem__(key, value)
+        self._table.invalidate_flows()
+
+
 class NetfilterTable:
-    """Ordered rule lists per chain, with per-chain default policy."""
+    """Ordered rule lists per chain, with per-chain default policy.
+
+    A **flow cache** (modelled on Linux flowtables) memoizes the first
+    full chain traversal for a flow: the key captures every packet and
+    socket attribute a :class:`Rule` can match on — protocol, ICMP
+    type, the 5-tuple, sender uid, header origin, the spoofed-
+    transport predicate, and the socket's identity (id + the
+    unprivileged-raw mark) — so two packets with equal keys are
+    indistinguishable to *any* rule and the cached verdict is exact.
+    Invalidation is generation-based: every ``append``/``insert``/
+    ``extend``/``flush`` and every policy assignment bumps the
+    generation and empties the cache, so a rule change can never be
+    masked by a stale verdict. Rule objects must not be mutated in
+    place after insertion — route changes through these methods.
+
+    The cache decides the *verdict only*. Injected wire faults
+    (drop/dup/reorder) act on the send path strictly after
+    ``evaluate`` returns, cached or not.
+    """
+
+    FLOW_CACHE_SIZE = 4096
 
     def __init__(self):
         self._chains = {chain: [] for chain in Chain}
-        self.policy = {chain: Verdict.ACCEPT for chain in Chain}
-        self.stats = {"evaluated": 0, "dropped": 0, "accepted": 0}
+        self.generation = 0
+        self.flow_cache_enabled = True
+        self._flows: "collections.OrderedDict[tuple, Tuple[int, Verdict, bool]]" = (
+            collections.OrderedDict())
+        self.stats = {"evaluated": 0, "dropped": 0, "accepted": 0,
+                      "flow_hits": 0, "flow_misses": 0,
+                      "flow_invalidations": 0}
+        self.policy = _PolicyMap(self, {chain: Verdict.ACCEPT for chain in Chain})
 
     def append(self, rule: Rule) -> None:
         self._chains[rule.chain].append(rule)
+        self.invalidate_flows()
+
+    def insert(self, rule: Rule, index: int = 0) -> None:
+        """Insert at *index* (iptables -I semantics: default head)."""
+        self._chains[rule.chain].insert(index, rule)
+        self.invalidate_flows()
 
     def extend(self, rules: Iterable[Rule]) -> None:
         for rule in rules:
-            self.append(rule)
+            self._chains[rule.chain].append(rule)
+        self.invalidate_flows()
 
     def flush(self, chain: Optional[Chain] = None) -> None:
         chains = [chain] if chain else list(Chain)
         for c in chains:
             self._chains[c].clear()
+        self.invalidate_flows()
 
     def rules(self, chain: Chain = Chain.OUTPUT) -> List[Rule]:
         return list(self._chains[chain])
 
+    # ------------------------------------------------------------------
+    # The flow cache
+    # ------------------------------------------------------------------
+    def invalidate_flows(self) -> None:
+        """A rule or policy changed: orphan every memoized verdict."""
+        self.generation += 1
+        self._flows.clear()
+        self.stats["flow_invalidations"] += 1
+
+    @staticmethod
+    def _flow_key(chain: Chain, packet: Packet,
+                  socket: Optional[Socket]) -> tuple:
+        return (
+            chain, packet.protocol, packet.icmp_type,
+            packet.src_ip, packet.dst_ip, packet.src_port, packet.dst_port,
+            packet.sender_uid, packet.header_origin,
+            packet.is_spoofed_transport(),
+            None if socket is None else (socket.sock_id, socket.unprivileged_raw),
+        )
+
+    def flow_cache_len(self) -> int:
+        return len(self._flows)
+
+    def render(self) -> str:
+        """The flow-cache block of /proc/protego/policy."""
+        s = self.stats
+        lookups = s["flow_hits"] + s["flow_misses"]
+        hit_rate = s["flow_hits"] / lookups if lookups else 0.0
+        rule_count = sum(len(rules) for rules in self._chains.values())
+        return (
+            f"entries={len(self._flows)} generation={self.generation} "
+            f"rules={rule_count} enabled={int(self.flow_cache_enabled)}\n"
+            f"hits={s['flow_hits']} misses={s['flow_misses']} "
+            f"invalidations={s['flow_invalidations']} hit_rate={hit_rate:.3f}\n"
+            f"evaluated={s['evaluated']} accepted={s['accepted']} "
+            f"dropped={s['dropped']}\n"
+        )
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
     def evaluate_detailed(self, chain: Chain, packet: Packet,
                           socket: Optional[Socket] = None):
-        """Walk the chain; first matching rule wins, else chain
-        policy. Returns (verdict, matched-a-rule)."""
+        """Flow-cache probe, else walk the chain (first matching rule
+        wins, falling back to the chain policy) and memoize. Returns
+        (verdict, matched-a-rule); the accepted/dropped tallies count
+        every packet, hit or miss."""
         self.stats["evaluated"] += 1
+        key = None
+        if self.flow_cache_enabled:
+            key = self._flow_key(chain, packet, socket)
+            entry = self._flows.get(key)
+            if entry is not None and entry[0] == self.generation:
+                self.stats["flow_hits"] += 1
+                return self._tally(entry[1]), entry[2]
+            self.stats["flow_misses"] += 1
         verdict, matched = self.policy[chain], False
         for rule in self._chains[chain]:
             if rule.matches(packet, socket):
                 verdict, matched = rule.verdict, True
                 break
+        if key is not None:
+            if len(self._flows) >= self.FLOW_CACHE_SIZE:
+                self._flows.popitem(last=False)
+            self._flows[key] = (self.generation, verdict, matched)
+        return self._tally(verdict), matched
+
+    def _tally(self, verdict: Verdict) -> Verdict:
         if verdict is Verdict.DROP:
             self.stats["dropped"] += 1
         else:
             self.stats["accepted"] += 1
-        return verdict, matched
+        return verdict
 
     def evaluate(self, chain: Chain, packet: Packet,
                  socket: Optional[Socket] = None) -> Verdict:

@@ -42,7 +42,24 @@ class TestProfiles:
     def test_recursive_glob(self):
         profile = make_profile("/bin/p", [("/media/**", "rw")])
         assert profile.allows_path("/media/usb/deep/file", AccessMode.WRITE)
-        assert profile.allows_path("/media", AccessMode.WRITE)
+        assert profile.allows_path("/media/usb", AccessMode.WRITE)
+
+    def test_trailing_recursive_glob_excludes_bare_prefix(self):
+        """AppArmor semantics, pinned: ``/media/**`` confers access to
+        everything *under* /media but not to /media itself — the
+        literal ``/`` before ``**`` must be present in the path. The
+        regex oracle and the compiled DFA must agree on this (they
+        used to diverge: a special-cased prefix matcher granted the
+        bare prefix, the generic translation did not)."""
+        profile = make_profile("/bin/p", [("/media/**", "rw")])
+        rule = profile.rules[0]
+        for engine in (profile.allows_path, profile.allows_path_linear):
+            assert engine("/media/usb", AccessMode.WRITE)
+            assert engine("/media/a/b/c", AccessMode.WRITE)
+            assert not engine("/media", AccessMode.WRITE)
+            assert not engine("/mediaX", AccessMode.WRITE)
+        assert rule.matches("/media/usb")
+        assert not rule.matches("/media")
 
     def test_rules_accumulate(self):
         profile = make_profile("/bin/p", [("/a", "r"), ("/a", "w")])

@@ -1,0 +1,150 @@
+"""Differential testing: compiled DFA == regex oracle, always.
+
+Two layers:
+
+* a seeded exhaustive sweep — hundreds of randomly generated profiles,
+  tens of thousands of (pattern, path, mode) queries — asserting the
+  compiled automaton, the per-rule regex oracle, and
+  ``Profile.allows_path`` agree on every single one;
+* a hypothesis version over a tiny alphabet, for minimal shrunk
+  counterexamples if the pipeline ever regresses.
+
+Path generation is adversarial rather than uniform: half the probe
+paths are derived from the profile's own patterns by substituting
+wildcards (so matches are actually exercised — uniform random paths
+almost never match), including ``*``-crossing-``/`` and bare-prefix
+``/**`` near-misses.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.apparmor.compiler import compile_rules
+from repro.apparmor.profiles import AccessMode, Profile, ProfileRule
+
+MODES = (AccessMode.READ, AccessMode.WRITE, AccessMode.EXEC,
+         AccessMode.READ | AccessMode.WRITE)
+
+PATTERN_CHARS = "abcdx/.-_"
+PATH_CHARS = "abcdxz/.-_"
+
+
+def _random_pattern(rng: random.Random) -> str:
+    out = []
+    for _ in range(rng.randint(1, 10)):
+        roll = rng.random()
+        if roll < 0.15:
+            out.append("*")
+        elif roll < 0.22:
+            out.append("**")
+        elif roll < 0.30:
+            out.append("?")
+        else:
+            out.append(rng.choice(PATTERN_CHARS))
+    return "".join(out)
+
+
+def _derived_path(rng: random.Random, pattern: str) -> str:
+    """A path sculpted from *pattern*: wildcards replaced by plausible
+    expansions (sometimes illegal ones, e.g. a '/' under ``*``), and
+    occasional truncation/extension to probe boundaries."""
+    out = []
+    i = 0
+    while i < len(pattern):
+        char = pattern[i]
+        if char == "*":
+            double = pattern[i:i + 2] == "**"
+            i += 2 if double else 1
+            n = rng.randint(0, 4)
+            chars = PATH_CHARS if double else PATH_CHARS.replace("/", "") \
+                if rng.random() < 0.8 else PATH_CHARS
+            out.append("".join(rng.choice(chars) for _ in range(n)))
+            continue
+        if char == "?":
+            out.append(rng.choice(PATH_CHARS if rng.random() < 0.2
+                                  else PATH_CHARS.replace("/", "")))
+        else:
+            # occasionally perturb a literal to force a near-miss
+            out.append(char if rng.random() < 0.9 else rng.choice(PATH_CHARS))
+        i += 1
+    path = "".join(out)
+    roll = rng.random()
+    if roll < 0.1 and path:
+        path = path[:rng.randint(0, len(path) - 1)]   # truncate
+    elif roll < 0.2:
+        path += rng.choice(PATH_CHARS)                # extend
+    return path
+
+
+def _random_path(rng: random.Random) -> str:
+    return "".join(rng.choice(PATH_CHARS) for _ in range(rng.randint(0, 12)))
+
+
+def _oracle_mask(rules, path) -> int:
+    mask = 0
+    for rule in rules:
+        if rule.matches(path):
+            mask |= rule.mode.value
+    return mask
+
+
+def test_dfa_equals_regex_oracle_seeded_sweep():
+    """>= 10k (pattern, path) pairs: the three engines agree on all."""
+    rng = random.Random(0xA44A)
+    queries = 0
+    for _ in range(300):
+        rules = tuple(
+            ProfileRule(_random_pattern(rng), rng.choice(MODES))
+            for _ in range(rng.randint(0, 10)))
+        profile = Profile("/bin/p", rules)
+        automaton = compile_rules(rules)
+        probes = []
+        for rule in rules:
+            probes.extend(_derived_path(rng, rule.pattern) for _ in range(4))
+        probes.extend(_random_path(rng) for _ in range(15))
+        # The bare-prefix /** regression case, synthesized explicitly.
+        for rule in rules:
+            if rule.pattern.endswith("/**"):
+                probes.append(rule.pattern[:-3])
+        for path in probes:
+            expected = _oracle_mask(rules, path)
+            assert automaton.match_mask(path) == expected, (
+                f"DFA != oracle for rules={[r.pattern for r in rules]} "
+                f"path={path!r}")
+            mode = rng.choice(MODES)
+            assert profile.allows_path(path, mode) == (
+                (expected & mode.value) == mode.value)
+            queries += 1
+    assert queries >= 10_000, f"sweep too small: {queries} queries"
+
+
+glob_atoms = st.one_of(
+    st.sampled_from(["a", "b", "/", ".", "*", "**", "?"]))
+glob_patterns = st.lists(glob_atoms, min_size=1, max_size=6).map("".join)
+probe_paths = st.text(alphabet="ab/.", max_size=8)
+
+
+@given(
+    patterns=st.lists(glob_patterns, max_size=4),
+    path=probe_paths,
+)
+@settings(max_examples=300, deadline=None)
+def test_dfa_equals_regex_oracle_hypothesis(patterns, path):
+    rules = tuple(
+        ProfileRule(pattern, MODES[i % len(MODES)])
+        for i, pattern in enumerate(patterns))
+    automaton = compile_rules(rules)
+    assert automaton.match_mask(path) == _oracle_mask(rules, path)
+
+
+@given(patterns=st.lists(glob_patterns, min_size=1, max_size=3),
+       path=probe_paths, extra=probe_paths)
+@settings(max_examples=150, deadline=None)
+def test_permission_union_is_monotone(patterns, path, extra):
+    """Adding a rule can only grow the granted mask for any path."""
+    base = tuple(ProfileRule(p, AccessMode.READ) for p in patterns)
+    grown = base + (ProfileRule(extra or "*", AccessMode.WRITE),)
+    before = compile_rules(base).match_mask(path)
+    after = compile_rules(grown).match_mask(path)
+    assert before & after == before

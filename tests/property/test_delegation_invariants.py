@@ -38,12 +38,22 @@ action_strategy = st.lists(
 
 
 def allowed_targets(rules, invoker_uid):
-    """Every uid some rule lets *invoker_uid* become."""
-    targets = set()
-    for rule in rules:
-        if rule.invoker_uid == invoker_uid:
-            targets.add(rule.target_uid)
-    return targets
+    """Every uid *invoker_uid* may reach — the transitive closure.
+
+    Delegation chains: if a rule lets A become B and another lets B
+    become C, then A can legitimately reach C in two authorized steps
+    (each setuid is checked against the task's *current* identity,
+    exactly as with chained sudo invocations). The invariant is that
+    a task never escapes this reachable set."""
+    reachable = {invoker_uid}
+    frontier = [invoker_uid]
+    while frontier:
+        current = frontier.pop()
+        for rule in rules:
+            if rule.invoker_uid == current and rule.target_uid not in reachable:
+                reachable.add(rule.target_uid)
+                frontier.append(rule.target_uid)
+    return reachable
 
 
 @given(rules=st.lists(rule_strategy, max_size=5),
