@@ -1,0 +1,137 @@
+"""Aggregate every ``BENCH_*.json`` into one markdown summary table.
+
+Each cache/overhead benchmark drops a machine-readable payload at the
+repo root (``BENCH_dcache.json``, ``BENCH_fastpath.json``, ...). Their
+shapes differ in field names but share one structure: an ``ops``
+mapping from operation name to a row holding a *baseline* timing, a
+*current* timing, and a ratio (``speedup`` or ``overhead_percent``).
+This script normalizes them into a single trajectory table — one line
+per (benchmark, operation) — written to
+``benchmarks/reports/summary.md`` and echoed to stdout, so one command
+answers "where does the warm path stand after this PR".
+
+Run from the repo root (or anywhere — paths are resolved relative to
+this file):
+
+    python benchmarks/report.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+REPORT_DIR = Path(__file__).resolve().parent / "reports"
+
+#: Substrings that mark a ``*_us`` field as the baseline (layered /
+#: uncached / unguarded) side vs. the current (cached / fused /
+#: guarded) side. Order matters only for documentation.
+_BASELINE_MARKERS = ("off", "linear", "unguarded", "uncached")
+_CURRENT_MARKERS = ("on", "compiled", "guarded", "cached", "warm")
+
+
+def _classify(row: dict) -> tuple:
+    """Split one op row's ``*_us`` fields into (baseline, current).
+
+    Returns ``(baseline_us, current_us)``; either may be ``None`` when
+    the row does not carry that side (tolerated, rendered blank).
+    """
+    baseline = current = None
+    for key, value in row.items():
+        if not key.endswith("_us") or not isinstance(value, (int, float)):
+            continue
+        stem = key[:-3]
+        if any(marker in stem for marker in _BASELINE_MARKERS):
+            baseline = value
+        elif any(marker in stem for marker in _CURRENT_MARKERS):
+            current = value
+    return baseline, current
+
+
+def _ratio(row: dict) -> str:
+    if "speedup" in row:
+        return f"{row['speedup']:.2f}x"
+    if "overhead_percent" in row:
+        return f"{row['overhead_percent']:+.2f}%"
+    return ""
+
+
+def _fmt_us(value) -> str:
+    return f"{value:.3f}" if isinstance(value, (int, float)) else ""
+
+
+def collect(root: Path = REPO_ROOT) -> list:
+    """Parse every BENCH_*.json under *root* into normalized rows."""
+    rows = []
+    for path in sorted(root.glob("BENCH_*.json")):
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"warning: skipping {path.name}: {exc}", file=sys.stderr)
+            continue
+        name = payload.get("benchmark", path.stem.replace("BENCH_", ""))
+        ops = payload.get("ops", {})
+        for op, row in ops.items():
+            if not isinstance(row, dict):
+                continue
+            baseline, current = _classify(row)
+            rows.append({
+                "benchmark": name,
+                "operation": op,
+                "baseline_us": baseline,
+                "current_us": current,
+                "ratio": _ratio(row),
+            })
+        mean = payload.get("mean_speedup")
+        if mean is not None:
+            rows.append({
+                "benchmark": name,
+                "operation": "(mean)",
+                "baseline_us": None,
+                "current_us": None,
+                "ratio": f"{mean:.2f}x",
+            })
+    return rows
+
+
+def render(rows: list) -> str:
+    lines = [
+        "# Benchmark trajectory",
+        "",
+        "All `BENCH_*.json` payloads at the repo root, normalized: "
+        "*baseline* is the layered/uncached/unguarded pass, *current* "
+        "the cached/fused/guarded one. Regenerate with "
+        "`python benchmarks/report.py` after running the benchmarks.",
+        "",
+        "| benchmark | operation | baseline (us) | current (us) | ratio |",
+        "|---|---|---:|---:|---:|",
+    ]
+    for row in rows:
+        lines.append(
+            f"| {row['benchmark']} | {row['operation']} "
+            f"| {_fmt_us(row['baseline_us'])} "
+            f"| {_fmt_us(row['current_us'])} "
+            f"| {row['ratio']} |")
+    return "\n".join(lines) + "\n"
+
+
+def main() -> int:
+    rows = collect()
+    if not rows:
+        print("no BENCH_*.json found — run the benchmarks first "
+              "(PYTHONPATH=src python -m pytest benchmarks/)",
+              file=sys.stderr)
+        return 1
+    text = render(rows)
+    REPORT_DIR.mkdir(exist_ok=True)
+    out = REPORT_DIR / "summary.md"
+    out.write_text(text)
+    print(text, end="")
+    print(f"\nwrote {out.relative_to(REPO_ROOT)}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

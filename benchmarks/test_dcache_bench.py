@@ -37,6 +37,7 @@ def _deep_system():
     kernel = system.kernel
     root = system.root_session()
     kernel.security_server.cache_enabled = False
+    kernel.fastpath.enabled = False  # isolate the VFS layer
     path = "/bench"
     kernel.sys_mkdir(root, path)
     for i in range(DEPTH - 2):

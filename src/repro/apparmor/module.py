@@ -66,7 +66,8 @@ class AppArmorLSM(SecurityModule):
             lines.append(
                 f"profile {binary}: rules={s.rules} states={s.states} "
                 f"classes={s.classes} cells={s.table_cells} "
-                f"compile_us={s.compile_us} queries={automaton.queries}")
+                f"compile_us={s.compile_us} queries={automaton.queries} "
+                f"generation={profile.generation}")
         header = (
             f"profiles={len(self._profiles)} compiled={compiled_count} "
             f"states={states} table_cells={cells} queries={queries} "
@@ -97,7 +98,8 @@ class AppArmorLSM(SecurityModule):
             needed |= AccessMode.READ
         if accmode in (modes.O_WRONLY, modes.O_RDWR):
             needed |= AccessMode.WRITE
-        if profile.allows_path(path, needed):
+        allowed, _generation = profile.allows_path_verdict(path, needed)
+        if allowed:
             return HookResult.PASS
         return self._deny(profile, f"{task.exe_path}: open {path} denied")
 

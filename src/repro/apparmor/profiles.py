@@ -20,6 +20,12 @@ from typing import FrozenSet, Iterable, Optional, Tuple
 
 from repro.kernel.capabilities import Capability
 
+#: Module-wide profile-generation allocator: every (re)compile of any
+#: profile's automaton draws the next value, so a profile's
+#: ``generation`` names exactly one compiled ruleset. The fused fast
+#: path records it via :meth:`Profile.allows_path_verdict`.
+_profile_generations = iter(range(1, 1 << 62)).__next__
+
 
 class AccessMode(enum.Flag):
     NONE = 0
@@ -94,6 +100,10 @@ class Profile:
     #: and rebuilt if ``rules`` is ever swapped for a new tuple.
     _compiled: Optional[object] = dataclasses.field(
         default=None, init=False, repr=False, compare=False)
+    #: Which compiled ruleset answered the last query: 0 until first
+    #: compile, then a module-unique value per (re)compile.
+    generation: int = dataclasses.field(
+        default=0, init=False, repr=False, compare=False)
 
     @property
     def compiled(self):
@@ -109,6 +119,7 @@ class Profile:
             from repro.apparmor.compiler import compile_rules
             compiled = compile_rules(self.rules)
             self._compiled = compiled
+            self.generation = _profile_generations()
         return compiled
 
     def allows_path(self, path: str, mode: AccessMode) -> bool:
@@ -116,6 +127,15 @@ class Profile:
         accepting state already carries the union of every matching
         rule's mode bits."""
         return (self.automaton.match_mask(path) & mode.value) == mode.value
+
+    def allows_path_verdict(self, path: str,
+                            mode: AccessMode) -> Tuple[bool, int]:
+        """:meth:`allows_path` in verdict form: ``(allowed,
+        profile_generation)``. The generation names the compiled
+        ruleset that produced the answer — the dependency a fused
+        verdict records so a profile reload is detectable."""
+        allowed = (self.automaton.match_mask(path) & mode.value) == mode.value
+        return allowed, self.generation
 
     def allows_path_linear(self, path: str, mode: AccessMode) -> bool:
         """The pre-compilation O(rules x len(path)) scan, kept as the

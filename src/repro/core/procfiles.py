@@ -25,6 +25,7 @@ BINDS_PROC_PATH = "/proc/protego/binds"
 SUDOERS_PROC_PATH = "/proc/protego/sudoers"
 AUDIT_PROC_PATH = "/proc/protego/audit"
 DCACHE_PROC_PATH = "/proc/protego/dcache"
+FASTPATH_PROC_PATH = "/proc/protego/fastpath"
 POLICY_PROC_PATH = "/proc/protego/policy"
 COMMIT_PROC_PATH = "/proc/protego/commit"
 STATUS_PROC_PATH = "/proc/protego/status"
@@ -36,7 +37,7 @@ COMMIT_SECTIONS = ("mounts", "sudoers", "binds")
 
 
 def register_protego_proc_files(kernel: Kernel, lsm: ProtegoLSM) -> None:
-    """Create /proc/protego/{mounts,binds,sudoers,audit,dcache}.
+    """Create /proc/protego/{mounts,binds,sudoers,audit,dcache,fastpath}.
 
     The files are root-owned mode 0600: only root (in practice the
     monitoring daemon) may reconfigure or inspect kernel policy.
@@ -95,6 +96,18 @@ def register_protego_proc_files(kernel: Kernel, lsm: ProtegoLSM) -> None:
     kernel.procfs.register(
         "protego/dcache",
         read_fn=lambda: kernel.vfs.dcache.render().encode(),
+        mode=0o600,
+    )
+
+    def read_fastpath() -> bytes:
+        # Fused verdict-table counters plus the syscall-entry gate's
+        # bitmask stats, one file: the whole fast-path plane.
+        return (kernel.fastpath.render()
+                + kernel.entry_gate.render()).encode()
+
+    kernel.procfs.register(
+        "protego/fastpath",
+        read_fn=read_fastpath,
         mode=0o600,
     )
 

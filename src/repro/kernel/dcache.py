@@ -43,6 +43,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.kernel.errno import Errno
 from repro.kernel.fault import SITE_DCACHE_ALLOC, FaultSite
+from repro.kernel.generations import GenerationHub
 from repro.kernel.inode import Inode
 
 #: Sentinel distinguishing "no cached permission entry" from a cached
@@ -110,12 +111,16 @@ class Dentry:
 class DentryCache:
     """Memoized path walks plus a per-directory permission cache."""
 
-    def __init__(self, max_entries: int = 4096, max_creds: int = 256):
+    def __init__(self, max_entries: int = 4096, max_creds: int = 256,
+                 generations: Optional[GenerationHub] = None):
         self.enabled = True
         self.max_entries = max_entries
         self.max_creds = max_creds
-        #: The mount-table generation; part of every path key.
-        self.mount_epoch = 0
+        #: The shared generation authority; the mount-table generation
+        #: (part of every path key) lives there so the fused fast path
+        #: sees the same epoch this cache keys on.
+        self.generations = generations if generations is not None \
+            else GenerationHub()
         self._entries: "collections.OrderedDict[Tuple, Dentry]" = \
             collections.OrderedDict()
         #: (cred_epoch, cred) -> {(ino, generation, mask) -> errno|None}
@@ -131,6 +136,11 @@ class DentryCache:
         #: uncached walks — never to a wrong answer. Rebound to the
         #: kernel's shared injector at boot.
         self.fault_site = FaultSite(SITE_DCACHE_ALLOC)
+
+    @property
+    def mount_epoch(self) -> int:
+        """The mount-table generation (hub-owned; part of every key)."""
+        return self.generations.mount
 
     # ------------------------------------------------------------------
     # Path map
@@ -181,12 +191,14 @@ class DentryCache:
     # ------------------------------------------------------------------
     def bump_mount_epoch(self) -> int:
         """The mount table changed: every cached walk is suspect. The
-        epoch in the key orphans them; dropping eagerly bounds memory."""
-        self.mount_epoch += 1
+        epoch in the key orphans them; dropping eagerly bounds memory.
+        The bump goes through the hub, which also advances the composed
+        generation the fused fast path stamps."""
+        epoch = self.generations.bump_mount()
         if self._entries:
             self.stats.invalidations += 1
             self._entries.clear()
-        return self.mount_epoch
+        return epoch
 
     def invalidate_prefix(self, path: str) -> int:
         """Drop *path*'s entries and every descendant's (a rename of a

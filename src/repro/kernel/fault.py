@@ -48,6 +48,8 @@ SITE_NET_DUP = "net.dup"
 SITE_NET_REORDER = "net.reorder"
 SITE_PROC_WRITE = "proc.write"
 SITE_DAEMON_CRASH = "daemon.crash"
+SITE_FASTPATH_INSERT = "fastpath.insert"
+SITE_ENTRY_MASK = "entry.mask"
 
 CATALOG = (
     SITE_SYSCALL_ENTRY,
@@ -59,6 +61,8 @@ CATALOG = (
     SITE_NET_REORDER,
     SITE_PROC_WRITE,
     SITE_DAEMON_CRASH,
+    SITE_FASTPATH_INSERT,
+    SITE_ENTRY_MASK,
 )
 
 #: Errnos a syscall-entry fault may surface (the POSIX-plausible set

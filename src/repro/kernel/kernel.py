@@ -15,10 +15,14 @@ from typing import Deque, Dict, List, Optional
 
 from repro.kernel.cred import Credentials
 from repro.kernel.devices import DeviceRegistry
+from repro.kernel.entry import EntryGate
+from repro.kernel.fastpath import FastPathTable
 from repro.kernel.fault import (
     SITE_AUDIT_APPEND,
     SITE_AVC_ALLOC,
     SITE_DCACHE_ALLOC,
+    SITE_ENTRY_MASK,
+    SITE_FASTPATH_INSERT,
     SITE_NET_DROP,
     SITE_NET_DUP,
     SITE_NET_REORDER,
@@ -26,6 +30,7 @@ from repro.kernel.fault import (
     SITE_SYSCALL_ENTRY,
     FaultInjector,
 )
+from repro.kernel.generations import GenerationHub
 from repro.kernel.inode import make_dir
 from repro.kernel.lsm import LSMChain, SecurityModule
 from repro.kernel.net.stack import NetworkStack
@@ -61,7 +66,12 @@ class Kernel(SyscallMixin):
         # every degradable layer holds a named site from this registry,
         # guarded by a single `site.armed` load when disarmed.
         self.faults = FaultInjector()
-        self.vfs = VFS()
+        # One generation authority for every access-relevant cache:
+        # mount and policy bumps advance a single composed generation
+        # the fused fast path stamps; credential epochs are minted here
+        # too so no two subjects ever share one.
+        self.generations = GenerationHub()
+        self.vfs = VFS(generations=self.generations)
         self.devices = DeviceRegistry()
         self.net = NetworkStack()
         self.lsm = LSMChain()
@@ -70,8 +80,26 @@ class Kernel(SyscallMixin):
         # /proc/protego/audit. The VFS dentry cache rides the same
         # invalidation fan-out: one invalidate_object() per mutation
         # reaches both caches.
-        self.security_server = SecurityServer(self.lsm, clock_fn=self.now)
+        self.security_server = SecurityServer(self.lsm, clock_fn=self.now,
+                                              generations=self.generations)
         self.security_server.attach_dcache(self.vfs.dcache)
+        # Bound-method shortcut for the fused open(2) hit path: the
+        # ring is created once and never replaced, so the three
+        # attribute hops per audit replay collapse to one load.
+        self._audit_fused = self.security_server.audit.record_fused
+        # The fused fast path: final open/stat/access verdicts keyed on
+        # (op|mask, path, subject-id) — the sid interning (cred epoch,
+        # cred, exe) — guarded by the hub's composed generation; prefix
+        # invalidations arrive via the hub's path fan-out. The layered
+        # walk below stays the oracle.
+        self.fastpath = FastPathTable(
+            self.generations, fault_site=self.faults.site(SITE_FASTPATH_INSERT))
+        self.generations.subscribe_paths(self.fastpath.invalidate_prefix)
+        self._fp_sids: dict = {}
+        self._fp_sid_iter = itertools.count(1).__next__
+        # SFIP-style syscall-entry gating: per-task permitted-syscall
+        # bitmasks checked before argument processing.
+        self.entry_gate = EntryGate(self.faults.site(SITE_ENTRY_MASK))
         # Bind the injection sites into the layers they degrade.
         self.vfs.dcache.fault_site = self.faults.site(SITE_DCACHE_ALLOC)
         self.security_server.fault_site = self.faults.site(SITE_AVC_ALLOC)
@@ -109,6 +137,7 @@ class Kernel(SyscallMixin):
 
     def _spawn_init(self) -> Task:
         init = Task(self._next_pid(), Credentials.for_root(), comm="init")
+        init.cred_epoch = self.generations.next_cred_epoch()
         self.tasks[init.pid] = init
         return init
 
@@ -145,6 +174,7 @@ class Kernel(SyscallMixin):
                  parent: Optional[Task] = None, tty: Optional[object] = None) -> Task:
         """Create a task directly (a login session root, a daemon)."""
         task = Task(self._next_pid(), cred, parent=parent or self.init, comm=comm)
+        task.cred_epoch = self.generations.next_cred_epoch()
         task.tty = tty
         self.tasks[task.pid] = task
         (parent or self.init).children.append(task)

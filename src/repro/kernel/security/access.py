@@ -93,6 +93,12 @@ class Decision:
     lsm_module: Optional[str] = None
     pending: Any = None
     value: Any = None
+    #: Set by the security server when this verdict may be memoized in
+    #: the fused fast-path table: the hook is cacheable, no module
+    #: vetoed caching (complain mode, recency-dependent rules), and the
+    #: errno is not walk-shaped (ENOTDIR/ELOOP). The syscall layer
+    #: additionally requires a cached dentry before fusing.
+    fastpath_ok: bool = False
 
     @property
     def allowed(self) -> bool:

@@ -96,6 +96,22 @@ class AuditRing:
             self.dropped += 1
         self._ring.append((self._seq,) + row)
 
+    def record_fused(self, clock: int, pid: int, ruid: int, euid: int,
+                     suffix: tuple) -> None:
+        """:meth:`record` for a fused fast-path hit: the fresh prefix
+        arrives as scalars so the row is assembled in one concat, not
+        two — this runs on every warm fused open(2). Same fail-closed
+        rules; the verdict sits at ``suffix[3]``."""
+        self._seq += 1
+        if self.fault_site.armed and self.fault_site.should_fail():
+            if suffix[3] != "deny":
+                self.lost += 1
+                return
+            self.rescued_denials += 1
+        if len(self._ring) == self.capacity:
+            self.dropped += 1
+        self._ring.append((self._seq, clock, pid, ruid, euid) + suffix)
+
     def entries(self, last: Optional[int] = None) -> List[AuditEntry]:
         """The most recent *last* entries (all when ``None``), oldest
         first."""

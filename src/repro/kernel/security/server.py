@@ -23,12 +23,12 @@ from __future__ import annotations
 
 import collections
 import dataclasses
-import itertools
 from typing import Any, Callable, Optional, Tuple, TYPE_CHECKING
 
 from repro.kernel.capabilities import Capability
 from repro.kernel.errno import Errno, SyscallError
 from repro.kernel.fault import SITE_AVC_ALLOC, FaultSite
+from repro.kernel.generations import GenerationHub
 from repro.kernel.lsm import HookResult, LSMChain
 from repro.kernel.security.access import (
     OBJ,
@@ -56,6 +56,14 @@ CACHEABLE_HOOKS = frozenset(
 #: Denials that merely report non-existence are not access decisions;
 #: caching them would mask a later create of the same name.
 _UNCACHEABLE_ERRNOS = frozenset({Errno.ENOENT, Errno.ENOTDIR, Errno.ELOOP})
+
+#: Errnos the fused fast path must never memoize. Narrower than the
+#: decision cache's set: ENOENT *is* fusable — the fused table sits
+#: behind the dentry cache's prefix invalidation, so a later create of
+#: the name clears the entry, exactly the argument for negative
+#: dentries. ENOTDIR/ELOOP stay out: they describe the shape of the
+#: walk, not an access verdict.
+_FASTPATH_UNCACHEABLE_ERRNOS = frozenset({Errno.ENOTDIR, Errno.ELOOP})
 
 _SETUID_HOOKS = frozenset({"task_fix_setuid", "task_fix_setgid"})
 
@@ -89,13 +97,18 @@ class SecurityServer:
         clock_fn: Optional[Callable[[], int]] = None,
         cache_size: int = 2048,
         audit_size: int = 4096,
+        generations: Optional[GenerationHub] = None,
     ):
         self.lsm = lsm
         self._clock = clock_fn or (lambda: 0)
         self.cache_enabled = True
         self.cache_size = cache_size
         self._cache: "collections.OrderedDict[Tuple, Decision]" = collections.OrderedDict()
-        self._epochs = itertools.count(1)
+        #: Credential epochs come from the shared generation hub, so
+        #: one allocator serves the decision cache, the dcache's
+        #: permission maps, and the fused fast-path keys.
+        self.generations = generations if generations is not None \
+            else GenerationHub()
         self.audit = AuditRing(audit_size)
         self.stats = CacheStats()
         # The VFS dentry cache, when attached, shares this server's
@@ -130,16 +143,32 @@ class SecurityServer:
         # it, and hits stay a pure dict probe. Modules whose veto set
         # mutates at runtime must invalidate on mutation (the binary
         # ACL does; profile loads flush globally).
-        if (key is not None and decision.errno not in _UNCACHEABLE_ERRNOS
-                and self.lsm.cache_ok(req.hook, req.task, *req.args)):
-            if self.fault_site.armed and self.fault_site.should_fail(req.hook):
-                self.stats.alloc_failures += 1
-            else:
-                self._cache[key] = decision
-                if len(self._cache) > self.cache_size:
-                    self._cache.popitem(last=False)
+        cache_ok = (key is not None
+                    and self.lsm.cache_ok(req.hook, req.task, *req.args))
+        if cache_ok:
+            # The same veto governs the fused fast path: a decision no
+            # module objects to memoizing may be fused upstream (the
+            # syscall layer still requires a cached dentry). Set before
+            # the insert so a decision-cache hit replays the flag.
+            if decision.errno not in _FASTPATH_UNCACHEABLE_ERRNOS:
+                object.__setattr__(decision, "fastpath_ok", True)
+            if decision.errno not in _UNCACHEABLE_ERRNOS:
+                if self.fault_site.armed and self.fault_site.should_fail(req.hook):
+                    self.stats.alloc_failures += 1
+                else:
+                    self._cache[key] = decision
+                    if len(self._cache) > self.cache_size:
+                        self._cache.popitem(last=False)
         self._record(req, decision, cached=False)
         return decision
+
+    def check_verdict(self, req: AccessRequest) -> Tuple[Decision, Tuple[bool, int]]:
+        """:meth:`check` in verdict form: ``(decision, (fastpath_ok,
+        composed_generation))``. The dependency tuple names what a
+        fused caller must record: whether any layer vetoed memoization
+        and the composed generation the decision was computed under."""
+        decision = self.check(req)
+        return decision, (decision.fastpath_ok, self.generations.generation)
 
     def capable(self, task: "Task", cap: Capability, context: str = "") -> bool:
         """The kernel's single capability funnel, as a cached, audited
@@ -235,8 +264,9 @@ class SecurityServer:
 
     def bump_cred_epoch(self, task: "Task") -> int:
         """A credential commit happened: orphan every cached decision
-        made under *task*'s old credentials."""
-        task.cred_epoch = next(self._epochs)
+        (and fused verdict — the epoch is in both keys) made under
+        *task*'s old credentials."""
+        task.cred_epoch = self.generations.next_cred_epoch()
         self.stats.invalidations += 1
         return task.cred_epoch
 
@@ -258,16 +288,22 @@ class SecurityServer:
             del self._cache[key]
         if stale:
             self.stats.invalidations += 1
-        if self._dcache is not None and obj.startswith("/"):
-            self._dcache.invalidate_prefix(obj)
+        if obj.startswith("/"):
+            if self._dcache is not None:
+                self._dcache.invalidate_prefix(obj)
+            # Fan the prefix out to every path-keyed cache on the hub
+            # (the fused verdict table subscribes at kernel boot).
+            self.generations.invalidate_path(obj)
         return len(stale)
 
     def flush(self, reason: str = "") -> None:
         """Global invalidation: a policy layer reloaded. The dentry
         cache drops its permission entries in sympathy (its path map
-        is policy-independent and stays warm)."""
+        is policy-independent and stays warm); the policy-generation
+        bump orphans every fused fast-path verdict at once."""
         self._cache.clear()
         self.stats.flushes += 1
+        self.generations.bump_policy()
         if self._dcache is not None:
             self._dcache.flush_permissions()
 

@@ -61,7 +61,24 @@ class Task:
         # Credential epoch: bumped by the security server on every
         # credential commit (setuid/setgid/setgroups/exec), orphaning
         # cached access decisions made under the old credentials.
+        # Kernel-created tasks draw a fresh epoch from the generation
+        # hub at creation so no two subjects ever share an epoch.
         self.cred_epoch: int = 0
+        # Syscall-entry gate state (repro.kernel.entry): the cached
+        # permitted-syscall bitmask plus the epoch/generation pair it
+        # was computed under, and the optional per-task confinement set.
+        self.entry_mask: Optional[int] = None
+        self.entry_epoch: int = -1
+        self.entry_gen: int = -1
+        self.entry_allowed: Optional[frozenset] = None
+        # Fused fast-path subject id (repro.kernel.fastpath): the
+        # interned integer standing for (cred_epoch, cred, exe_path)
+        # in fused keys, plus the identity triple it was minted for.
+        # Hashing an int beats re-hashing a Credentials every probe.
+        self.fp_sid: int = -1
+        self.fp_sid_epoch: int = -1
+        self.fp_sid_cred: Optional[Credentials] = None
+        self.fp_sid_exe: Optional[str] = None
         # LSM security blob: module-name -> arbitrary state. Protego
         # keeps `last_auth_time` and `pending_setuid` here.
         self.security: Dict[str, Any] = {}

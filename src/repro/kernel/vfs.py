@@ -28,6 +28,7 @@ from repro.kernel.capabilities import Capability
 from repro.kernel.cred import Credentials
 from repro.kernel.dcache import PERM_MISS, Dentry, DentryCache
 from repro.kernel.errno import Errno, SyscallError
+from repro.kernel.generations import GenerationHub
 from repro.kernel.inode import Inode, make_dir
 
 MAX_SYMLINK_DEPTH = 40
@@ -70,16 +71,30 @@ class Mount:
     mounter_uid: int
 
 
+#: normalize() memo. Normalization is pure and syscalls re-present the
+#: same path strings constantly, so a dict probe replaces the
+#: canonical-form scan on the warm path. Bounded by wholesale clear.
+NORM_MEMO: dict = {}
+
+
 def normalize(path: str) -> str:
     """Collapse ``.``/``..``/double slashes into a canonical abs path."""
+    norm = NORM_MEMO.get(path)
+    if norm is not None:
+        return norm
     if not path.startswith("/"):
         raise SyscallError(Errno.EINVAL, f"relative path {path!r}")
     # Already-canonical paths (the common case on the lookup hot path)
     # skip normpath; anything suspicious falls through to it.
     if "//" not in path and "/." not in path and (path == "/"
                                                   or not path.endswith("/")):
-        return path
-    return posixpath.normpath(path)
+        norm = path
+    else:
+        norm = posixpath.normpath(path)
+    if len(NORM_MEMO) > 16384:
+        NORM_MEMO.clear()
+    NORM_MEMO[path] = norm
+    return norm
 
 
 def split_path(path: str) -> List[str]:
@@ -102,10 +117,12 @@ class _WalkState:
 class VFS:
     """The kernel's file namespace."""
 
-    def __init__(self):
+    def __init__(self, generations: Optional[GenerationHub] = None):
         self.rootfs = Filesystem("rootfs", source="rootfs")
         self.mounts: Dict[str, Mount] = {}
-        self.dcache = DentryCache()
+        self.generations = generations if generations is not None \
+            else GenerationHub()
+        self.dcache = DentryCache(generations=self.generations)
         # Longest-prefix trie over the mount table; each node maps a
         # path component to a child node, with the mount itself (if
         # any) stored under the "" key. Rebuilt on attach/detach —
@@ -130,7 +147,7 @@ class VFS:
             raise SyscallError(Errno.EBUSY, mountpoint)
         self.mounts[mountpoint] = Mount(mountpoint, fs, flags, mounter_uid)
         fs.notify_change = (
-            lambda mp=mountpoint: self.dcache.invalidate_prefix(mp))
+            lambda mp=mountpoint: self._notify_path_change(mp))
         self._note_mount_change()
 
     def detach(self, mountpoint: str) -> Mount:
@@ -142,6 +159,13 @@ class VFS:
         mount.fs.notify_change = None
         self._note_mount_change()
         return mount
+
+    def _notify_path_change(self, path: str) -> None:
+        """A pseudo-filesystem grafted files in under *path*: drop the
+        dcache prefix and fan the invalidation out to every path-keyed
+        cache subscribed to the hub (the fused verdict table)."""
+        self.dcache.invalidate_prefix(path)
+        self.generations.invalidate_path(path)
 
     def _note_mount_change(self) -> None:
         """The mount table changed: bump the global mount epoch (which
@@ -238,6 +262,37 @@ class VFS:
             dcache.put(norm, follow_final_symlink,
                        Dentry(inode, tuple(state.dirs)))
         return inode
+
+    def walk_cached(self, path: str) -> bool:
+        """Whether *path*'s most recent walk left a (positive or
+        negative) dentry behind. This is the fused fast path's
+        cacheability certificate: a dentry exists iff the walk did not
+        cross a symlink, which is exactly the condition under which
+        prefix invalidation covers everything the verdict depends on."""
+        return (self.dcache.enabled
+                and self.dcache.get(normalize(path), True) is not None)
+
+    def lookup_verdict(
+        self,
+        path: str,
+        cred: Optional[Credentials] = None,
+        mask: int = modes.F_OK,
+        cred_epoch: int = 0,
+    ) -> Tuple[Optional[Inode], Optional[Errno], str, Tuple[bool, int]]:
+        """:meth:`lookup` in verdict form: ``(inode-or-None, errno-or-
+        None, context, (cacheable, mount_generation))``. The trailing
+        dependency tuple tells a fused-table caller whether this walk
+        may be memoized under prefix invalidation and which mount
+        generation it observed — the ``(verdict, dependency-
+        generations)`` shape the fast path records."""
+        try:
+            inode = self.lookup(path, cred=cred, mask=mask,
+                                cred_epoch=cred_epoch)
+        except SyscallError as exc:
+            return (None, exc.errno_value, exc.context,
+                    (self.walk_cached(path), self.generations.mount))
+        return (inode, None, "",
+                (self.walk_cached(path), self.generations.mount))
 
     def resolve(self, path: str, follow_final_symlink: bool = True) -> Inode:
         """Resolve with no permission enforcement (kernel-internal

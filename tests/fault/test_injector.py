@@ -184,6 +184,9 @@ class TestDcacheDegradation:
     def test_walks_stay_correct_and_uncached(self):
         system = System(SystemMode.PROTEGO)
         kernel = system.kernel
+        # This test counts dcache insert attempts; the fused fast path
+        # would otherwise serve the warm stats without walking.
+        kernel.fastpath.enabled = False
         alice = system.session_for("alice")
         expected = kernel.sys_stat(alice, "/etc/fstab")
         kernel.vfs.dcache.flush()
@@ -211,6 +214,9 @@ class TestDecisionCacheDegradation:
     def test_decisions_recomputed_not_cached(self):
         system = System(SystemMode.PROTEGO)
         kernel = system.kernel
+        # This test observes decision-cache refill; the fused fast path
+        # would serve the repeat accesses without consulting the server.
+        kernel.fastpath.enabled = False
         alice = system.session_for("alice")
         server = kernel.security_server
         server.flush()

@@ -23,7 +23,12 @@ from repro.kernel.lsm import HookResult, LSMChain, SecurityModule, deny_errno
 
 @pytest.fixture
 def kernel():
-    return Kernel()
+    # These tests count decision-cache hits/misses (the oracle layer);
+    # the fused fast path would otherwise serve warm opens before the
+    # server ever sees them.
+    k = Kernel()
+    k.fastpath.enabled = False
+    return k
 
 
 @pytest.fixture
