@@ -25,6 +25,19 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 REPORT_DIR = Path(__file__).resolve().parent / "reports"
 
+#: Every payload the benchmark suite is expected to maintain. A known
+#: file going missing is a broken pipeline (a bench silently skipped,
+#: a rename half-done), not a benign gap — the aggregator fails loudly
+#: instead of publishing a summary that quietly lost a benchmark.
+KNOWN_BENCHES = (
+    "BENCH_dcache.json",
+    "BENCH_decision_cache.json",
+    "BENCH_fastpath.json",
+    "BENCH_fault_overhead.json",
+    "BENCH_policy_dfa.json",
+    "BENCH_sessions.json",
+)
+
 #: Substrings that mark a ``*_us`` field as the baseline (layered /
 #: uncached / unguarded) side vs. the current (cached / fused /
 #: guarded) side. Order matters only for documentation.
@@ -62,6 +75,65 @@ def _fmt_us(value) -> str:
     return f"{value:.3f}" if isinstance(value, (int, float)) else ""
 
 
+def _sessions_rows(name: str, payload: dict) -> list:
+    """Adapter for the fleet payload: its grid is (mode x sessions x
+    shards) throughput cells, not per-op timings. Each (sessions,
+    shards) pair becomes one row — baseline is legacy microseconds per
+    session, current is Protego — plus one row for the shard-scaling
+    headline and one for the fast-path ablation."""
+    per_session = {}
+    for cell in payload.get("grid", []):
+        rate = cell.get("sessions_per_sec") or 0
+        if not rate:
+            continue
+        key = (cell["sessions"], cell["shards"])
+        per_session.setdefault(key, {})[cell["mode"]] = 1e6 / rate
+    rows = []
+    for (sessions, shards), sides in sorted(per_session.items()):
+        linux_us = sides.get("linux")
+        protego_us = sides.get("protego")
+        ratio = ""
+        if linux_us and protego_us:
+            ratio = f"{(protego_us - linux_us) / linux_us * 100:+.2f}%"
+        rows.append({
+            "benchmark": name,
+            "operation": f"{sessions} sess x {shards} shards",
+            "baseline_us": linux_us,
+            "current_us": protego_us,
+            "ratio": ratio,
+        })
+    scaling = payload.get("scaling")
+    if scaling:
+        rows.append({
+            "benchmark": name,
+            "operation": (f"scaling {scaling['from_shards']}->"
+                          f"{scaling['to_shards']} shards "
+                          f"@{scaling['sessions']}"),
+            "baseline_us": None,
+            "current_us": None,
+            "ratio": f"{scaling['protego_ratio']:.2f}x",
+        })
+    ablation = payload.get("ablation")
+    if ablation and ablation.get("sessions_per_sec"):
+        on_rate = per_session.get(
+            (ablation["sessions"], ablation["shards"]), {}).get("protego")
+        off_us = 1e6 / ablation["sessions_per_sec"]
+        rows.append({
+            "benchmark": name,
+            "operation": (f"fastpath off @{ablation['sessions']} sess "
+                          f"x {ablation['shards']} shards"),
+            "baseline_us": off_us,
+            "current_us": on_rate,
+            "ratio": f"{off_us / on_rate:.2f}x" if on_rate else "",
+        })
+    return rows
+
+
+def missing_known(root: Path = REPO_ROOT) -> list:
+    """Known payloads absent from *root* (see :data:`KNOWN_BENCHES`)."""
+    return [name for name in KNOWN_BENCHES if not (root / name).exists()]
+
+
 def collect(root: Path = REPO_ROOT) -> list:
     """Parse every BENCH_*.json under *root* into normalized rows."""
     rows = []
@@ -72,6 +144,9 @@ def collect(root: Path = REPO_ROOT) -> list:
             print(f"warning: skipping {path.name}: {exc}", file=sys.stderr)
             continue
         name = payload.get("benchmark", path.stem.replace("BENCH_", ""))
+        if name == "sessions":
+            rows.extend(_sessions_rows(name, payload))
+            continue
         ops = payload.get("ops", {})
         for op, row in ops.items():
             if not isinstance(row, dict):
@@ -118,6 +193,14 @@ def render(rows: list) -> str:
 
 
 def main() -> int:
+    missing = missing_known()
+    if missing:
+        print("error: missing known benchmark payloads: "
+              + ", ".join(missing)
+              + " — run the benchmarks that produce them "
+              "(PYTHONPATH=src python -m pytest benchmarks/) or restore "
+              "the committed copies", file=sys.stderr)
+        return 1
     rows = collect()
     if not rows:
         print("no BENCH_*.json found — run the benchmarks first "

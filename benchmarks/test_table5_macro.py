@@ -33,7 +33,7 @@ def test_kernel_compile(benchmark, write_report):
 
 def test_postal_exim(benchmark):
     messages = max(100, int(400 * bench_scale()))
-    result = benchmark.pedantic(lambda: run_postal(messages, batches=3),
+    result = benchmark.pedantic(lambda: run_postal(messages, batches=5),
                                 rounds=1, iterations=1)
     _macro_rows.append(result)
     benchmark.extra_info["linux_msg_min"] = round(result.linux_value)
@@ -49,7 +49,7 @@ def test_apachebench_sweep(benchmark, write_report):
     def sweep():
         results = []
         for concurrency in (25, 50, 100, 200):
-            results.extend(run_apachebench(concurrency, rounds=rounds, batches=3))
+            results.extend(run_apachebench(concurrency, rounds=rounds, batches=5))
         return results
 
     results = benchmark.pedantic(sweep, rounds=1, iterations=1)
@@ -65,7 +65,7 @@ def test_apachebench_sweep(benchmark, write_report):
         if overhead >= 40.0:
             concurrency = int(row.name.split()[1])
             retried, _rate = run_apachebench(concurrency, rounds=rounds,
-                                             batches=3)
+                                             batches=5)
             overhead = min(overhead, retried.overhead_percent)
         assert overhead < 40.0, row.name
 

@@ -25,6 +25,16 @@ def hash_password(password: str, salt: str = "") -> str:
     return f"${_SCHEME}${salt}${digest.hex()}"
 
 
+#: Memoized verification outcomes. ``(password, stored) -> bool`` is a
+#: pure function (the salt is inside *stored*), and fleet-scale runs
+#: verify the same few account passwords thousands of times — at 1000
+#: digest rounds each, recomputation would dominate every login-heavy
+#: workload. Bounded: distinct (attempt, hash) pairs only grow with
+#: provisioning churn, and the table is cleared when it gets silly.
+_VERIFY_MEMO = {}
+_VERIFY_MEMO_MAX = 4096
+
+
 def verify_password(password: str, stored: str) -> bool:
     """Constant-time comparison against a stored hash.
 
@@ -35,9 +45,17 @@ def verify_password(password: str, stored: str) -> bool:
     parts = stored.split("$")
     if len(parts) != 4 or parts[1] != _SCHEME:
         return False
+    memo_key = (password, stored)
+    cached = _VERIFY_MEMO.get(memo_key)
+    if cached is not None:
+        return cached
     _, _, salt, _ = parts
     candidate = hash_password(password, salt)
-    return hmac.compare_digest(candidate, stored)
+    result = hmac.compare_digest(candidate, stored)
+    if len(_VERIFY_MEMO) >= _VERIFY_MEMO_MAX:
+        _VERIFY_MEMO.clear()
+    _VERIFY_MEMO[memo_key] = result
+    return result
 
 
 def lock_marker() -> str:

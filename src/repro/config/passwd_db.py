@@ -29,6 +29,10 @@ class PasswdEntry:
             f"{self.gecos}:{self.home}:{self.shell}"
         )
 
+    def clone(self) -> "PasswdEntry":
+        return PasswdEntry(self.name, self.uid, self.gid, self.gecos,
+                           self.home, self.shell, self.password_field)
+
 
 @dataclasses.dataclass
 class ShadowEntry:
@@ -46,6 +50,10 @@ class ShadowEntry:
             f"{self.min_days}:{self.max_days}:7:::"
         )
 
+    def clone(self) -> "ShadowEntry":
+        return ShadowEntry(self.name, self.password_hash, self.last_change,
+                           self.min_days, self.max_days)
+
 
 @dataclasses.dataclass
 class GroupEntry:
@@ -60,6 +68,10 @@ class GroupEntry:
     def format(self) -> str:
         pw = self.password_hash or "x"
         return f"{self.name}:{pw}:{self.gid}:{','.join(self.members)}"
+
+    def clone(self) -> "GroupEntry":
+        return GroupEntry(self.name, self.gid, list(self.members),
+                          self.password_hash)
 
 
 def _rows(text: str) -> List[List[str]]:

@@ -40,6 +40,17 @@ SHADOW_FRAGMENT_DIR = "/etc/shadows"
 GROUP_FRAGMENT_DIR = "/etc/groups"
 
 
+#: Parse results memoized on the exact file bytes. Resolution paths
+#: (login, sudo, polkit) re-read the legacy databases on every lookup;
+#: the bytes rarely change, but the entries they parse into are mutable
+#: records that callers edit in place before writing back — so the memo
+#: stores a private parsed tuple and every caller gets fresh clones.
+#: Content-keyed, so it is safe to share across kernels in one process
+#: (fleet shards): identical bytes parse identically everywhere.
+_PARSE_MEMO: dict = {}
+_PARSE_MEMO_MAX = 512
+
+
 class UserDatabase:
     """Read/write access to the account databases of one machine."""
 
@@ -63,7 +74,14 @@ class UserDatabase:
             if exc.errno_value is Errno.ENOENT:
                 return []
             raise
-        return parser(data.decode())
+        key = (parser, data)
+        cached = _PARSE_MEMO.get(key)
+        if cached is None:
+            if len(_PARSE_MEMO) >= _PARSE_MEMO_MAX:
+                _PARSE_MEMO.clear()
+            cached = tuple(parser(data.decode()))
+            _PARSE_MEMO[key] = cached
+        return [entry.clone() for entry in cached]
 
     def passwd_entries(self) -> List[PasswdEntry]:
         return self._read_entries(PASSWD_FILE, parse_passwd)

@@ -111,6 +111,22 @@ class SystemMode(enum.Enum):
     PROTEGO = "protego"  # the paper's prototype
 
 
+#: Provisioning-time hash memo: building a fleet of shards re-provisions
+#: the same default accounts per shard, and each crypt(3)-style hash
+#: costs 1000 digest rounds. Distinct passwords are hashed once per
+#: process; every later shard reuses the salted result. Runtime
+#: rotations (passwd/gpasswd) still mint fresh salts — only the System
+#: constructor goes through this.
+_PROVISION_HASH_MEMO: Dict[str, str] = {}
+
+
+def _provision_hash(password: str) -> str:
+    cached = _PROVISION_HASH_MEMO.get(password)
+    if cached is None:
+        cached = _PROVISION_HASH_MEMO[password] = hash_password(password)
+    return cached
+
+
 @dataclasses.dataclass
 class UserSpec:
     """One account to provision."""
@@ -249,7 +265,7 @@ class System:
     def _provision_accounts(self, group_passwords: Dict[str, str]) -> None:
         root_entry = PasswdEntry("root", 0, 0, "root", "/root", "/bin/bash")
         passwd = [root_entry]
-        shadow = [ShadowEntry("root", hash_password("root-password"))]
+        shadow = [ShadowEntry("root", _provision_hash("root-password"))]
         groups: Dict[str, GroupEntry] = {
             "root": GroupEntry("root", 0),
             "admin": GroupEntry("admin", 27),
@@ -260,11 +276,11 @@ class System:
         for name, password in group_passwords.items():
             if name not in groups:
                 groups[name] = GroupEntry(name, 200 + len(groups))
-            groups[name].password_hash = hash_password(password)
+            groups[name].password_hash = _provision_hash(password)
         for spec in self.users:
             passwd.append(PasswdEntry(spec.name, spec.uid, spec.gid,
                                       spec.name.title(), spec.home, spec.shell))
-            hash_value = spec.password if spec.password == "!" else hash_password(spec.password)
+            hash_value = spec.password if spec.password == "!" else _provision_hash(spec.password)
             shadow.append(ShadowEntry(spec.name, hash_value))
             groups.setdefault(spec.name, GroupEntry(spec.name, spec.gid))
             for group_name in spec.groups:

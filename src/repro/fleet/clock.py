@@ -1,0 +1,62 @@
+"""Clocks for the fleet engine.
+
+The engine itself never reads wall time — ``time.time()`` inside the
+scheduler would make two runs with the same seed report different
+numbers and would couple the deterministic interleaving to host load.
+Instead the engine is handed a clock object:
+
+* :class:`TickClock` — the default: a logical clock advancing one tick
+  per scheduled operation. Session latencies come out in *ticks* —
+  pure interleaving distance — and two runs with the same seed produce
+  bit-identical :class:`~repro.fleet.stats.FleetStats`.
+* :class:`HarnessClock` — wraps a time source *injected by the
+  benchmark harness* (``time.perf_counter_ns`` in
+  ``benchmarks/test_sessions_bench.py``). Latencies come out in
+  nanoseconds; throughput in sessions per wall second. The engine
+  still only ever calls ``now()``/``advance()``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+class TickClock:
+    """Deterministic logical clock: one tick per scheduled op."""
+
+    #: Whether ``now()`` returns wall nanoseconds (drives whether the
+    #: engine records per-op wall latencies at all).
+    wall = False
+
+    def __init__(self) -> None:
+        self.ticks = 0
+
+    def now(self) -> int:
+        return self.ticks
+
+    def advance(self) -> int:
+        """One operation was scheduled; returns the new reading."""
+        self.ticks += 1
+        return self.ticks
+
+
+class HarnessClock(TickClock):
+    """A wall clock whose time source the harness injects.
+
+    ``ticks`` still counts scheduled operations (the deterministic
+    half of the ledger); ``now()`` reads the injected source, so
+    latency percentiles are real nanoseconds.
+    """
+
+    wall = True
+
+    def __init__(self, source: Callable[[], int]) -> None:
+        super().__init__()
+        self._source = source
+
+    def now(self) -> int:
+        return self._source()
+
+    def advance(self) -> int:
+        self.ticks += 1
+        return self._source()

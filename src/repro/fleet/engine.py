@@ -1,0 +1,275 @@
+"""The fleet engine: a cooperative scheduler over sharded kernels.
+
+``FleetEngine`` multiplexes N thousand scripted user sessions over a
+pool of shards. Concurrency is generator-based — each session is a
+generator that yields at every syscall boundary (see
+:mod:`repro.fleet.sessions`) and the scheduler resumes exactly one
+session per step — so the interleaving is a pure function of
+``(seed, config)`` and two runs agree bit-for-bit on every counter.
+
+Assignment is by tenant group: each session belongs to one of
+``config.tenants`` tenant groups and every tenant group lives on
+exactly one shard, placed either by modulo or by consistent hash
+(CRC32 of the tenant name — never the builtin ``hash()``, which moves
+under ``PYTHONHASHSEED``).
+
+Scheduling policies:
+
+* ``round-robin`` — cycle through live sessions in admission order
+  (finished sessions swap-removed);
+* ``random`` — pick the next session uniformly from the live set with
+  the dedicated scheduler RNG.
+
+Cross-shard bookkeeping is batched: credential-mutating sessions only
+raise their shard's ``needs_sync`` flag, and every
+``bookkeeping_interval`` steps the engine drains the flags with one
+supervised daemon poll per dirty shard.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import zlib
+from typing import Dict, List, Optional
+
+from repro.core.system import SystemMode
+from repro.fleet.clock import TickClock
+from repro.fleet.sessions import (
+    DEFAULT_MIX,
+    SCRIPTS,
+    SessionContext,
+    pick_script,
+    user_for,
+)
+from repro.fleet.shard import Shard, build_shards
+from repro.fleet.stats import FleetStats, LatencyLedger
+from repro.kernel.errno import SyscallError
+
+ROUND_ROBIN = "round-robin"
+RANDOM = "random"
+
+MOD = "mod"
+HASH = "hash"
+
+
+def _derive_seed(*parts: object) -> int:
+    """A stable child seed — CRC32, never ``hash()``."""
+    return zlib.crc32(":".join(str(p) for p in parts).encode())
+
+
+@dataclasses.dataclass
+class FleetConfig:
+    """One fleet run, fully specified."""
+
+    sessions: int = 100
+    shards: int = 1
+    mode: SystemMode = SystemMode.PROTEGO
+    policy: str = ROUND_ROBIN    # or RANDOM
+    assign: str = MOD            # or HASH (consistent hash of tenant)
+    seed: int = 0
+    #: Tenant groups; each group is pinned to one shard.
+    tenants: int = 64
+    fastpath: bool = True
+    #: Scheduler steps between cross-shard bookkeeping sweeps.
+    bookkeeping_interval: int = 1024
+    #: Relative script weights (defaults to the canonical day mix).
+    mix: Optional[Dict[str, int]] = None
+    #: Fold a CRC over the (sid, op) schedule into the report — the
+    #: determinism tests' fingerprint. Off by default (costs a string
+    #: format per step).
+    record_schedule: bool = False
+
+
+class _Session:
+    """Scheduler-side state for one live session."""
+
+    __slots__ = ("sid", "script", "gen", "shard", "started")
+
+    def __init__(self, sid: int, script: str, gen, shard: Shard):
+        self.sid = sid
+        self.script = script
+        self.gen = gen
+        self.shard = shard
+        self.started: Optional[int] = None
+
+
+class FleetEngine:
+    """Builds the shard pool, admits sessions, runs the schedule."""
+
+    def __init__(self, config: FleetConfig,
+                 clock: Optional[TickClock] = None,
+                 shards: Optional[List[Shard]] = None):
+        if config.policy not in (ROUND_ROBIN, RANDOM):
+            raise ValueError(f"unknown policy {config.policy!r}")
+        if config.assign not in (MOD, HASH):
+            raise ValueError(f"unknown assignment {config.assign!r}")
+        self.config = config
+        self.clock = clock or TickClock()
+        self.tenant_names = [f"t{i:02d}" for i in range(config.tenants)]
+        self.shards = shards if shards is not None else build_shards(
+            config.mode, config.shards, tenants=self.tenant_names,
+            fastpath=config.fastpath)
+        self._live = 0
+        self._completed = 0
+        self._failed = 0
+        self._steps = 0
+        for shard in self.shards:
+            shard.attach_fleet_render(self._render_live)
+
+    # ------------------------------------------------------------------
+    def shard_for(self, tenant_index: int) -> Shard:
+        if self.config.assign == HASH:
+            name = self.tenant_names[tenant_index]
+            return self.shards[zlib.crc32(name.encode()) % len(self.shards)]
+        return self.shards[tenant_index % len(self.shards)]
+
+    def _admit(self) -> List[_Session]:
+        """Build every session's generator (deterministically — each
+        session's RNG and script choice depend only on (seed, sid))."""
+        config = self.config
+        sessions = []
+        for sid in range(config.sessions):
+            rng = random.Random(_derive_seed("session", config.seed, sid))
+            script = pick_script(rng, config.mix or DEFAULT_MIX)
+            tenant_index = sid % config.tenants
+            shard = self.shard_for(tenant_index)
+            username = user_for(script, sid, config.mode)
+            ctx = SessionContext(
+                shard.system, sid, self.tenant_names[tenant_index],
+                username, f"{username}-password", rng, shard=shard)
+            gen = SCRIPTS[script](ctx)
+            sessions.append(_Session(sid, script, gen, shard))
+            shard.sessions += 1
+        return sessions
+
+    # ------------------------------------------------------------------
+    def run(self) -> FleetStats:
+        config = self.config
+        clock = self.clock
+        sched_rng = random.Random(_derive_seed("sched", config.seed))
+        session_ledger = LatencyLedger()
+        op_ledgers: Dict[str, LatencyLedger] = {}
+        op_counts: Dict[str, int] = {}
+        digest = 0 if config.record_schedule else None
+
+        for shard in self.shards:
+            shard.begin_run()
+        live = self._admit()
+        self._live = len(live)
+        self._completed = self._failed = self._steps = 0
+
+        run_start = clock.now()
+        cursor = 0
+        interval = max(1, config.bookkeeping_interval)
+
+        while live:
+            if config.policy == RANDOM:
+                cursor = sched_rng.randrange(len(live))
+            elif cursor >= len(live):
+                cursor = 0
+            session = live[cursor]
+            if session.started is None:
+                session.started = clock.now()
+            shard = session.shard
+            kernel_before = shard.kernel.now()
+            wall_before = clock.now()
+            finished = failed = False
+            op = None
+            try:
+                op = next(session.gen)
+            except StopIteration:
+                finished = True
+            except (SyscallError, PermissionError):
+                finished = failed = True
+            now = clock.advance()
+            if op is not None:
+                self._steps += 1
+                shard.ops += 1
+                op_counts[op] = op_counts.get(op, 0) + 1
+                # Per-op latency: wall nanoseconds under a harness
+                # clock, simulated kernel ticks under the tick clock —
+                # both deterministic in what they claim to measure.
+                cost = (now - wall_before) if clock.wall \
+                    else (shard.kernel.now() - kernel_before)
+                op_ledgers.setdefault(op, LatencyLedger()).record(cost)
+                if digest is not None:
+                    digest = zlib.crc32(
+                        f"{session.sid}:{op};".encode(), digest)
+            if finished:
+                if failed:
+                    self._failed += 1
+                    shard.failed += 1
+                    if digest is not None:
+                        digest = zlib.crc32(
+                            f"{session.sid}:FAIL;".encode(), digest)
+                else:
+                    self._completed += 1
+                    shard.completed += 1
+                session_ledger.record(now - session.started)
+                live[cursor] = live[-1]
+                live.pop()
+                self._live = len(live)
+            else:
+                cursor += 1
+            if self._steps % interval == 0:
+                self._bookkeep()
+        self._bookkeep()
+        elapsed = clock.now() - run_start
+        return self._stats(elapsed, session_ledger, op_ledgers,
+                           op_counts, digest)
+
+    def _bookkeep(self) -> None:
+        for shard in self.shards:
+            if shard.needs_sync:
+                shard.sync()
+
+    # ------------------------------------------------------------------
+    def _stats(self, elapsed, session_ledger, op_ledgers, op_counts,
+               digest) -> FleetStats:
+        config = self.config
+        if self.clock.wall:
+            throughput = (self._completed / (elapsed / 1e9)) if elapsed else 0.0
+        else:
+            throughput = (self._completed / (elapsed / 1e6)) if elapsed else 0.0
+        p50, p95, p99 = session_ledger.percentiles()
+        return FleetStats(
+            mode=config.mode.value,
+            sessions=config.sessions,
+            shards=len(self.shards),
+            policy=config.policy,
+            assign=config.assign,
+            seed=config.seed,
+            fastpath=config.fastpath,
+            clock="wall" if self.clock.wall else "tick",
+            completed=self._completed,
+            failed=self._failed,
+            ops=self._steps,
+            elapsed=float(elapsed),
+            sessions_per_sec=throughput,
+            session_p50=p50, session_p95=p95, session_p99=p99,
+            session_mean=session_ledger.mean,
+            session_max=session_ledger.max,
+            op_latency={kind: ledger.percentiles()
+                        for kind, ledger in op_ledgers.items()},
+            op_counts=op_counts,
+            shard_reports=[shard.report() for shard in self.shards],
+            schedule_digest=digest,
+        )
+
+    def _render_live(self) -> str:
+        """The fleet-wide header each shard's /proc/protego/fleet
+        prepends to its own report."""
+        config = self.config
+        return (f"fleet: mode={config.mode.value} "
+                f"sessions={config.sessions} shards={len(self.shards)} "
+                f"policy={config.policy} assign={config.assign} "
+                f"seed={config.seed} live={self._live} "
+                f"completed={self._completed} failed={self._failed} "
+                f"steps={self._steps}\n")
+
+
+def run_fleet(config: FleetConfig,
+              clock: Optional[TickClock] = None) -> FleetStats:
+    """Convenience one-shot: build a fleet, run it, return the report."""
+    return FleetEngine(config, clock=clock).run()

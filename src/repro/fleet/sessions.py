@@ -1,0 +1,271 @@
+"""Per-session scripted state machines.
+
+A session script is a generator: it performs one operation against its
+shard, then ``yield``s the operation's kind (a short string) — the
+syscall boundary. The engine resumes one generator per scheduler
+step, so thousands of sessions interleave cooperatively with no
+threads and a deterministic schedule.
+
+Scripts model the canonical Protego user day — login → sudo →
+file I/O → mount → passwd → network send — split into four profiles so
+a fleet has a mix of behaviours:
+
+* ``interactive`` — the full flow minus the admin steps: login, a
+  delegated print, a working set of private files cycled with
+  stat/open/read, a few UDP sends.
+* ``builder`` — file-I/O heavy: bigger working set, more create/write/
+  delete churn.
+* ``netclient`` — network heavy: one login, then mostly sendto.
+* ``admin`` — the invalidation driver: login, (sometimes) a user
+  mount/umount of the cdrom — each of which bumps the shard's mount
+  generation and orphans its fused verdicts — and (sometimes) a
+  password rotation through ``/usr/bin/passwd`` (rotated to the same
+  value, so later logins on any schedule still succeed).
+
+Every tty feed line is the session user's own password. That is
+deliberate: whether sudo's recency window is warm decides whether a
+queued line is consumed, and with identical lines the queue state can
+never change what a later prompt reads — scripts stay deterministic
+under every interleaving.
+
+All randomness comes from the per-session ``random.Random`` seeded by
+the engine; no script touches wall time or global RNG state.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterator, List
+
+from repro.core.system import System, SystemMode
+from repro.kernel import modes
+from repro.kernel.errno import SyscallError
+from repro.kernel.net.packets import Packet, Protocol
+from repro.kernel.net.socket import AddressFamily, SocketType
+from repro.kernel.task import Task
+
+#: The accounts sessions run as (must exist in DEFAULT_USERS and be
+#: able to log in). The admin profile always runs as admin1.
+SESSION_USERS = ("alice", "bob", "charlie")
+ADMIN_USER = "admin1"
+
+#: Working-set knobs: private files per session. Together with the
+#: fleet size these set the per-shard cache reuse distance — the
+#: quantity the shard-scaling benchmark actually varies (a shard's
+#: caches fit its tenants' working set or they don't).
+INTERACTIVE_FILES = 4
+BUILDER_FILES = 6
+
+
+class SessionContext:
+    """Everything one session script needs: its shard's system, its
+    identity, its private namespace, and its seeded RNG."""
+
+    __slots__ = ("system", "kernel", "sid", "tenant", "username",
+                 "password", "workdir", "rng", "shard")
+
+    def __init__(self, system: System, sid: int, tenant: str,
+                 username: str, password: str, rng: random.Random,
+                 shard=None):
+        self.system = system
+        self.kernel = system.kernel
+        self.sid = sid
+        self.tenant = tenant
+        self.username = username
+        self.password = password
+        self.workdir = f"/tmp/fleet/{tenant}/s{sid}"
+        self.rng = rng
+        self.shard = shard
+
+    # -- building blocks ----------------------------------------------
+    def login(self) -> Task:
+        """The full login ceremony through /bin/login."""
+        return self.system.login(self.username, self.password)
+
+    def sudo_print(self, task: Task) -> int:
+        """A delegated print: alice may lpr as bob (and %admin as
+        anyone). The password is fed for when recency has gone stale
+        on a long schedule."""
+        target = "bob" if self.username != "bob" else "alice"
+        status, _ = self.system.run(
+            task, "/usr/bin/sudo",
+            ["sudo", "-u", target, "/usr/bin/lpr", f"job-{self.sid}"],
+            feed=[self.password])
+        return status
+
+    def make_workdir(self, task: Task) -> None:
+        # A realistic project layout: files live two directories below
+        # the session root, so a cold walk pays full component cost
+        # while warm walks ride the dentry/fused caches.
+        self.kernel.sys_mkdir(task, self.workdir, 0o755)
+        self.kernel.sys_mkdir(task, f"{self.workdir}/proj", 0o755)
+        self.kernel.sys_mkdir(task, f"{self.workdir}/proj/src", 0o755)
+
+    def create_file(self, task: Task, index: int, payload: bytes) -> str:
+        path = f"{self.workdir}/proj/src/f{index}.dat"
+        self.kernel.write_file(task, path, payload)
+        return path
+
+    def open_socket(self, task: Task):
+        sock = self.kernel.sys_socket(task, AddressFamily.AF_INET,
+                                      SocketType.DGRAM)
+        self.kernel.net.bind_socket(sock, "192.168.1.10", 0)
+        return sock
+
+    def net_send(self, task: Task, sock) -> None:
+        packet = Packet(Protocol.UDP, "192.168.1.10", "8.8.8.8",
+                        src_port=sock.local_port, dst_port=9,
+                        payload=b"fleet-ping")
+        self.kernel.sys_sendto(task, sock, packet)
+
+
+Script = Iterator[str]
+
+
+def interactive_session(ctx: SessionContext) -> Script:
+    kernel = ctx.kernel
+    task = ctx.login()
+    yield "login"
+    ctx.sudo_print(task)
+    yield "sudo"
+    ctx.make_workdir(task)
+    yield "mkdir"
+    files: List[str] = []
+    for i in range(INTERACTIVE_FILES):
+        files.append(ctx.create_file(task, i, b"x" * 128))
+        yield "create"
+    rounds = ctx.rng.randint(30, 40)
+    for _ in range(rounds):
+        for path in files:
+            kernel.sys_stat(task, path)
+            yield "stat"
+        fd = kernel.sys_open(task, files[0])
+        kernel.sys_read(task, fd, 64)
+        kernel.sys_close(task, fd)
+        yield "open"
+        kernel.sys_access(task, files[-1], modes.R_OK)
+        yield "access"
+    sock = ctx.open_socket(task)
+    yield "socket"
+    for _ in range(3):
+        ctx.net_send(task, sock)
+        yield "send"
+    for path in files:
+        kernel.sys_unlink(task, path)
+        yield "unlink"
+
+
+def builder_session(ctx: SessionContext) -> Script:
+    kernel = ctx.kernel
+    task = ctx.login()
+    yield "login"
+    ctx.make_workdir(task)
+    yield "mkdir"
+    files: List[str] = []
+    for i in range(BUILDER_FILES):
+        files.append(ctx.create_file(task, i, b"o" * 256))
+        yield "create"
+    rounds = ctx.rng.randint(20, 28)
+    for _ in range(rounds):
+        for path in files:
+            kernel.sys_stat(task, path)
+            yield "stat"
+        fd = kernel.sys_open(task, files[rounds % len(files)],
+                             modes.O_WRONLY)
+        kernel.sys_write(task, fd, b"delta")
+        kernel.sys_close(task, fd)
+        yield "write"
+    for path in files:
+        kernel.sys_unlink(task, path)
+        yield "unlink"
+
+
+def netclient_session(ctx: SessionContext) -> Script:
+    kernel = ctx.kernel
+    task = ctx.login()
+    yield "login"
+    sock = ctx.open_socket(task)
+    yield "socket"
+    rounds = ctx.rng.randint(14, 20)
+    for _ in range(rounds):
+        ctx.net_send(task, sock)
+        yield "send"
+        kernel.sys_stat(task, "/etc/fstab")
+        yield "stat"
+
+
+def admin_session(ctx: SessionContext) -> Script:
+    """The fleet's invalidation and credential-churn driver."""
+    kernel = ctx.kernel
+    task = ctx.login()
+    yield "login"
+    ctx.make_workdir(task)
+    yield "mkdir"
+    path = ctx.create_file(task, 0, b"admin")
+    yield "create"
+    if ctx.rng.random() < 0.25:
+        # A user mount: bumps the shard's mount generation, orphaning
+        # every fused verdict and cached walk on that shard — the
+        # cross-session contention the fleet benchmark measures.
+        # Another session may hold the mountpoint; both outcomes are
+        # deterministic under a fixed schedule.
+        status, _ = ctx.system.run(task, "/bin/mount",
+                                   ["mount", "/dev/cdrom", "/cdrom"])
+        yield "mount"
+        if status == 0:
+            ctx.system.run(task, "/bin/umount", ["umount", "/cdrom"])
+            yield "umount"
+    if ctx.rng.random() < 0.5:
+        # Rotate the password to its current value: a full fragment
+        # rewrite + daemon resync without invalidating other sessions'
+        # logins. Feed lines are (current, new[, confirm]) — all the
+        # same string by design.
+        ctx.system.run(task, "/usr/bin/passwd", ["passwd"],
+                       feed=[ctx.password] * 3)
+        yield "passwd"
+        if ctx.shard is not None:
+            ctx.shard.needs_sync = True
+    for _ in range(ctx.rng.randint(4, 8)):
+        kernel.sys_stat(task, path)
+        yield "stat"
+    kernel.sys_unlink(task, path)
+    yield "unlink"
+
+
+#: name -> (script factory, relative weight in the default mix)
+SCRIPTS: Dict[str, object] = {
+    "interactive": interactive_session,
+    "builder": builder_session,
+    "netclient": netclient_session,
+    "admin": admin_session,
+}
+
+DEFAULT_MIX: Dict[str, int] = {
+    "interactive": 9,
+    "builder": 5,
+    "netclient": 3,
+    "admin": 1,
+}
+
+
+def pick_script(rng: random.Random, mix: Dict[str, int]) -> str:
+    """Weighted deterministic choice of a script name."""
+    total = sum(mix.values())
+    roll = rng.randrange(total)
+    for name, weight in mix.items():
+        roll -= weight
+        if roll < 0:
+            return name
+    return next(iter(mix))
+
+
+def user_for(script_name: str, sid: int, system_mode: SystemMode) -> str:
+    if script_name == "admin":
+        return ADMIN_USER
+    return SESSION_USERS[sid % len(SESSION_USERS)]
+
+
+__all__ = [
+    "SessionContext", "SCRIPTS", "DEFAULT_MIX", "SESSION_USERS",
+    "ADMIN_USER", "pick_script", "user_for", "SyscallError",
+]

@@ -1,0 +1,162 @@
+"""One shard: a full System plus the fleet's view of it.
+
+A shard owns one kernel and serves one tenant group's sessions. The
+engine talks to shards for three things:
+
+* **construction** — :func:`build_shards` provisions K systems (one
+  per shard) with fleet-friendly hostnames and the shared
+  ``/tmp/fleet`` namespace pre-created;
+* **bookkeeping** — per-shard counters the scheduler bumps inline and
+  the engine folds into fleet totals in batches, plus the lazy
+  ``needs_sync`` flag a credential-mutating session raises so daemon
+  polls happen per batch, not per op;
+* **observability** — a cache/audit snapshot taken when a run starts
+  and diffed when it ends (:meth:`Shard.report`), surfaced while the
+  run is live at ``/proc/protego/fleet`` on the shard's own procfs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.system import System, SystemMode
+from repro.fleet.stats import ShardReport
+
+FLEET_PROC_PATH = "protego/fleet"
+
+
+def _hit_rate(hits: int, lookups: int) -> float:
+    return hits / lookups if lookups else 0.0
+
+
+class Shard:
+    """One kernel instance in the fleet, with run-relative counters."""
+
+    def __init__(self, index: int, system: System):
+        self.index = index
+        self.system = system
+        self.kernel = system.kernel
+        # Scheduler-maintained counters (reset per run).
+        self.sessions = 0
+        self.completed = 0
+        self.failed = 0
+        self.ops = 0
+        self.syncs = 0
+        #: Raised by credential-mutating sessions; the engine's batched
+        #: bookkeeping turns it into one daemon poll per batch.
+        self.needs_sync = False
+        self._baseline: Dict[str, float] = {}
+        self._fleet_render = None
+        self._register_proc()
+
+    # ------------------------------------------------------------------
+    def _register_proc(self) -> None:
+        """Surface this shard's fleet view on its own procfs. The file
+        is registered once per kernel; the engine retargets
+        ``_fleet_render`` at run start, so the latest run wins."""
+        try:
+            self.kernel.procfs.register(
+                FLEET_PROC_PATH,
+                read_fn=lambda: self.render().encode(),
+                mode=0o444,
+            )
+        except Exception:
+            # Already registered (a previous engine on this system).
+            pass
+
+    def attach_fleet_render(self, render_fn) -> None:
+        self._fleet_render = render_fn
+
+    def render(self) -> str:
+        """The /proc/protego/fleet payload: the fleet-wide header the
+        engine supplies plus this shard's live report."""
+        header = self._fleet_render() if self._fleet_render is not None \
+            else "fleet: no engine attached\n"
+        return header + self.report().render() + "\n"
+
+    # ------------------------------------------------------------------
+    # Snapshots and deltas
+    # ------------------------------------------------------------------
+    def _counters(self) -> Dict[str, float]:
+        kernel = self.kernel
+        fp = kernel.fastpath.stats
+        dc = kernel.vfs.dcache.stats
+        av = kernel.security_server.stats
+        ring = kernel.security_server.audit
+        nf = kernel.net.netfilter.stats
+        return {
+            "fp_hits": fp.hits, "fp_lookups": fp.lookups,
+            "fp_stale": fp.stale_evictions,
+            "fp_invalidations": fp.invalidations,
+            "dc_hits": dc.hits, "dc_lookups": dc.lookups,
+            "dc_invalidations": dc.invalidations,
+            "avc_hits": av.hits, "avc_lookups": av.lookups,
+            "flow_hits": nf["flow_hits"],
+            "flow_lookups": nf["flow_hits"] + nf["flow_misses"],
+            "audit_seq": ring.seq, "audit_dropped": ring.dropped,
+            "audit_lost": ring.lost, "audit_rescued": ring.rescued_denials,
+        }
+
+    def begin_run(self) -> None:
+        self.sessions = self.completed = self.failed = 0
+        self.ops = self.syncs = 0
+        self.needs_sync = False
+        self._baseline = self._counters()
+
+    def report(self) -> ShardReport:
+        now = self._counters()
+        base = self._baseline or {key: 0 for key in now}
+        delta = {key: now[key] - base.get(key, 0) for key in now}
+        return ShardReport(
+            index=self.index,
+            hostname=self.kernel.hostname,
+            sessions=self.sessions,
+            completed=self.completed,
+            failed=self.failed,
+            ops=self.ops,
+            syncs=self.syncs,
+            fastpath_hit_rate=_hit_rate(delta["fp_hits"], delta["fp_lookups"]),
+            dcache_hit_rate=_hit_rate(delta["dc_hits"], delta["dc_lookups"]),
+            decision_hit_rate=_hit_rate(delta["avc_hits"],
+                                        delta["avc_lookups"]),
+            flow_hit_rate=_hit_rate(delta["flow_hits"],
+                                    delta["flow_lookups"]),
+            fastpath_stale_evictions=int(delta["fp_stale"]),
+            invalidations=int(delta["fp_invalidations"]
+                              + delta["dc_invalidations"]),
+            audit_appended=int(delta["audit_seq"]),
+            audit_dropped=int(delta["audit_dropped"]),
+            audit_lost=int(delta["audit_lost"]),
+            audit_rescued=int(delta["audit_rescued"]),
+        )
+
+    # ------------------------------------------------------------------
+    def sync(self) -> None:
+        """One batched daemon wakeup (no-op on LINUX mode)."""
+        self.system.sync()
+        self.syncs += 1
+        self.needs_sync = False
+
+
+def build_shards(mode: SystemMode, count: int,
+                 tenants: Optional[List[str]] = None,
+                 fastpath: bool = True) -> List[Shard]:
+    """Provision *count* systems as fleet shards.
+
+    Construction leans on the provisioning memos in
+    :mod:`repro.core.system` and :mod:`repro.daemon.monitor` (password
+    hashes and serialized policy builds are computed once per process
+    and reused), so a 16-shard fleet boots in roughly the time two
+    cold systems used to take.
+    """
+    shards = []
+    for index in range(count):
+        system = System(mode, hostname=f"{mode.value}-shard{index}")
+        root = system.root_session()
+        system.kernel.sys_mkdir(root, "/tmp/fleet", 0o1777)
+        for tenant in tenants or []:
+            system.kernel.sys_mkdir(root, f"/tmp/fleet/{tenant}", 0o1777)
+        if not fastpath:
+            system.kernel.fastpath.enabled = False
+        shards.append(Shard(index, system))
+    return shards

@@ -1,0 +1,193 @@
+"""Fleet-wide observability: latency ledgers and the FleetStats report.
+
+Latency percentiles are computed over exact per-session figures (one
+number per session is cheap at any fleet size) and over a bounded,
+deterministically-decimated reservoir per operation kind (a million
+per-op samples is not cheap). The decimation is stride doubling: once
+a reservoir is full, every other retained sample is dropped and only
+every 2^k-th new sample is kept — no RNG, so two runs with the same
+seed keep identical reservoirs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+
+def percentile(values: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of *values* (not assumed sorted)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, int(fraction * len(ordered))))
+    return ordered[rank]
+
+
+class LatencyLedger:
+    """A bounded per-op-kind latency sample set.
+
+    Keeps exact count/total/max; retains at most *cap* samples for
+    percentiles, decimating deterministically (stride doubling) when
+    full.
+    """
+
+    __slots__ = ("cap", "count", "total", "max", "_samples", "_stride",
+                 "_phase")
+
+    def __init__(self, cap: int = 8192):
+        self.cap = cap
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+        self._samples: List[float] = []
+        self._stride = 1
+        self._phase = 0
+
+    def record(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value > self.max:
+            self.max = value
+        self._phase += 1
+        if self._phase >= self._stride:
+            self._phase = 0
+            self._samples.append(value)
+            if len(self._samples) >= self.cap:
+                self._samples = self._samples[::2]
+                self._stride *= 2
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentiles(self) -> Tuple[float, float, float]:
+        return (percentile(self._samples, 0.50),
+                percentile(self._samples, 0.95),
+                percentile(self._samples, 0.99))
+
+
+@dataclasses.dataclass
+class ShardReport:
+    """One shard's contribution to a fleet run: throughput counters
+    plus the cache/audit deltas between engine start and finish."""
+
+    index: int
+    hostname: str
+    sessions: int = 0
+    completed: int = 0
+    failed: int = 0
+    ops: int = 0
+    syncs: int = 0
+    fastpath_hit_rate: float = 0.0
+    dcache_hit_rate: float = 0.0
+    decision_hit_rate: float = 0.0
+    flow_hit_rate: float = 0.0
+    fastpath_stale_evictions: int = 0
+    invalidations: int = 0
+    #: Audit-ring pressure over the run: rows appended, rows rotated
+    #: out of the full ring, rows refused by injected alloc failures,
+    #: DENY rows forced in past a failure.
+    audit_appended: int = 0
+    audit_dropped: int = 0
+    audit_lost: int = 0
+    audit_rescued: int = 0
+
+    def render(self) -> str:
+        return (
+            f"shard {self.index} ({self.hostname}): sessions={self.sessions} "
+            f"completed={self.completed} failed={self.failed} ops={self.ops} "
+            f"syncs={self.syncs}\n"
+            f"  hit rates: fastpath={self.fastpath_hit_rate:.3f} "
+            f"dcache={self.dcache_hit_rate:.3f} "
+            f"decision={self.decision_hit_rate:.3f} "
+            f"flow={self.flow_hit_rate:.3f}\n"
+            f"  invalidations={self.invalidations} "
+            f"stale_evictions={self.fastpath_stale_evictions} "
+            f"audit: appended={self.audit_appended} "
+            f"dropped={self.audit_dropped} lost={self.audit_lost} "
+            f"rescued={self.audit_rescued}"
+        )
+
+
+@dataclasses.dataclass
+class FleetStats:
+    """The whole run, one object: configuration echo, throughput,
+    latency percentiles, per-shard cache behaviour."""
+
+    mode: str
+    sessions: int
+    shards: int
+    policy: str
+    assign: str
+    seed: int
+    fastpath: bool
+    clock: str              # "tick" or "wall"
+    completed: int = 0
+    failed: int = 0
+    ops: int = 0
+    elapsed: float = 0.0    # ticks (tick clock) or ns (wall clock)
+    #: Sessions per wall second (wall clock) or per million ticks
+    #: (tick clock) — same field, unit named by :attr:`clock`.
+    sessions_per_sec: float = 0.0
+    session_p50: float = 0.0
+    session_p95: float = 0.0
+    session_p99: float = 0.0
+    session_mean: float = 0.0
+    session_max: float = 0.0
+    op_latency: Dict[str, Tuple[float, float, float]] = \
+        dataclasses.field(default_factory=dict)
+    op_counts: Dict[str, int] = dataclasses.field(default_factory=dict)
+    shard_reports: List[ShardReport] = dataclasses.field(default_factory=list)
+    #: Rolling CRC over the (sid, op) schedule, when the engine was
+    #: asked to record it — the determinism tests' fingerprint.
+    schedule_digest: Optional[int] = None
+
+    @property
+    def latency_unit(self) -> str:
+        return "ns" if self.clock == "wall" else "ticks"
+
+    def comparable(self) -> dict:
+        """The deterministic projection: every field two same-seed runs
+        must agree on, wall-time fields excluded."""
+        return {
+            "mode": self.mode, "sessions": self.sessions,
+            "shards": self.shards, "policy": self.policy,
+            "assign": self.assign, "seed": self.seed,
+            "completed": self.completed, "failed": self.failed,
+            "ops": self.ops, "op_counts": dict(self.op_counts),
+            "schedule_digest": self.schedule_digest,
+            "per_shard": [
+                (r.index, r.sessions, r.completed, r.failed, r.ops,
+                 r.syncs, r.audit_appended)
+                for r in self.shard_reports
+            ],
+        }
+
+    def render(self) -> str:
+        unit = self.latency_unit
+        lines = [
+            f"fleet: mode={self.mode} sessions={self.sessions} "
+            f"shards={self.shards} policy={self.policy} "
+            f"assign={self.assign} seed={self.seed} "
+            f"fastpath={int(self.fastpath)} clock={self.clock}",
+            f"completed={self.completed} failed={self.failed} "
+            f"ops={self.ops} elapsed={self.elapsed:.0f}{unit} "
+            f"throughput={self.sessions_per_sec:.1f} "
+            + ("sessions/s" if self.clock == "wall"
+               else "sessions/Mtick"),
+            f"session latency ({unit}): p50={self.session_p50:.0f} "
+            f"p95={self.session_p95:.0f} p99={self.session_p99:.0f} "
+            f"mean={self.session_mean:.0f} max={self.session_max:.0f}",
+        ]
+        for kind in sorted(self.op_counts):
+            count = self.op_counts[kind]
+            if kind in self.op_latency:
+                p50, p95, p99 = self.op_latency[kind]
+                lines.append(f"op {kind:10s} n={count:<8d} "
+                             f"p50={p50:.0f} p95={p95:.0f} p99={p99:.0f}")
+            else:
+                lines.append(f"op {kind:10s} n={count}")
+        for report in self.shard_reports:
+            lines.append(report.render())
+        return "\n".join(lines) + "\n"

@@ -45,6 +45,7 @@ from repro.kernel.errno import Errno
 from repro.kernel.fault import SITE_DCACHE_ALLOC, FaultSite
 from repro.kernel.generations import GenerationHub
 from repro.kernel.inode import Inode
+from repro.kernel.pathindex import PathIndex
 
 #: Sentinel distinguishing "no cached permission entry" from a cached
 #: ALLOW (stored as None).
@@ -123,6 +124,9 @@ class DentryCache:
             else GenerationHub()
         self._entries: "collections.OrderedDict[Tuple, Dentry]" = \
             collections.OrderedDict()
+        #: Reverse path->keys index so prefix invalidation is
+        #: proportional to the entries dropped, not the cache size.
+        self._index = PathIndex()
         #: (cred_epoch, cred) -> {(ino, generation, mask) -> errno|None}
         self._perms: "collections.OrderedDict[Tuple, Dict]" = \
             collections.OrderedDict()
@@ -156,9 +160,12 @@ class DentryCache:
         if self.fault_site.armed and self.fault_site.should_fail(path):
             self.stats.alloc_failures += 1
             return
-        self._entries[(self.mount_epoch, path, follow)] = entry
+        key = (self.mount_epoch, path, follow)
+        self._entries[key] = entry
+        self._index.add(path, key)
         if len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+            evicted_key, _ = self._entries.popitem(last=False)
+            self._index.discard(evicted_key[1], evicted_key)
 
     # ------------------------------------------------------------------
     # Permission cache
@@ -198,6 +205,7 @@ class DentryCache:
         if self._entries:
             self.stats.invalidations += 1
             self._entries.clear()
+            self._index.clear()
         return epoch
 
     def invalidate_prefix(self, path: str) -> int:
@@ -205,11 +213,9 @@ class DentryCache:
         directory moves its whole subtree; a chmod changes every walk
         through it). Negative entries die here too — this is what a
         create calls."""
-        prefix = path.rstrip("/") + "/"
-        stale = [key for key in self._entries
-                 if key[1] == path or key[1].startswith(prefix)]
+        stale = self._index.collect(path)
         for key in stale:
-            del self._entries[key]
+            self._entries.pop(key, None)
         if stale:
             self.stats.invalidations += 1
         return len(stale)
@@ -222,6 +228,7 @@ class DentryCache:
 
     def flush(self) -> None:
         self._entries.clear()
+        self._index.clear()
         self._perms.clear()
         self._last_perms = None
         self.stats.flushes += 1

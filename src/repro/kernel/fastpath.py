@@ -14,8 +14,9 @@ Key: ``(op|mask, path, sid)``.
 * ``op|mask`` — the operation tag (stat/open/perm) with the DAC mask
   or open flags folded into it, so one path can hold distinct verdicts
   per access mode.
-* ``path`` — the normalized absolute path, kept at index 1 so
-  prefix invalidation can scan keys the same way the dcache does.
+* ``path`` — the normalized absolute path, kept at index 1 and
+  reverse-indexed (:class:`~repro.kernel.pathindex.PathIndex`) so a
+  prefix invalidation drops exactly the affected verdicts.
 * ``sid`` — the subject id: a never-reused integer the kernel interns
   for each distinct ``(cred_epoch, cred, exe_path)`` triple (see
   ``SyscallMixin._fp_subject``). Epochs are minted by the
@@ -53,6 +54,8 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from typing import Optional, Tuple
+
+from repro.kernel.pathindex import PathIndex
 
 #: Operation tags. The low 3 bits carry the DAC mask (R_OK|W_OK|X_OK
 #: ≤ 7) for permission checks; open() folds its flag word in higher
@@ -108,6 +111,9 @@ class FastPathTable:
         self.enabled = True
         self.stats = FastPathStats()
         self._table: "OrderedDict[Tuple, FastVerdict]" = OrderedDict()
+        # Reverse path->keys index: prefix invalidation drops exactly
+        # the affected entries instead of scanning the whole table.
+        self._index = PathIndex()
 
     def __len__(self) -> int:
         return len(self._table)
@@ -124,6 +130,7 @@ class FastPathTable:
             return None
         if entry.stamp != self.generations.generation:
             del self._table[key]
+            self._index.discard(key[1], key)
             stats.stale_evictions += 1
             stats.misses += 1
             return None
@@ -140,9 +147,11 @@ class FastPathTable:
             return
         table = self._table
         if len(table) >= self.max_entries:
-            table.popitem(last=False)
+            evicted_key, _ = table.popitem(last=False)
+            self._index.discard(evicted_key[1], evicted_key)
         table[key] = FastVerdict(inode, errno, context, audit_suffix,
                                  self.generations.generation)
+        self._index.add(key[1], key)
         self.stats.insertions += 1
 
     # ------------------------------------------------------------------
@@ -151,15 +160,14 @@ class FastPathTable:
     def invalidate_prefix(self, path: str) -> None:
         """Drop every verdict for *path* or anything beneath it (the
         hub's path fan-out lands here)."""
-        prefix = path if path.endswith("/") else path + "/"
-        doomed = [key for key in self._table
-                  if key[1] == path or key[1].startswith(prefix)]
+        doomed = self._index.collect(path)
         for key in doomed:
-            del self._table[key]
+            self._table.pop(key, None)
         self.stats.invalidations += len(doomed)
 
     def flush(self) -> None:
         self._table.clear()
+        self._index.clear()
         self.stats.flushes += 1
 
     # ------------------------------------------------------------------

@@ -23,6 +23,13 @@ class RouteConflictError(SyscallError):
         super().__init__(Errno.EEXIST, context)
 
 
+#: CIDR-string -> parsed network. ``ipaddress`` re-parses the string on
+#: every construction; route destinations are a tiny, stable set while
+#: lookups happen per packet, so the parse is shared process-wide.
+_NETWORK_MEMO: dict = {}
+_NETWORK_MEMO_MAX = 1024
+
+
 @dataclasses.dataclass(frozen=True)
 class Route:
     """destination network -> device (optionally via gateway)."""
@@ -33,7 +40,13 @@ class Route:
     added_by_uid: int = 0
 
     def network(self) -> ipaddress.IPv4Network:
-        return ipaddress.ip_network(self.destination, strict=False)
+        net = _NETWORK_MEMO.get(self.destination)
+        if net is None:
+            if len(_NETWORK_MEMO) >= _NETWORK_MEMO_MAX:
+                _NETWORK_MEMO.clear()
+            net = ipaddress.ip_network(self.destination, strict=False)
+            _NETWORK_MEMO[self.destination] = net
+        return net
 
     def is_default(self) -> bool:
         return self.network().prefixlen == 0
@@ -44,6 +57,10 @@ class RoutingTable:
 
     def __init__(self):
         self._routes: List[Route] = []
+        # dst ip -> winning route; the hot path resolves the same few
+        # destinations per packet. Any table change clears it — route
+        # churn is rare, packets are not.
+        self._lookup_memo: dict = {}
 
     def routes(self) -> List[Route]:
         return list(self._routes)
@@ -73,11 +90,13 @@ class RoutingTable:
                     f"{route.destination} overlaps existing {existing.destination}"
                 )
         self._routes.append(route)
+        self._lookup_memo.clear()
 
     def remove(self, destination: str, device: str = "") -> Route:
         for route in self._routes:
             if route.destination == destination and (not device or route.device == device):
                 self._routes.remove(route)
+                self._lookup_memo.clear()
                 return route
         raise SyscallError(Errno.ESRCH, f"no route {destination}")
 
@@ -85,9 +104,13 @@ class RoutingTable:
         """Drop all routes through *device* (link teardown)."""
         dropped = [r for r in self._routes if r.device == device]
         self._routes = [r for r in self._routes if r.device != device]
+        if dropped:
+            self._lookup_memo.clear()
         return dropped
 
     def lookup(self, dst_ip: str) -> Optional[Route]:
+        if dst_ip in self._lookup_memo:
+            return self._lookup_memo[dst_ip]
         address = ipaddress.ip_address(dst_ip)
         best: Optional[Route] = None
         best_len = -1
@@ -96,6 +119,9 @@ class RoutingTable:
             if address in net and net.prefixlen > best_len:
                 best = route
                 best_len = net.prefixlen
+        if len(self._lookup_memo) >= 4096:
+            self._lookup_memo.clear()
+        self._lookup_memo[dst_ip] = best
         return best
 
     def __len__(self) -> int:

@@ -76,6 +76,12 @@ class AuditRing:
     def __len__(self) -> int:
         return len(self._ring)
 
+    @property
+    def seq(self) -> int:
+        """Total rows ever sequenced (including refused appends) —
+        the monotone pressure counter fleet observability diffs."""
+        return self._seq
+
     def record(self, row: tuple) -> None:
         """Append one decision *row*: the :class:`AuditEntry` fields in
         declaration order, minus the leading ``seq``.

@@ -30,6 +30,7 @@ from repro.kernel.errno import Errno, SyscallError
 from repro.kernel.fault import SITE_AVC_ALLOC, FaultSite
 from repro.kernel.generations import GenerationHub
 from repro.kernel.lsm import HookResult, LSMChain
+from repro.kernel.pathindex import PathIndex
 from repro.kernel.security.access import (
     OBJ,
     AccessRequest,
@@ -104,6 +105,9 @@ class SecurityServer:
         self.cache_enabled = True
         self.cache_size = cache_size
         self._cache: "collections.OrderedDict[Tuple, Decision]" = collections.OrderedDict()
+        # Reverse obj->keys index: object invalidation touches only
+        # the affected decisions, not the whole cache.
+        self._index = PathIndex()
         #: Credential epochs come from the shared generation hub, so
         #: one allocator serves the decision cache, the dcache's
         #: permission maps, and the fused fast-path keys.
@@ -157,8 +161,10 @@ class SecurityServer:
                     self.stats.alloc_failures += 1
                 else:
                     self._cache[key] = decision
+                    self._index.add(key[5], key)
                     if len(self._cache) > self.cache_size:
-                        self._cache.popitem(last=False)
+                        evicted_key, _ = self._cache.popitem(last=False)
+                        self._index.discard(evicted_key[5], evicted_key)
         self._record(req, decision, cached=False)
         return decision
 
@@ -281,11 +287,9 @@ class SecurityServer:
         permission of every descendant walk. Path invalidations are
         forwarded to the dentry cache so namespace mutations clear
         stale (including negative) walk entries too."""
-        prefix = obj.rstrip("/") + "/"
-        stale = [key for key in self._cache
-                 if key[5] == obj or key[5].startswith(prefix)]
+        stale = self._index.collect(obj)
         for key in stale:
-            del self._cache[key]
+            self._cache.pop(key, None)
         if stale:
             self.stats.invalidations += 1
         if obj.startswith("/"):
@@ -302,6 +306,7 @@ class SecurityServer:
         is policy-independent and stays warm); the policy-generation
         bump orphans every fused fast-path verdict at once."""
         self._cache.clear()
+        self._index.clear()
         self.stats.flushes += 1
         self.generations.bump_policy()
         if self._dcache is not None:

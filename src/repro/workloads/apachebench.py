@@ -100,20 +100,33 @@ class ABDriver:
 
 
 def run_apachebench(concurrency: int, rounds: int = 30,
-                    batches: int = 3) -> Tuple[BenchResult, BenchResult]:
-    """Time-per-request and transfer-rate rows for one concurrency."""
+                    batches: int = 5) -> Tuple[BenchResult, BenchResult]:
+    """Time-per-request and transfer-rate rows for one concurrency.
+
+    ``time_pair`` measures microseconds per *round* (one request per
+    client); both derived rows transform that measurement, so the
+    confidence interval must ride along through the same transform:
+
+    * per-request time is ``t / C`` — a linear scale, the CI divides
+      by the same ``C``;
+    * transfer rate is ``B / t`` — for ``y = B/x`` a half-width ``dx``
+      propagates as ``dy = (B/x^2) dx`` (first-order).
+
+    These rows used to report the raw per-round CI against the scaled
+    values, which is how a 13.7µs/req mean ended up printed with a
+    ±254µs interval: the interval belonged to a different unit.
+    """
     linux_driver = ABDriver(System(SystemMode.LINUX), concurrency)
     protego_driver = ABDriver(System(SystemMode.PROTEGO), concurrency)
     (linux_us, linux_ci), (protego_us, protego_ci) = time_pair(
         linux_driver.round, protego_driver.round, rounds, batches)
-    # time_pair returns us per *round*; per request divides by C.
-    linux_per_request = linux_us / concurrency
-    protego_per_request = protego_us / concurrency
     paper = PAPER_TIME_PER_REQUEST[concurrency]
     time_result = BenchResult(
         name=f"ab {concurrency} conc reqs", unit="us/req",
-        linux_value=linux_per_request, linux_ci=linux_ci,
-        protego_value=protego_per_request, protego_ci=protego_ci,
+        linux_value=linux_us / concurrency,
+        linux_ci=linux_ci / concurrency,
+        protego_value=protego_us / concurrency,
+        protego_ci=protego_ci / concurrency,
         paper_linux=paper[0], paper_protego=paper[1],
         paper_overhead_percent=paper[2],
     )
@@ -122,9 +135,9 @@ def run_apachebench(concurrency: int, rounds: int = 30,
     rate_result = BenchResult(
         name=f"ab {concurrency} transfer", unit="MB/s",
         linux_value=bytes_per_round / linux_us,      # bytes/us == MB/s
-        linux_ci=linux_ci,
+        linux_ci=bytes_per_round / linux_us ** 2 * linux_ci,
         protego_value=bytes_per_round / protego_us,
-        protego_ci=protego_ci,
+        protego_ci=bytes_per_round / protego_us ** 2 * protego_ci,
         paper_linux=paper_rate[0], paper_protego=paper_rate[1],
         paper_overhead_percent=paper_rate[2],
         higher_is_better=True,
@@ -132,7 +145,7 @@ def run_apachebench(concurrency: int, rounds: int = 30,
     return time_result, rate_result
 
 
-def run_all_concurrencies(rounds: int = 30, batches: int = 3) -> List[BenchResult]:
+def run_all_concurrencies(rounds: int = 30, batches: int = 5) -> List[BenchResult]:
     results: List[BenchResult] = []
     for concurrency in (25, 50, 100, 200):
         time_result, rate_result = run_apachebench(concurrency, rounds, batches)

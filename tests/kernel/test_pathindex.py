@@ -1,0 +1,90 @@
+"""PathIndex: the reverse map that makes prefix invalidation O(dropped).
+
+Every path-keyed cache (fast path, dcache, decision cache) used to
+scan its whole table on ``invalidate_prefix``; the index keeps a
+path -> keys map plus a parent -> children tree so invalidation visits
+only the subtree it destroys.
+"""
+
+from repro.kernel.pathindex import PathIndex
+
+
+def test_collect_returns_exact_and_subtree_keys():
+    index = PathIndex()
+    index.add("/a/b", ("k1", "/a/b"))
+    index.add("/a/b/c", ("k2", "/a/b/c"))
+    index.add("/a/b/c/d", ("k3", "/a/b/c/d"))
+    index.add("/a/x", ("k4", "/a/x"))
+    got = set(index.collect("/a/b"))
+    assert got == {("k1", "/a/b"), ("k2", "/a/b/c"), ("k3", "/a/b/c/d")}
+    # The sibling survives, and the collected subtree is gone.
+    assert set(index.collect("/a/b")) == set()
+    assert set(index.collect("/a/x")) == {("k4", "/a/x")}
+
+
+def test_collect_normalizes_trailing_slash():
+    index = PathIndex()
+    index.add("/a/b", ("k", "/a/b"))
+    assert set(index.collect("/a/b/")) == {("k", "/a/b")}
+
+
+def test_multiple_keys_per_path():
+    index = PathIndex()
+    index.add("/p", ("stat", "/p"))
+    index.add("/p", ("open", "/p"))
+    assert set(index.collect("/p")) == {("stat", "/p"), ("open", "/p")}
+
+
+def test_discard_removes_single_key():
+    index = PathIndex()
+    index.add("/p/q", ("a",))
+    index.add("/p/q", ("b",))
+    index.discard("/p/q", ("a",))
+    assert set(index.collect("/p")) == {("b",)}
+    # Discarding a key that is not there is a no-op.
+    index.discard("/nowhere", ("c",))
+
+
+def test_non_slash_objects_are_exact_match_only():
+    """Objects that aren't paths (capability keys, ports) have no
+    parent chain: a prefix collect on an unrelated root must not see
+    them, an exact collect must."""
+    index = PathIndex()
+    index.add("cap:net_admin", ("k",))
+    assert set(index.collect("/")) == set()
+    assert set(index.collect("cap:net_admin")) == {("k",)}
+
+
+def test_root_collect_drains_everything():
+    index = PathIndex()
+    for i in range(10):
+        index.add(f"/d{i % 3}/f{i}", (i,))
+    assert set(index.collect("/")) == {(i,) for i in range(10)}
+    assert len(index) == 0
+
+
+def test_clear_and_len():
+    index = PathIndex()
+    index.add("/a", (1,))
+    index.add("/a/b", (2,))
+    assert len(index) == 2
+    index.clear()
+    assert len(index) == 0
+    assert set(index.collect("/a")) == set()
+
+
+def test_interior_node_without_keys_still_links_children():
+    index = PathIndex()
+    index.add("/top/mid/leaf", ("k",))
+    # /top/mid has no keys of its own but must still be traversable.
+    assert set(index.collect("/top/mid")) == {("k",)}
+
+
+def test_collect_unlinks_from_parent():
+    index = PathIndex()
+    index.add("/r/a/1", ("a1",))
+    index.add("/r/b/1", ("b1",))
+    index.collect("/r/a")
+    # Collecting the parent afterwards must not revisit the dead
+    # subtree, and must still find the live one.
+    assert set(index.collect("/r")) == {("b1",)}
