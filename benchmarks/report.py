@@ -35,6 +35,7 @@ KNOWN_BENCHES = (
     "BENCH_fastpath.json",
     "BENCH_fault_overhead.json",
     "BENCH_policy_dfa.json",
+    "BENCH_scenarios.json",
     "BENCH_sessions.json",
 )
 
@@ -129,6 +130,52 @@ def _sessions_rows(name: str, payload: dict) -> list:
     return rows
 
 
+def _scenarios_rows(name: str, payload: dict) -> list:
+    """Adapter for the scenario-harness payload: sweep throughputs
+    and the fault-armed overhead, plus one row per divergence class so
+    the trajectory table shows where the modes differ (unclassified
+    must read 0 — the sweep itself asserts it)."""
+    rows = [{
+        "benchmark": name,
+        "operation": f"differential x{payload.get('scenarios', 0)}",
+        "baseline_us": None,
+        "current_us": None,
+        "ratio": f"{payload.get('scenarios_per_sec', 0):.1f}/s",
+    }, {
+        "benchmark": name,
+        "operation": f"chaos points x{payload.get('points', 0)}",
+        "baseline_us": None,
+        "current_us": None,
+        "ratio": f"{payload.get('points_per_sec', 0):.1f}/s",
+    }]
+    armed = payload.get("fault_armed", {})
+    if armed:
+        rows.append({
+            "benchmark": name,
+            "operation": "fault-armed fleet day",
+            "baseline_us": armed.get("baseline_s", 0) * 1e6,
+            "current_us": armed.get("armed_s", 0) * 1e6,
+            "ratio": f"{armed.get('overhead_percent', 0):+.2f}%",
+        })
+    divergences = payload.get("divergences", {})
+    for klass, count in sorted(divergences.get("classified", {}).items()):
+        rows.append({
+            "benchmark": name,
+            "operation": f"divergence {klass}",
+            "baseline_us": None,
+            "current_us": None,
+            "ratio": f"{count}",
+        })
+    rows.append({
+        "benchmark": name,
+        "operation": "divergence UNCLASSIFIED",
+        "baseline_us": None,
+        "current_us": None,
+        "ratio": str(divergences.get("unclassified", "?")),
+    })
+    return rows
+
+
 def missing_known(root: Path = REPO_ROOT) -> list:
     """Known payloads absent from *root* (see :data:`KNOWN_BENCHES`)."""
     return [name for name in KNOWN_BENCHES if not (root / name).exists()]
@@ -146,6 +193,9 @@ def collect(root: Path = REPO_ROOT) -> list:
         name = payload.get("benchmark", path.stem.replace("BENCH_", ""))
         if name == "sessions":
             rows.extend(_sessions_rows(name, payload))
+            continue
+        if name == "scenarios":
+            rows.extend(_scenarios_rows(name, payload))
             continue
         ops = payload.get("ops", {})
         for op, row in ops.items():

@@ -1,0 +1,116 @@
+"""Scenario-space harness benchmark: sweep throughput and chaos cost.
+
+Three measurements, all against the generated scenario space:
+
+* **differential throughput** — legacy-vs-Protego scenarios checked
+  per second, with the divergence tally (classified per taxonomy
+  class, unclassified — which must be zero at any scale: this bench
+  doubles as a broad equivalence sweep);
+* **chaos throughput** — (scenario x fault-schedule) points per
+  second through the sharded fleet pipeline;
+* **fault-armed overhead** — the same chaos points with the schedule
+  armed vs not: what the injected faults (retries, aborted sessions,
+  postponed syncs) cost the fleet day, end to end.
+
+Results land in ``BENCH_scenarios.json`` at the repo root (consumed
+by ``benchmarks/report.py`` and CI) and ``benchmarks/reports/``.
+"""
+
+import gc
+import json
+import time
+from pathlib import Path
+
+from benchmarks.conftest import bench_scale
+from repro.scenarios.chaos import run_chaos_point
+from repro.scenarios.differ import run_space
+
+SCALE = bench_scale()
+SEED = 0
+SCENARIOS = max(8, int(40 * SCALE))
+CHAOS_SCENARIOS = max(4, int(10 * SCALE))
+CHAOS_SCHEDULES = max(2, int(4 * SCALE))
+JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_scenarios.json"
+
+
+def _timed(fn):
+    gc.collect()
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    start = time.perf_counter()
+    try:
+        result = fn()
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return result, time.perf_counter() - start
+
+
+def test_scenario_harness_bench(write_report):
+    # -- differential sweep --------------------------------------------
+    reports, diff_s = _timed(lambda: run_space(SEED, SCENARIOS))
+    class_counts = {}
+    unclassified = 0
+    for report in reports:
+        unclassified += len(report.unclassified)
+        for klass, n in report.class_counts().items():
+            class_counts[klass] = class_counts.get(klass, 0) + n
+    steps = sum(r.steps for r in reports)
+
+    # -- chaos sweep, armed then baseline ------------------------------
+    grid = [(sid, sch) for sid in range(CHAOS_SCENARIOS)
+            for sch in range(CHAOS_SCHEDULES)]
+
+    def sweep(armed):
+        points = [run_chaos_point(SEED, sid, sch, armed=armed)
+                  for sid, sch in grid]
+        return [p["violations"] for p in points if p["violations"]]
+
+    armed_violations, armed_s = _timed(lambda: sweep(True))
+    baseline_violations, baseline_s = _timed(lambda: sweep(False))
+    overhead = (armed_s - baseline_s) / baseline_s * 100
+
+    payload = {
+        "benchmark": "scenarios",
+        "scale": SCALE,
+        "seed": SEED,
+        "scenarios": SCENARIOS,
+        "scenarios_per_sec": round(SCENARIOS / diff_s, 1),
+        "trace_steps": steps,
+        "divergences": {
+            "classified": class_counts,
+            "unclassified": unclassified,
+        },
+        "points": len(grid),
+        "points_per_sec": round(len(grid) / armed_s, 1),
+        "fault_armed": {
+            "armed_s": round(armed_s, 3),
+            "baseline_s": round(baseline_s, 3),
+            "overhead_percent": round(overhead, 2),
+        },
+    }
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    lines = [
+        f"Scenario harness — sweep throughput (seed={SEED}, scale={SCALE})",
+        f"differential: {SCENARIOS} scenarios in {diff_s:.2f}s "
+        f"({SCENARIOS / diff_s:.1f}/s), {steps} trace steps",
+        f"divergences: {sum(class_counts.values())} classified, "
+        f"{unclassified} unclassified",
+    ]
+    for klass in sorted(class_counts):
+        lines.append(f"  {klass}: {class_counts[klass]}")
+    lines.append(
+        f"chaos: {len(grid)} points armed in {armed_s:.2f}s "
+        f"({len(grid) / armed_s:.1f}/s), baseline {baseline_s:.2f}s, "
+        f"fault-armed overhead {overhead:+.1f}%")
+    write_report("scenarios", lines)
+
+    # The sweep is an acceptance gate, not just a timing: every
+    # divergence classified, every chaos invariant held, both armed
+    # and disarmed.
+    assert unclassified == 0
+    assert not armed_violations
+    assert not baseline_violations
+    # The taxonomy is non-vacuous at any scale.
+    assert class_counts

@@ -63,8 +63,13 @@ def parse_fstab(text: str) -> List[FstabEntry]:
             raise ValueError(f"fstab line {lineno}: expected at least 3 fields: {raw!r}")
         device, mountpoint, fstype = fields[:3]
         options = tuple(fields[3].split(",")) if len(fields) > 3 else ("defaults",)
-        dump = int(fields[4]) if len(fields) > 4 else 0
-        passno = int(fields[5]) if len(fields) > 5 else 0
+        try:
+            dump = int(fields[4]) if len(fields) > 4 else 0
+            passno = int(fields[5]) if len(fields) > 5 else 0
+        except ValueError:
+            raise ValueError(
+                f"fstab line {lineno}: dump/pass must be integers: {raw!r}"
+            ) from None
         entries.append(FstabEntry(device, mountpoint, fstype, options, dump, passno))
     return entries
 

@@ -8,7 +8,7 @@ whole-file format and the per-record fragments use these records.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 
 @dataclasses.dataclass
@@ -74,47 +74,65 @@ class GroupEntry:
                           self.password_hash)
 
 
-def _rows(text: str) -> List[List[str]]:
+def _rows(text: str) -> List[Tuple[int, List[str]]]:
     rows = []
-    for raw in text.splitlines():
+    for lineno, raw in enumerate(text.splitlines(), start=1):
         line = raw.strip()
         if not line or line.startswith("#"):
             continue
-        rows.append(line.split(":"))
+        rows.append((lineno, line.split(":")))
     return rows
+
+
+def _int_field(value: str, kind: str, lineno: int, default: int = 0) -> int:
+    """Parse one numeric column, naming the line on failure so a bad
+    row rejects the whole load instead of half-applying (the daemon
+    keeps last-good policy on a raised parse)."""
+    if not value:
+        return default
+    try:
+        return int(value)
+    except ValueError:
+        raise ValueError(
+            f"{kind} line {lineno}: expected integer, got {value!r}"
+        ) from None
 
 
 def parse_passwd(text: str) -> List[PasswdEntry]:
     entries = []
-    for fields in _rows(text):
+    for lineno, fields in _rows(text):
         if len(fields) < 7:
             fields = fields + [""] * (7 - len(fields))
         name, password_field, uid, gid, gecos, home, shell = fields[:7]
-        entries.append(PasswdEntry(name, int(uid), int(gid), gecos, home,
-                                   shell or "/bin/sh", password_field or "x"))
+        entries.append(PasswdEntry(
+            name, _int_field(uid, "passwd", lineno),
+            _int_field(gid, "passwd", lineno), gecos, home,
+            shell or "/bin/sh", password_field or "x"))
     return entries
 
 
 def parse_shadow(text: str) -> List[ShadowEntry]:
     entries = []
-    for fields in _rows(text):
+    for lineno, fields in _rows(text):
         fields = fields + [""] * (5 - len(fields))
         name, password_hash = fields[0], fields[1]
-        last_change = int(fields[2]) if fields[2] else 0
-        min_days = int(fields[3]) if fields[3] else 0
-        max_days = int(fields[4]) if len(fields) > 4 and fields[4] else 99999
+        last_change = _int_field(fields[2], "shadow", lineno)
+        min_days = _int_field(fields[3], "shadow", lineno)
+        max_days = _int_field(fields[4] if len(fields) > 4 else "",
+                              "shadow", lineno, default=99999)
         entries.append(ShadowEntry(name, password_hash, last_change, min_days, max_days))
     return entries
 
 
 def parse_group(text: str) -> List[GroupEntry]:
     entries = []
-    for fields in _rows(text):
+    for lineno, fields in _rows(text):
         fields = fields + [""] * (4 - len(fields))
         name, pw, gid, members = fields[:4]
         member_list = [m for m in members.split(",") if m]
         password_hash = "" if pw in ("", "x", "*", "!") else pw
-        entries.append(GroupEntry(name, int(gid), member_list, password_hash))
+        entries.append(GroupEntry(name, _int_field(gid, "group", lineno),
+                                  member_list, password_hash))
     return entries
 
 

@@ -6,6 +6,9 @@ framework consumes (section 4.3):
 *   ``alice ALL=(bob) /usr/bin/lpr, /usr/bin/lpq`` — alice may run
     exactly those binaries as bob;
 *   ``alice ALL=(ALL) ALL`` — full delegation;
+*   ``alice ALL=(ALL) ALL, !/bin/sh`` — negations: a ``!``-prefixed
+    command is carved out of the grant and always wins over the
+    positive side of the same rule;
 *   ``%admin ALL=(ALL) ALL`` — group-based rules;
 *   ``bob ALL=(alice) NOPASSWD: /usr/bin/lpr`` — skip the recency
     check;
@@ -64,10 +67,23 @@ class SudoRule:
     def allows_target(self, target_username: str) -> bool:
         return self.runas_user == ALL or self.runas_user == target_username
 
+    @property
+    def positive_commands(self) -> Tuple[str, ...]:
+        """The granting side of the command list."""
+        return tuple(c for c in self.commands if not c.startswith("!"))
+
+    @property
+    def negated_commands(self) -> Tuple[str, ...]:
+        """``!``-prefixed carve-outs, with the ``!`` stripped."""
+        return tuple(c[1:].strip() for c in self.commands if c.startswith("!"))
+
     def allows_command(self, command: str) -> bool:
-        if ALL in self.commands:
+        if command in self.negated_commands:
+            return False
+        positives = self.positive_commands
+        if ALL in positives:
             return True
-        return command in self.commands
+        return command in positives
 
 
 @dataclasses.dataclass

@@ -99,7 +99,13 @@ class UserDatabase:
         never observe the truncate-then-write window."""
         tmp = f"{path}.tmp"
         self.kernel.write_file(writer, tmp, payload)
-        self.kernel.sys_chmod(self._root(), tmp, mode)
+        root = self._root()
+        self.kernel.sys_chmod(root, tmp, mode)
+        # The databases stay root:root whoever rewrote them: a setuid
+        # writer (legacy passwd) carries the invoker's egid, and
+        # leaving that gid on /etc/shadow would grant the invoker's
+        # whole group read access through the 0640 group bits.
+        self.kernel.sys_chown(root, tmp, 0, 0)
         self.kernel.sys_rename(writer, tmp, path)
 
     def write_passwd(self, entries: List[PasswdEntry], task: Optional[Task] = None) -> None:

@@ -40,8 +40,20 @@ class DelegationRule:
     check_target_password: bool = False
     group_join_gid: Optional[int] = None
 
+    @property
+    def positive_commands(self) -> Tuple[str, ...]:
+        return tuple(c for c in self.commands if not c.startswith("!"))
+
+    @property
+    def negated_commands(self) -> Tuple[str, ...]:
+        return tuple(c[1:].strip() for c in self.commands if c.startswith("!"))
+
     def unrestricted(self) -> bool:
-        return ALL in self.commands
+        """True only for an unconditional ALL: a rule carrying any
+        ``!`` carve-out must go through the deferred setuid-on-exec
+        path so the exec hook can veto the negated binaries."""
+        return ALL in self.commands and not any(
+            c.startswith("!") for c in self.commands)
 
     def matches_invoker(self, uid: int, gids: Tuple[int, ...]) -> bool:
         if self.invoker_gid is not None:
@@ -54,7 +66,10 @@ class DelegationRule:
         return self.target_uid is None or self.target_uid == uid
 
     def allows_command(self, path: str) -> bool:
-        return self.unrestricted() or path in self.commands
+        if path in self.negated_commands:
+            return False
+        positives = self.positive_commands
+        return ALL in positives or path in positives
 
     def specificity(self) -> int:
         if self.invoker_uid is not None:

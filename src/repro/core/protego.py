@@ -32,6 +32,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro.config.sudoers import ALL
 from repro.core.bind_policy import BindPolicy
 from repro.core.delegation import DelegationPolicy, scrub_environment
 from repro.core.mount_policy import MountPolicy
@@ -58,6 +59,22 @@ def command_matches(command_spec: str, path: str, argv: List[str]) -> bool:
     required_args = parts[1:]
     supplied = list(argv[1:1 + len(required_args)])
     return supplied == required_args
+
+
+def rule_covers_exec(rule, path: str, argv: List[str]) -> bool:
+    """Does one delegation rule authorize exec'ing *path* with *argv*?
+
+    Negated specs veto first (a sudoers ``ALL, !/bin/sh`` grant must
+    refuse /bin/sh no matter what the positive side says), then an
+    ``ALL`` or a matching positive spec authorizes.
+    """
+    for spec in rule.negated_commands:
+        if command_matches(spec, path, argv):
+            return False
+    for spec in rule.positive_commands:
+        if spec == ALL or command_matches(spec, path, argv):
+            return True
+    return False
 
 
 class ProtegoLSM(SecurityModule):
@@ -237,7 +254,8 @@ class ProtegoLSM(SecurityModule):
             return SetuidDecision.allow()
         commands: List[str] = []
         for rule in usable:
-            commands.extend(c for c in rule.commands if c not in commands)
+            commands.extend(c for c in rule.positive_commands
+                            if c != ALL and c not in commands)
         # Rules that were not unlocked here may still authorize the
         # exec'd binary after an authentication step at exec time —
         # unless the user just failed/satisfied a prompt covering them.
@@ -248,6 +266,7 @@ class ProtegoLSM(SecurityModule):
             allowed_binaries=tuple(commands),
             rule=usable[0],
             locked_rules=locked,
+            usable_rules=tuple(usable),
         )
         return SetuidDecision.defer(pending)
 
@@ -280,17 +299,25 @@ class ProtegoLSM(SecurityModule):
         pending: Optional[PendingSetuid] = task.getsec("protego", "pending_setuid")
         if pending is None:
             return HookResult.PASS
-        for spec in pending.allowed_binaries:
-            if command_matches(spec, path, argv):
-                return HookResult.PASS
+        if pending.usable_rules:
+            # Whole-rule validation: each rule's own `!` carve-outs
+            # veto before its positive side can grant.
+            for rule in pending.usable_rules:
+                if rule_covers_exec(rule, path, argv):
+                    return HookResult.PASS
+        else:
+            # Compatibility path for transitions parked without rule
+            # context (hand-built PendingSetuid blobs in tests).
+            for spec in pending.allowed_binaries:
+                if command_matches(spec, path, argv):
+                    return HookResult.PASS
         # A rule that still needs authentication may cover this binary;
         # the trusted service prompts *now* — "the authentication
         # service may also ask for the target user's password at this
         # point" (section 4.3).
         for rule in pending.locked_rules:
-            covers = rule.unrestricted() or any(
-                command_matches(spec, path, argv) for spec in rule.commands)
-            if covers and self._unlock_rule_at_exec(task, rule, pending.target_uid):
+            if rule_covers_exec(rule, path, argv) and \
+                    self._unlock_rule_at_exec(task, rule, pending.target_uid):
                 return HookResult.PASS
         # Not an authorized binary for the parked transition: the exec
         # fails (the paper's deliberate change in error behaviour) and

@@ -31,7 +31,7 @@ from __future__ import annotations
 import dataclasses
 import random
 import zlib
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.system import SystemMode
 from repro.fleet.clock import TickClock
@@ -79,6 +79,12 @@ class FleetConfig:
     #: determinism tests' fingerprint. Off by default (costs a string
     #: format per step).
     record_schedule: bool = False
+    #: Explicit (username, password) roster for generated-scenario
+    #: fleets; None = the canonical SESSION_USERS/ADMIN_USER accounts.
+    roster: Optional[Tuple[Tuple[str, str], ...]] = None
+    #: (username, password) admin-script sessions run as when a roster
+    #: is set; None with a roster = admin sessions draw from it too.
+    admin: Optional[Tuple[str, str]] = None
 
 
 class _Session:
@@ -134,10 +140,17 @@ class FleetEngine:
             script = pick_script(rng, config.mix or DEFAULT_MIX)
             tenant_index = sid % config.tenants
             shard = self.shard_for(tenant_index)
-            username = user_for(script, sid, config.mode)
+            if config.roster:
+                if script == "admin" and config.admin is not None:
+                    username, password = config.admin
+                else:
+                    username, password = config.roster[sid % len(config.roster)]
+            else:
+                username = user_for(script, sid, config.mode)
+                password = f"{username}-password"
             ctx = SessionContext(
                 shard.system, sid, self.tenant_names[tenant_index],
-                username, f"{username}-password", rng, shard=shard)
+                username, password, rng, shard=shard)
             gen = SCRIPTS[script](ctx)
             sessions.append(_Session(sid, script, gen, shard))
             shard.sessions += 1
@@ -176,13 +189,36 @@ class FleetEngine:
             wall_before = clock.now()
             finished = failed = False
             op = None
-            try:
-                op = next(session.gen)
-            except StopIteration:
-                finished = True
-            except (SyscallError, PermissionError):
+            err_name = None
+            faults = shard.kernel.faults
+            injected_before = faults.injected_total() if shard.chaos else 0
+            abort_site = shard.abort_site
+            if abort_site.armed and abort_site.should_fail(session.script):
+                # Injected scheduler-level abort: the session is torn
+                # down mid-flight with a schedule-drawn errno.
                 finished = failed = True
+                err_name = abort_site.pick_errno().name
+                session.gen.close()
+            else:
+                try:
+                    op = next(session.gen)
+                except StopIteration:
+                    finished = True
+                except SyscallError as exc:
+                    finished = failed = True
+                    err_name = exc.errno_value.name
+                except PermissionError:
+                    finished = failed = True
+                    err_name = "EPERM"
             now = clock.advance()
+            if shard.chaos and faults.injected_total() > injected_before:
+                # Degradation scoreboard: a fault fired during this
+                # step — either the op absorbed it (degraded but
+                # correct) or it killed the session (hard failure).
+                if failed:
+                    shard.hard_failures += 1
+                else:
+                    shard.degraded_ops += 1
             if op is not None:
                 self._steps += 1
                 shard.ops += 1
@@ -200,9 +236,11 @@ class FleetEngine:
                 if failed:
                     self._failed += 1
                     shard.failed += 1
+                    shard.count_abort(err_name or "EPERM")
                     if digest is not None:
                         digest = zlib.crc32(
-                            f"{session.sid}:FAIL;".encode(), digest)
+                            f"{session.sid}:FAIL:{err_name};".encode(),
+                            digest)
                 else:
                     self._completed += 1
                     shard.completed += 1
@@ -261,12 +299,17 @@ class FleetEngine:
         """The fleet-wide header each shard's /proc/protego/fleet
         prepends to its own report."""
         config = self.config
+        aborted = sum(s.aborted for s in self.shards)
+        degraded = sum(s.degraded_ops for s in self.shards)
+        hard = sum(s.hard_failures for s in self.shards)
         return (f"fleet: mode={config.mode.value} "
                 f"sessions={config.sessions} shards={len(self.shards)} "
                 f"policy={config.policy} assign={config.assign} "
                 f"seed={config.seed} live={self._live} "
                 f"completed={self._completed} failed={self._failed} "
-                f"steps={self._steps}\n")
+                f"steps={self._steps}\n"
+                f"chaos: aborted={aborted} degraded={degraded} "
+                f"hard_failures={hard}\n")
 
 
 def run_fleet(config: FleetConfig,

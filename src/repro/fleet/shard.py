@@ -21,6 +21,7 @@ from typing import Dict, List, Optional
 
 from repro.core.system import System, SystemMode
 from repro.fleet.stats import ShardReport
+from repro.kernel.fault import SITE_SESSION_ABORT, SITE_SHARD_SYNC
 
 FLEET_PROC_PATH = "protego/fleet"
 
@@ -42,9 +43,27 @@ class Shard:
         self.failed = 0
         self.ops = 0
         self.syncs = 0
+        #: Sessions torn down by an escaped SyscallError/PermissionError
+        #: (or an injected session.abort), by errno name.
+        self.aborted = 0
+        self.abort_errnos: Dict[str, int] = {}
+        #: Graceful-degradation scoreboard (chaos runs only): ops that
+        #: absorbed an injected fault and still yielded vs. steps a
+        #: fault turned into a session teardown.
+        self.degraded_ops = 0
+        self.hard_failures = 0
+        #: Syncs an armed shard.sync site postponed (needs_sync stays
+        #: raised, so the next bookkeeping batch retries).
+        self.sync_postponed = 0
+        #: True when any fault site was armed at run start — gates the
+        #: per-step injected_total() diffing so fault-free fleets pay
+        #: one attribute load.
+        self.chaos = False
         #: Raised by credential-mutating sessions; the engine's batched
         #: bookkeeping turns it into one daemon poll per batch.
         self.needs_sync = False
+        self.abort_site = self.kernel.faults.site(SITE_SESSION_ABORT)
+        self.sync_site = self.kernel.faults.site(SITE_SHARD_SYNC)
         self._baseline: Dict[str, float] = {}
         self._fleet_render = None
         self._register_proc()
@@ -100,8 +119,17 @@ class Shard:
     def begin_run(self) -> None:
         self.sessions = self.completed = self.failed = 0
         self.ops = self.syncs = 0
+        self.aborted = 0
+        self.abort_errnos = {}
+        self.degraded_ops = self.hard_failures = self.sync_postponed = 0
+        self.chaos = self.kernel.faults.any_armed
         self.needs_sync = False
         self._baseline = self._counters()
+
+    def count_abort(self, errno_name: str) -> None:
+        self.aborted += 1
+        self.abort_errnos[errno_name] = \
+            self.abort_errnos.get(errno_name, 0) + 1
 
     def report(self) -> ShardReport:
         now = self._counters()
@@ -128,11 +156,25 @@ class Shard:
             audit_dropped=int(delta["audit_dropped"]),
             audit_lost=int(delta["audit_lost"]),
             audit_rescued=int(delta["audit_rescued"]),
+            aborted=self.aborted,
+            abort_errnos=dict(self.abort_errnos),
+            sync_postponed=self.sync_postponed,
+            degraded_ops=self.degraded_ops,
+            hard_failures=self.hard_failures,
         )
 
     # ------------------------------------------------------------------
     def sync(self) -> None:
-        """One batched daemon wakeup (no-op on LINUX mode)."""
+        """One batched daemon wakeup (no-op on LINUX mode).
+
+        An armed ``shard.sync`` fault postpones: ``needs_sync`` stays
+        raised, so the next bookkeeping batch (or the final drain)
+        retries — a counted degradation, never a lost sync.
+        """
+        if self.sync_site.armed and \
+                self.sync_site.should_fail(f"shard{self.index}"):
+            self.sync_postponed += 1
+            return
         self.system.sync()
         self.syncs += 1
         self.needs_sync = False
@@ -140,7 +182,8 @@ class Shard:
 
 def build_shards(mode: SystemMode, count: int,
                  tenants: Optional[List[str]] = None,
-                 fastpath: bool = True) -> List[Shard]:
+                 fastpath: bool = True,
+                 system_factory=None) -> List[Shard]:
     """Provision *count* systems as fleet shards.
 
     Construction leans on the provisioning memos in
@@ -151,11 +194,19 @@ def build_shards(mode: SystemMode, count: int,
     """
     shards = []
     for index in range(count):
-        system = System(mode, hostname=f"{mode.value}-shard{index}")
+        if system_factory is not None:
+            # Scenario-generated fleets: the caller provisions the
+            # System (generated users/configs) and we do the fleet
+            # plumbing (namespace dirs, fastpath knob, Shard wrap).
+            system = system_factory(index)
+        else:
+            system = System(mode, hostname=f"{mode.value}-shard{index}")
         root = system.root_session()
-        system.kernel.sys_mkdir(root, "/tmp/fleet", 0o1777)
+        if not system.kernel.vfs.exists("/tmp/fleet"):
+            system.kernel.sys_mkdir(root, "/tmp/fleet", 0o1777)
         for tenant in tenants or []:
-            system.kernel.sys_mkdir(root, f"/tmp/fleet/{tenant}", 0o1777)
+            if not system.kernel.vfs.exists(f"/tmp/fleet/{tenant}"):
+                system.kernel.sys_mkdir(root, f"/tmp/fleet/{tenant}", 0o1777)
         if not fastpath:
             system.kernel.fastpath.enabled = False
         shards.append(Shard(index, system))

@@ -92,8 +92,20 @@ class ShardReport:
     audit_dropped: int = 0
     audit_lost: int = 0
     audit_rescued: int = 0
+    #: Session teardowns from escaped SyscallError/PermissionError (or
+    #: injected session.abort), broken down by errno name.
+    aborted: int = 0
+    abort_errnos: Dict[str, int] = dataclasses.field(default_factory=dict)
+    #: Syncs postponed by an armed shard.sync fault site.
+    sync_postponed: int = 0
+    #: Graceful-degradation scoreboard (chaos runs): ops that absorbed
+    #: an injected fault and still completed vs. steps a fault killed.
+    degraded_ops: int = 0
+    hard_failures: int = 0
 
     def render(self) -> str:
+        errnos = ",".join(f"{name}={count}" for name, count
+                          in sorted(self.abort_errnos.items())) or "-"
         return (
             f"shard {self.index} ({self.hostname}): sessions={self.sessions} "
             f"completed={self.completed} failed={self.failed} ops={self.ops} "
@@ -106,7 +118,11 @@ class ShardReport:
             f"stale_evictions={self.fastpath_stale_evictions} "
             f"audit: appended={self.audit_appended} "
             f"dropped={self.audit_dropped} lost={self.audit_lost} "
-            f"rescued={self.audit_rescued}"
+            f"rescued={self.audit_rescued}\n"
+            f"  aborted={self.aborted} ({errnos}) "
+            f"sync_postponed={self.sync_postponed} "
+            f"degraded={self.degraded_ops} "
+            f"hard_failures={self.hard_failures}"
         )
 
 
@@ -147,6 +163,22 @@ class FleetStats:
     def latency_unit(self) -> str:
         return "ns" if self.clock == "wall" else "ticks"
 
+    @property
+    def aborted(self) -> int:
+        return sum(r.aborted for r in self.shard_reports)
+
+    @property
+    def degraded_ops(self) -> int:
+        return sum(r.degraded_ops for r in self.shard_reports)
+
+    @property
+    def hard_failures(self) -> int:
+        return sum(r.hard_failures for r in self.shard_reports)
+
+    @property
+    def sync_postponed(self) -> int:
+        return sum(r.sync_postponed for r in self.shard_reports)
+
     def comparable(self) -> dict:
         """The deterministic projection: every field two same-seed runs
         must agree on, wall-time fields excluded."""
@@ -159,7 +191,9 @@ class FleetStats:
             "schedule_digest": self.schedule_digest,
             "per_shard": [
                 (r.index, r.sessions, r.completed, r.failed, r.ops,
-                 r.syncs, r.audit_appended)
+                 r.syncs, r.audit_appended, r.aborted,
+                 tuple(sorted(r.abort_errnos.items())),
+                 r.sync_postponed, r.degraded_ops, r.hard_failures)
                 for r in self.shard_reports
             ],
         }
@@ -179,6 +213,9 @@ class FleetStats:
             f"session latency ({unit}): p50={self.session_p50:.0f} "
             f"p95={self.session_p95:.0f} p99={self.session_p99:.0f} "
             f"mean={self.session_mean:.0f} max={self.session_max:.0f}",
+            f"aborted={self.aborted} sync_postponed={self.sync_postponed} "
+            f"degraded={self.degraded_ops} "
+            f"hard_failures={self.hard_failures}",
         ]
         for kind in sorted(self.op_counts):
             count = self.op_counts[kind]

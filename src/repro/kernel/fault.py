@@ -50,6 +50,12 @@ SITE_PROC_WRITE = "proc.write"
 SITE_DAEMON_CRASH = "daemon.crash"
 SITE_FASTPATH_INSERT = "fastpath.insert"
 SITE_ENTRY_MASK = "entry.mask"
+#: Fleet-level sites (repro.fleet): a postponed cross-shard policy
+#: sync, and a scheduler-injected session abort — both let the chaos
+#: sweep target the fleet scheduler itself, not just the kernel under
+#: it.
+SITE_SHARD_SYNC = "shard.sync"
+SITE_SESSION_ABORT = "session.abort"
 
 CATALOG = (
     SITE_SYSCALL_ENTRY,
@@ -63,6 +69,8 @@ CATALOG = (
     SITE_DAEMON_CRASH,
     SITE_FASTPATH_INSERT,
     SITE_ENTRY_MASK,
+    SITE_SHARD_SYNC,
+    SITE_SESSION_ABORT,
 )
 
 #: Errnos a syscall-entry fault may surface (the POSIX-plausible set
@@ -235,6 +243,11 @@ class FaultInjector:
     @property
     def any_armed(self) -> bool:
         return any(site.armed for site in self._sites.values())
+
+    def injected_total(self) -> int:
+        """Injections across every site — the degradation scoreboard
+        diffs this around a step to attribute a fault to an op."""
+        return sum(site.injected for site in self._sites.values())
 
     # ------------------------------------------------------------------
     @contextlib.contextmanager

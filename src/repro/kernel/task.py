@@ -34,6 +34,10 @@ class PendingSetuid:
     # service may also ask for the target user's password at this
     # point", section 4.3).
     locked_rules: tuple = ()
+    # The already-unlocked rules the transition was parked under. The
+    # exec hook validates against whole rules (not just the flattened
+    # binary list) so per-rule ``!`` carve-outs keep their veto.
+    usable_rules: tuple = ()
 
 
 class Task:

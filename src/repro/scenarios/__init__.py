@@ -1,0 +1,38 @@
+"""Scenario-space chaos harness (differential + fault-composed runs).
+
+The package closes the loop between three existing subsystems:
+
+* :mod:`repro.scenarios.generator` — a seeded generator emitting
+  complete system configurations (accounts, sudoers, fstab, bind
+  grants, AppArmor profiles, netfilter rules, kernel versions);
+* :mod:`repro.scenarios.differ` — builds a legacy and a Protego
+  :class:`~repro.core.system.System` from the same generated
+  configuration, drives identical workloads through both, and demands
+  step-level functional equivalence except where the paper-grounded
+  divergence taxonomy (:mod:`repro.scenarios.taxonomy`) predicts a
+  difference — every unexplained divergence fails the run;
+* :mod:`repro.scenarios.chaos` — composes each scenario with seeded
+  fault schedules from :mod:`repro.kernel.fault` and runs the result
+  through the :class:`~repro.fleet.engine.FleetEngine`, checking the
+  chaos invariants: fail-closed under injected faults, cache/oracle
+  coherence, reconvergence once faults clear, and bit-identical
+  replay from ``(seed, scenario_id, schedule_id)`` alone.
+"""
+
+from repro.scenarios.generator import (  # noqa: F401
+    ScenarioSpec,
+    UserPlan,
+    generate_scenario,
+    malformed_corpus,
+)
+from repro.scenarios.build import build_system  # noqa: F401
+from repro.scenarios.taxonomy import DIVERGENCE_CLASSES, classify  # noqa: F401
+from repro.scenarios.differ import DiffReport, run_differential  # noqa: F401
+from repro.scenarios.chaos import fault_schedule, run_chaos_point  # noqa: F401
+
+__all__ = [
+    "ScenarioSpec", "UserPlan", "generate_scenario", "malformed_corpus",
+    "build_system", "DIVERGENCE_CLASSES", "classify",
+    "DiffReport", "run_differential",
+    "fault_schedule", "run_chaos_point",
+]

@@ -1,0 +1,82 @@
+"""Build a live System (legacy or Protego) from a ScenarioSpec.
+
+The builder is the equivalence anchor: both modes are constructed
+from the *same* spec, byte-identical configuration files, the same
+profiles and netfilter rules — so any behavioural difference the
+differ observes is a mode difference, never a provisioning one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.apparmor.profiles import make_profile
+from repro.core.system import System, SystemMode, UserSpec
+from repro.kernel.namespaces import KernelVersion
+from repro.kernel.net.netfilter import Chain, Rule, Verdict
+from repro.kernel.net.packets import Protocol
+from repro.scenarios.generator import ScenarioSpec
+
+#: The single tenant namespace scenario sessions share.
+TENANT = "t00"
+
+#: The Protego convention for password-protected groups (paper
+#: section 4.3): membership of *vault* is joinable by anyone who can
+#: authenticate with the group password. Written in both modes so the
+#: file state stays byte-identical; legacy newgrp ignores it.
+GROUPJOIN_DROPIN = "ALL ALL=(ALL) GROUPJOIN: vault\n"
+
+
+def user_specs(spec: ScenarioSpec):
+    return tuple(UserSpec(u.name, u.uid, u.uid, u.password, groups=u.groups)
+                 for u in spec.users)
+
+
+def build_system(spec: ScenarioSpec, mode: SystemMode,
+                 hostname: str = "", start_daemon: bool = True) -> System:
+    group_passwords: Dict[str, str] = dict(spec.group_passwords)
+    system = System(
+        mode,
+        users=user_specs(spec),
+        hostname=hostname or
+        f"{mode.value}-s{spec.seed}-{spec.scenario_id}",
+        fstab=spec.fstab,
+        sudoers=spec.sudoers,
+        bind_conf=spec.bind_conf,
+        start_daemon=start_daemon,
+        group_passwords=group_passwords,
+    )
+    system.kernel.version = KernelVersion(*spec.kernel_version)
+    init = system.kernel.init
+
+    # Known, already-studied divergences are excluded at the source:
+    # polkit actions and dbus service activation have their own
+    # differential tests, so scenarios blank both configs in both
+    # modes rather than re-deriving those gaps here.
+    system.kernel.write_file(init, "/etc/polkit-1/rules", b"")
+    system.kernel.write_file(init, "/etc/dbus-1/system-services", b"")
+
+    if spec.vault:
+        system.kernel.write_file(init, "/etc/sudoers.d/protego-newgrp",
+                                 GROUPJOIN_DROPIN.encode())
+
+    for binary, path_rules in spec.profiles:
+        system.apparmor.load_profile(make_profile(binary, path_rules))
+
+    for port in spec.drop_ports:
+        system.kernel.net.netfilter.append(Rule(
+            Verdict.DROP, chain=Chain.OUTPUT, protocol=Protocol.UDP,
+            dst_port=port, comment=f"scenario drop {port}/udp"))
+
+    # The fleet namespace the session scripts expect.
+    root = system.root_session()
+    if not system.kernel.vfs.exists("/tmp/fleet"):
+        system.kernel.sys_mkdir(root, "/tmp/fleet", 0o1777)
+    if not system.kernel.vfs.exists(f"/tmp/fleet/{TENANT}"):
+        system.kernel.sys_mkdir(root, f"/tmp/fleet/{TENANT}", 0o1777)
+
+    if mode is SystemMode.PROTEGO:
+        # One daemon pass so the generated policies (sudoers drop-in
+        # included) are loaded before the first probe.
+        system.sync()
+    return system

@@ -1,0 +1,276 @@
+"""Fault-composed fleet runs over the scenario space.
+
+One *chaos point* is ``(seed, scenario_id, schedule_id)``: a
+generated scenario, a seeded fault schedule over the full site
+catalog, and a fleet run of the scenario's accounts through sharded
+Protego kernels with the schedule armed. Per point the harness
+checks the chaos invariants:
+
+1. **Fail closed** — the armed negative probes (another user's shadow
+   fragment, the ssh host key, port 22, an unlisted mount, setuid 0)
+   are denied whatever the schedule injects.
+2. **Reconvergence** — after disarming and riding out the restart
+   backoff, the daemon is live, no policy is stale, and every
+   generated account can complete a full login.
+3. **Coherence** — whatever the faults left in the caches answers an
+   access matrix exactly like a fault-free oracle built from the same
+   spec, and the committed policy digest matches the oracle's.
+4. **Replay** — the whole report is a pure function of the three
+   seeds: running the point twice yields a bit-identical record.
+
+Violations are *collected*, not raised, so a sweep reports every
+broken point instead of dying on the first.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import Dict, List, Tuple
+
+from repro.config.sudoers import ALL, parse_sudoers
+from repro.core.system import SystemMode
+from repro.fleet.engine import FleetConfig, FleetEngine
+from repro.fleet.sessions import DEFAULT_MIX
+from repro.fleet.shard import build_shards
+from repro.kernel import modes
+from repro.kernel.errno import SyscallError
+from repro.kernel.fault import CATALOG
+from repro.kernel.net.socket import AddressFamily, SocketType
+from repro.scenarios.build import build_system
+from repro.scenarios.generator import VERSION, ScenarioSpec, generate_scenario
+from repro.userspace.sshkeysign import HOST_KEY_PATH
+
+MATRIX_MASKS = (modes.R_OK, modes.W_OK, modes.X_OK)
+
+#: Fault-free oracle memo, keyed by (VERSION, seed, scenario_id) — a
+#: sweep runs many schedules per scenario and the oracle depends only
+#: on the spec.
+_ORACLE_MEMO: Dict[Tuple[int, int, int], dict] = {}
+
+
+def fault_schedule(seed: int, scenario_id: int,
+                   schedule_id: int) -> Tuple[Tuple[str, dict], ...]:
+    """1–3 armed sites over the *full* catalog (fleet-level sites
+    included), parameters drawn from the point's derived RNG."""
+    rng = random.Random(f"chaos:{VERSION}:{seed}:{scenario_id}:{schedule_id}")
+    names = rng.sample(sorted(CATALOG), rng.randint(1, 3))
+    site_seed = zlib.crc32(
+        f"chaos:{seed}:{scenario_id}:{schedule_id}".encode())
+    return tuple(
+        (name, {
+            "probability": rng.choice((0.05, 0.2, 0.5, 1.0)),
+            "times": rng.choice((-1, 1, 3, 8)),
+            "space": rng.choice((0, 0, 0, 4)),
+            "seed": site_seed,
+        })
+        for name in names)
+
+
+def _matrix_paths(spec: ScenarioSpec) -> Tuple[str, ...]:
+    first, second = spec.users[0].name, spec.users[1].name
+    return ("/etc/passwd", "/etc/fstab", "/etc/sudoers",
+            f"/etc/shadows/{first}", f"/home/{first}", f"/home/{second}")
+
+
+def _access_matrix(system, spec: ScenarioSpec) -> tuple:
+    kernel = system.kernel
+    tasks = [system.session_for(u.name) for u in spec.users[:2]]
+    return tuple(
+        (path, task.cred.euid, mask, kernel.sys_access(task, path, mask))
+        for path in _matrix_paths(spec)
+        for task in tasks
+        for mask in MATRIX_MASKS)
+
+
+def _read_commit(system) -> str:
+    return system.kernel.read_file(
+        system.root_session(), "/proc/protego/commit").decode()
+
+
+def _root_delegable(spec: ScenarioSpec, user) -> bool:
+    """True when the generated sudoers carries an invoker-password
+    rule that could authorize *user* -> root. A bare setuid(0) from
+    such a user is *supposed* to succeed (unrestricted su-style rule)
+    or park a pending transition (command-restricted rule) — either
+    way the syscall returns success, so the fail-closed probe is
+    meaningless for them. TARGETPW rules demand root's password and
+    do not count."""
+    policy = parse_sudoers(spec.sudoers)
+    for rule in policy.rules:
+        if rule.check_target_password or rule.group_join:
+            continue
+        if not rule.matches_invoker(user.name, list(user.groups)):
+            continue
+        if rule.runas_user in (ALL, "root"):
+            return True
+    return False
+
+
+def negative_probes(system, spec: ScenarioSpec) -> tuple:
+    """Operations no schedule may ever let through. Outcome tokens;
+    any ``"OK"`` is a fail-closed violation."""
+    kernel = system.kernel
+    first = system.session_for(spec.users[0].name)
+    second_name = spec.users[1].name
+
+    def attempt(fn):
+        try:
+            fn()
+            return "OK"
+        except SyscallError as exc:
+            return int(exc.errno)
+
+    def bind_22():
+        sock = kernel.sys_socket(first, AddressFamily.AF_INET,
+                                 SocketType.STREAM)
+        kernel.sys_bind(first, sock, "192.168.1.10", 22)
+
+    probes = []
+    # The setuid probe runs as a user the sudoers grants nothing to;
+    # scenarios where every account holds a root delegation have no
+    # such user and simply skip it (both oracle and armed runs skip
+    # identically — the spec decides, not the run).
+    su_user = next(
+        (u for u in spec.users if not _root_delegable(spec, u)), None)
+    if su_user is not None:
+        su_task = (first if su_user.name == spec.users[0].name
+                   else system.session_for(su_user.name))
+        probes.append(("setuid-root",
+                       attempt(lambda: kernel.sys_setuid(su_task, 0))))
+    probes.extend((
+        ("read-other-fragment", attempt(
+            lambda: kernel.sys_open(first, f"/etc/shadows/{second_name}",
+                                    modes.O_RDONLY))),
+        ("read-host-key", attempt(
+            lambda: kernel.sys_open(first, HOST_KEY_PATH, modes.O_RDONLY))),
+        ("bind-22", attempt(bind_22)),
+        ("mount-unlisted", attempt(
+            lambda: kernel.sys_mount(first, "/dev/sda1", "/mnt/nfs"))),
+    ))
+    return tuple(probes)
+
+
+def _oracle(spec: ScenarioSpec) -> dict:
+    key = (VERSION, spec.seed, spec.scenario_id)
+    cached = _ORACLE_MEMO.get(key)
+    if cached is None:
+        system = build_system(spec, SystemMode.PROTEGO,
+                              hostname=f"oracle-{spec.scenario_id}")
+        violations = [name for name, result
+                      in negative_probes(system, spec) if result == "OK"]
+        cached = _ORACLE_MEMO[key] = {
+            "matrix": _access_matrix(system, spec),
+            "commit": _read_commit(system),
+            "violations": tuple(violations),
+        }
+    return cached
+
+
+def run_chaos_point(seed: int, scenario_id: int, schedule_id: int,
+                    sessions: int = 16, shard_count: int = 2,
+                    armed: bool = True) -> dict:
+    """One chaos point, end to end; returns the deterministic record
+    (violations included — the caller asserts they are empty).
+    ``armed=False`` runs the identical pipeline without arming the
+    schedule — the benchmark's baseline for fault-armed overhead."""
+    spec = generate_scenario(seed, scenario_id)
+    schedule = fault_schedule(seed, scenario_id, schedule_id)
+    oracle = _oracle(spec)
+    violations: List[str] = []
+    violations.extend(f"oracle:{name}" for name in oracle["violations"])
+
+    tenant_count = 4
+    tenants = [f"t{i:02d}" for i in range(tenant_count)]
+
+    def factory(index: int):
+        return build_system(
+            spec, SystemMode.PROTEGO,
+            hostname=f"chaos-{seed}-{scenario_id}-{schedule_id}-sh{index}")
+
+    shards = build_shards(SystemMode.PROTEGO, shard_count,
+                          tenants=tenants, system_factory=factory)
+    if armed:
+        for shard in shards:
+            for name, params in schedule:
+                shard.kernel.faults.configure(name, **params)
+
+    mix = {name: weight for name, weight in DEFAULT_MIX.items()
+           if name != "admin" or spec.admin_user}
+    roster = tuple((u.name, u.password) for u in spec.users)
+    admin = None
+    if spec.admin_user:
+        admin = (spec.admin_user,
+                 next(u.password for u in spec.users if u.is_admin))
+    config = FleetConfig(
+        sessions=sessions, shards=shard_count, mode=SystemMode.PROTEGO,
+        seed=zlib.crc32(f"point:{seed}:{scenario_id}:{schedule_id}".encode()),
+        tenants=tenant_count, record_schedule=True, mix=mix,
+        roster=roster, admin=admin)
+    engine = FleetEngine(config, shards=shards)
+    stats = engine.run()
+
+    # Invariant 1: fail-closed while the schedule is still armed. A
+    # schedule like an armed ``syscall.entry`` can kill the probe's
+    # *setup* (the session login itself) — that is still a deny, so it
+    # records as one outcome rather than escaping the sweep.
+    armed_probes = []
+    for shard in shards:
+        try:
+            outcomes = negative_probes(shard.system, spec)
+        except SyscallError as exc:
+            outcomes = (("probe-setup", int(exc.errno)),)
+        armed_probes.append(outcomes)
+        violations.extend(
+            f"armed:shard{shard.index}:{name}"
+            for name, result in outcomes if result == "OK")
+
+    # Recovery: disarm, flush in-flight packets, ride out the restart
+    # backoff, drain any postponed syncs.
+    for shard in shards:
+        shard.kernel.faults.disarm_all()
+        shard.kernel.net.flush_deferred()
+        for _ in range(3):
+            shard.kernel.tick(shard.system.supervisor.max_backoff + 1)
+            shard.system.sync()
+        if shard.needs_sync:
+            shard.sync()
+
+    # Invariants 2 + 3: reconvergence and oracle coherence per shard.
+    for shard in shards:
+        system = shard.system
+        if system.daemon is None:
+            violations.append(f"recovery:shard{shard.index}:daemon-dead")
+        if system.status_board.any_stale():
+            violations.append(f"recovery:shard{shard.index}:stale-policy")
+        if _read_commit(system) != oracle["commit"]:
+            violations.append(f"recovery:shard{shard.index}:commit-drift")
+        if _access_matrix(system, spec) != oracle["matrix"]:
+            violations.append(f"recovery:shard{shard.index}:matrix-drift")
+        for user in spec.users:
+            try:
+                system.login(user.name, user.password)
+            except PermissionError:
+                violations.append(
+                    f"recovery:shard{shard.index}:login-{user.name}")
+
+    audit_digests = tuple(
+        zlib.crc32(shard.kernel.security_server.audit.render().encode())
+        for shard in shards)
+
+    return {
+        "seed": seed,
+        "scenario_id": scenario_id,
+        "schedule_id": schedule_id,
+        "schedule": schedule,
+        "stats": stats.comparable(),
+        "audit": audit_digests,
+        "armed_probes": tuple(armed_probes),
+        "scoreboard": {
+            "degraded_ops": stats.degraded_ops,
+            "hard_failures": stats.hard_failures,
+            "aborted": stats.aborted,
+            "sync_postponed": stats.sync_postponed,
+        },
+        "violations": tuple(violations),
+    }

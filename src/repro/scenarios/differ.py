@@ -1,0 +1,114 @@
+"""Differential equivalence: legacy vs Protego on one scenario.
+
+Build both systems from the same :class:`ScenarioSpec`, run the same
+session plans through each, and compare traces step by step. Steps
+either match exactly, or the divergence is classified by the taxonomy
+— an unclassified divergence is a finding, and the report flags it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from itertools import zip_longest
+from typing import Dict, List
+
+from repro.core.system import SystemMode
+from repro.scenarios.build import build_system
+from repro.scenarios.generator import ScenarioSpec, generate_scenario
+from repro.scenarios.taxonomy import classify
+from repro.scenarios.workload import run_session
+
+_ABSENT = "<absent>"
+
+
+@dataclasses.dataclass(frozen=True)
+class Divergence:
+    """One mismatched trace step."""
+
+    plan_index: int
+    step: int
+    op: str
+    legacy: str
+    protego: str
+    klass: str = ""          # "" = unclassified
+
+
+@dataclasses.dataclass
+class DiffReport:
+    """One scenario's differential verdict."""
+
+    spec: ScenarioSpec
+    steps: int = 0
+    matched: int = 0
+    classified: List[Divergence] = dataclasses.field(default_factory=list)
+    unclassified: List[Divergence] = dataclasses.field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.unclassified
+
+    def class_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for div in self.classified:
+            counts[div.klass] = counts.get(div.klass, 0) + 1
+        return counts
+
+    def render(self) -> str:
+        lines = [
+            f"scenario seed={self.spec.seed} id={self.spec.scenario_id}: "
+            f"{self.steps} steps, {self.matched} matched, "
+            f"{len(self.classified)} classified, "
+            f"{len(self.unclassified)} UNCLASSIFIED",
+        ]
+        for div in self.classified:
+            lines.append(f"  [{div.klass}] plan {div.plan_index} "
+                         f"step {div.step} {div.op}: "
+                         f"legacy={div.legacy} protego={div.protego}")
+        for div in self.unclassified:
+            lines.append(f"  [UNCLASSIFIED] plan {div.plan_index} "
+                         f"step {div.step} {div.op}: "
+                         f"legacy={div.legacy} protego={div.protego}")
+        return "\n".join(lines)
+
+
+def _split(token: str):
+    op, sep, outcome = token.partition("=")
+    return (op, outcome) if sep else (token, "")
+
+
+def run_differential(spec: ScenarioSpec) -> DiffReport:
+    legacy = build_system(spec, SystemMode.LINUX)
+    protego = build_system(spec, SystemMode.PROTEGO)
+    report = DiffReport(spec)
+    for plan_index in range(len(spec.plans)):
+        # Session traces, not interleaved: sequential execution keeps
+        # the comparison exact while the chaos harness covers
+        # interleaving separately.
+        ltrace = run_session(legacy, spec, plan_index)
+        ptrace = run_session(protego, spec, plan_index)
+        for step, (ltok, ptok) in enumerate(
+                zip_longest(ltrace, ptrace, fillvalue=_ABSENT)):
+            report.steps += 1
+            if ltok == ptok:
+                report.matched += 1
+                continue
+            lop, lout = _split(ltok)
+            pop, pout = _split(ptok)
+            if lop == pop:
+                klass = classify(lop, lout, pout)
+            else:
+                klass = None   # misaligned traces never classify
+            div = Divergence(plan_index, step, lop if lop == pop
+                             else f"{lop}|{pop}", lout or ltok,
+                             pout or ptok, klass or "")
+            if klass:
+                report.classified.append(div)
+            else:
+                report.unclassified.append(div)
+    return report
+
+
+def run_space(seed: int, count: int) -> List[DiffReport]:
+    """Differential runs over scenario ids ``0..count-1``."""
+    return [run_differential(generate_scenario(seed, scenario_id))
+            for scenario_id in range(count)]

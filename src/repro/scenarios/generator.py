@@ -1,0 +1,269 @@
+"""The scenario generator: seeded, complete system configurations.
+
+A *scenario* is everything a :class:`~repro.core.system.System` needs
+to boot — accounts, group passwords, /etc/sudoers (with negations and
+group grants), /etc/fstab, bind port grants, AppArmor profiles,
+netfilter drop rules, a kernel version — plus a workload plan: which
+session scripts to run and which delegation probes to fire.
+
+Determinism contract: :func:`generate_scenario` is a pure function of
+``(seed, scenario_id)``. All randomness flows from one
+``random.Random`` seeded with the string
+``"scenario:{VERSION}:{seed}:{scenario_id}"`` (string seeding is
+stable across processes and Python versions; the builtin ``hash()``
+is not). Bump :data:`VERSION` whenever the draw sequence changes —
+same version, same inputs, bit-identical scenario.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import List, Tuple
+
+VERSION = 1
+
+#: Deliberately disjoint from DEFAULT_USERS so a scenario never
+#: collides with the canonical accounts.
+NAME_POOL = ("dana", "eli", "fay", "gus", "hana", "ivan", "judy", "kai")
+
+#: Command lists a generated sudo rule may carry. Negations and the
+#: negated-ALL shape are both present so the deferred setuid-on-exec
+#: veto path gets generated coverage, not just unit-test coverage.
+COMMAND_MENU = (
+    ("ALL",),
+    ("/usr/bin/lpr",),
+    ("/usr/bin/lpr", "/bin/true"),
+    ("ALL", "!/bin/sh"),
+    ("/usr/bin/lpr", "!/usr/bin/lpr"),
+)
+
+#: Optional fstab lines: (device-or-source, mountpoint, fstype,
+#: options-when-user-mountable, options-when-root-only).
+OPTIONAL_FSTAB = (
+    ("/dev/cdrom", "/cdrom", "iso9660", "user,noauto,ro", "noauto,ro"),
+    ("/dev/usb0", "/media/usb", "vfat", "users,noauto,rw", "noauto,rw"),
+    ("fileserver:/export", "/mnt/nfs", "nfs", "user,noauto,ro", "noauto,ro"),
+    ("//nas/share", "/mnt/cifs", "cifs", "users,noauto,rw", "noauto,rw"),
+)
+
+BIND_PORT_MENU = (25, 53, 80, 443, 631)
+BIND_BINARIES = ("/usr/sbin/exim4", "/usr/sbin/apache2")
+DROP_PORT_MENU = (9, 11, 13)
+PROFILE_BINARIES = ("/bin/true", "/usr/bin/lpr")
+SUDO_COMMAND_MENU = ("/bin/true", "/usr/bin/lpr", "/bin/sh")
+
+PLAN_WEIGHTS = (
+    ("probe", 4),
+    ("interactive", 2),
+    ("builder", 2),
+    ("netclient", 1),
+    ("admin", 1),
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class UserPlan:
+    """One generated account."""
+
+    name: str
+    uid: int
+    password: str
+    groups: Tuple[str, ...] = ()
+
+    @property
+    def is_admin(self) -> bool:
+        return "admin" in self.groups
+
+
+@dataclasses.dataclass(frozen=True)
+class ScenarioSpec:
+    """One point of the scenario space, fully specified and hashable.
+
+    ``sudoers``/``fstab``/``bind_conf`` are the literal file payloads;
+    everything else is the structured form the builder and workloads
+    consume.
+    """
+
+    seed: int
+    scenario_id: int
+    kernel_version: Tuple[int, int]
+    users: Tuple[UserPlan, ...]
+    group_passwords: Tuple[Tuple[str, str], ...]
+    sudoers: str
+    fstab: str
+    bind_conf: str
+    #: (binary, ((pattern, mode), ...)) per AppArmor profile.
+    profiles: Tuple[Tuple[str, Tuple[Tuple[str, str], ...]], ...]
+    drop_ports: Tuple[int, ...]
+    sandbox: bool
+    plans: Tuple[str, ...]
+    #: (target user, command) pairs the probe sessions fire via sudo.
+    sudo_probes: Tuple[Tuple[str, str], ...]
+    #: (source, mountpoint, user_mountable) triples mirrored from fstab.
+    mounts: Tuple[Tuple[str, str, bool], ...]
+    #: (port, binary, grantee) triples mirrored from bind_conf.
+    bind_grants: Tuple[Tuple[int, str, str], ...]
+    timestamp_timeout: int
+
+    @property
+    def vault(self) -> bool:
+        return any(name == "vault" for name, _ in self.group_passwords)
+
+    @property
+    def admin_user(self) -> str:
+        for user in self.users:
+            if user.is_admin:
+                return user.name
+        return ""
+
+
+def _pick_weighted(rng: random.Random, weights) -> str:
+    total = sum(w for _, w in weights)
+    roll = rng.randrange(total)
+    for name, weight in weights:
+        roll -= weight
+        if roll < 0:
+            return name
+    return weights[0][0]
+
+
+def generate_scenario(seed: int, scenario_id: int) -> ScenarioSpec:
+    """The generator proper — see the module docstring for the
+    determinism contract."""
+    rng = random.Random(f"scenario:{VERSION}:{seed}:{scenario_id}")
+
+    # -- accounts ------------------------------------------------------
+    count = rng.randint(2, 5)
+    names = rng.sample(NAME_POOL, count)
+    has_admin = rng.random() < 0.5
+    has_ops = rng.random() < 0.4
+    ops_members = set()
+    if has_ops:
+        ops_members = set(rng.sample(names, rng.randint(1, count)))
+    users: List[UserPlan] = []
+    for index, name in enumerate(names):
+        groups: List[str] = []
+        if has_admin and index == 0:
+            groups.append("admin")
+        if name in ops_members:
+            groups.append("ops")
+        users.append(UserPlan(name, 2000 + index, f"{name}-password",
+                              tuple(groups)))
+
+    group_passwords: List[Tuple[str, str]] = []
+    if rng.random() < 0.4:
+        group_passwords.append(("vault", "vault-password"))
+
+    # -- sudoers -------------------------------------------------------
+    timeout = rng.choice((1, 5, 10))
+    lines = [f"Defaults timestamp_timeout={timeout}",
+             "root    ALL=(ALL) ALL"]
+    if has_admin:
+        lines.append("%admin  ALL=(ALL) ALL")
+    invoker_pool = list(names)
+    if ops_members:
+        # %ops only when the group is non-empty: the delegation
+        # compiler resolves principals at load time and an unknown
+        # group would fail the load on one mode only.
+        invoker_pool.append("%ops")
+    target_pool = names + ["root", "ALL"]
+    rule_count = rng.randint(1, 4)
+    for _ in range(rule_count):
+        invoker = rng.choice(invoker_pool)
+        target = rng.choice(target_pool)
+        commands = rng.choice(COMMAND_MENU)
+        tag = "NOPASSWD: " if rng.random() < 0.3 else ""
+        lines.append(f"{invoker} ALL=({target}) {tag}{', '.join(commands)}")
+    sudoers = "\n".join(lines) + "\n"
+
+    # -- fstab ---------------------------------------------------------
+    fstab_lines = ["/dev/sda1  /  ext4  errors=remount-ro  0 1"]
+    mounts: List[Tuple[str, str, bool]] = []
+    for source, mountpoint, fstype, user_opts, root_opts in OPTIONAL_FSTAB:
+        roll = rng.random()
+        if roll < 0.25:
+            continue                      # not listed at all
+        user_mountable = roll < 0.75      # listed; user-mountable 2/3
+        opts = user_opts if user_mountable else root_opts
+        fstab_lines.append(f"{source}  {mountpoint}  {fstype}  {opts}  0 0")
+        mounts.append((source, mountpoint, user_mountable))
+    fstab = "\n".join(fstab_lines) + "\n"
+
+    # -- bind grants ---------------------------------------------------
+    bind_grants: List[Tuple[int, str, str]] = []
+    for port in rng.sample(BIND_PORT_MENU, rng.randint(0, 2)):
+        binary = rng.choice(BIND_BINARIES)
+        grantee = rng.choice(names)
+        bind_grants.append((port, binary, grantee))
+    bind_conf = "".join(f"{port}/tcp  {binary}  {grantee}\n"
+                        for port, binary, grantee in sorted(bind_grants))
+
+    # -- profiles, netfilter, kernel -----------------------------------
+    profiles: List[Tuple[str, Tuple[Tuple[str, str], ...]]] = []
+    for binary in rng.sample(PROFILE_BINARIES, rng.randint(0, 2)):
+        rules: List[Tuple[str, str]] = [("/**", "rwx")]
+        if rng.random() < 0.5:
+            rules.append(("/etc/**", "r"))
+        profiles.append((binary, tuple(rules)))
+    drop_ports = tuple(sorted(rng.sample(DROP_PORT_MENU, rng.randint(0, 2))))
+    kernel_version = rng.choice(((3, 6), (3, 12)))
+    sandbox = kernel_version >= (3, 8) and rng.random() < 0.7
+
+    # -- workload plan -------------------------------------------------
+    plan_count = rng.randint(3, 6)
+    weights = [(name, weight) for name, weight in PLAN_WEIGHTS
+               if name != "admin" or has_admin]
+    plans = [_pick_weighted(rng, weights) for _ in range(plan_count)]
+    if "probe" not in plans:
+        plans[0] = "probe"
+
+    sudo_probes: List[Tuple[str, str]] = []
+    for _ in range(rng.randint(2, 4)):
+        sudo_probes.append((rng.choice(names + ["root"]),
+                            rng.choice(SUDO_COMMAND_MENU)))
+    # One probe derived from the first generated rule, so generated
+    # grants are actually exercised, not just parsed.
+    first = lines[3 if has_admin else 2].split()
+    derived_target = first[1][first[1].find("(") + 1:first[1].find(")")]
+    if derived_target == "ALL":
+        derived_target = "root"
+    derived_command = rng.choice(SUDO_COMMAND_MENU)
+    sudo_probes.append((derived_target, derived_command))
+
+    return ScenarioSpec(
+        seed=seed,
+        scenario_id=scenario_id,
+        kernel_version=kernel_version,
+        users=tuple(users),
+        group_passwords=tuple(group_passwords),
+        sudoers=sudoers,
+        fstab=fstab,
+        bind_conf=bind_conf,
+        profiles=tuple(profiles),
+        drop_ports=drop_ports,
+        sandbox=sandbox,
+        plans=tuple(plans),
+        sudo_probes=tuple(sudo_probes),
+        mounts=tuple(mounts),
+        bind_grants=tuple(sorted(bind_grants)),
+        timestamp_timeout=timeout,
+    )
+
+
+def malformed_corpus() -> List[Tuple[str, str]]:
+    """(kind, payload) samples every config parser must reject cleanly
+    (raise with a line number) or parse whole — never half-apply."""
+    return [
+        ("fstab", "/dev/sda1 / ext4 defaults zero 1\n"),
+        ("fstab", "/dev/sda1 /\n"),
+        ("fstab", "/dev/cdrom /cdrom iso9660 user,noauto 0 many\n"),
+        ("sudoers", "alice\n"),
+        ("sudoers", "alice ALL(bob) /usr/bin/lpr\n"),
+        ("sudoers", "alice ALL=(bob\n"),
+        ("sudoers", "alice ALL=(bob)\n"),
+        ("sudoers", "Defaults timestamp_timeout=soon\n"),
+        ("passwd", "dana:x:not-a-uid:100::/home/dana:/bin/sh\n"),
+        ("group", "staff:x:fifty:dana\n"),
+        ("shadow", "dana:HASH:recent:0:99999:7:::\n"),
+    ]

@@ -1,0 +1,124 @@
+"""The divergence taxonomy: where legacy and Protego *may* differ.
+
+The differ demands step-level functional equivalence between a legacy
+and a Protego system built from the same generated configuration.
+The paper's design, though, *changes* a handful of mechanisms on
+purpose — those appear as predictable divergences, and each one is
+catalogued here with the paper section that predicts it. A divergence
+the taxonomy cannot classify fails the run: the taxonomy is a closed
+allowlist, not a shrug.
+
+Every predicate sees ``(op, legacy, protego)`` — the probe name and
+the two outcome tokens (``ok``, an errno name, or ``sN`` exit
+status) — and most are direction-restricted: *fail-closed* classes
+only ever excuse a Protego **deny** where legacy allowed, never the
+reverse.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Optional, Tuple
+
+ALLOWED = ("ok", "s0")
+
+
+def _denied(token: str) -> bool:
+    return token not in ALLOWED
+
+
+@dataclasses.dataclass(frozen=True)
+class DivergenceClass:
+    """One predicted mode difference, anchored to the paper."""
+
+    name: str
+    paper: str
+    description: str
+    predicate: Callable[[str, str, str], bool]
+
+    def predicts(self, op: str, legacy: str, protego: str) -> bool:
+        return self.predicate(op, legacy, protego)
+
+
+def _credential_fragments(op: str, legacy: str, protego: str) -> bool:
+    # Fragments exist only under Protego: reading your *own* fragment
+    # succeeds where legacy has no such file, and the whole-file
+    # database / someone else's fragment is denied in both modes (the
+    # errno shifts: ENOENT vs EACCES).
+    if not op.startswith("shadow-"):
+        return False
+    if op == "shadow-own":
+        return _denied(legacy) and protego == "ok"
+    return _denied(legacy) and _denied(protego)
+
+
+def _ppp_device_dac(op: str, legacy: str, protego: str) -> bool:
+    # 0666 /dev/ppp replaces pppd's capability check.
+    return op == "ppp-open" and _denied(legacy) and protego == "ok"
+
+
+def _unprivileged_rawsock(op: str, legacy: str, protego: str) -> bool:
+    # Raw sockets open to all, policed by the PROTEGO_RAW filter.
+    return op == "rawsock" and _denied(legacy) and protego == "ok"
+
+
+def _privileged_port_errno(op: str, legacy: str, protego: str) -> bool:
+    # Both modes deny a non-grantee's privileged bind; the mechanism
+    # (capability check vs the port map) picks the errno.
+    return op.startswith("bind-") and _denied(legacy) and _denied(protego)
+
+
+def _sudo_self_transition(op: str, legacy: str, protego: str) -> bool:
+    # Protego's su explication (ALL ALL=(ALL) TARGETPW: ALL) lets any
+    # user "become" themselves by authenticating with their own
+    # password; legacy sudo has no applicable rule and refuses.
+    if op != "sudo-self" and not op.startswith("sudo-self:"):
+        return False
+    return _denied(legacy) and protego == "s0"
+
+
+def _delegation_fail_closed(op: str, legacy: str, protego: str) -> bool:
+    # Deny-direction only: the kernel delegation framework may refuse
+    # a transition legacy sudo/su/newgrp granted (stricter command
+    # validation at exec, stricter authentication), never the reverse.
+    if not (op.startswith("sudo-") or op.startswith("su-")
+            or op.startswith("newgrp-")):
+        return False
+    return legacy == "s0" and _denied(protego)
+
+
+DIVERGENCE_CLASSES: Tuple[DivergenceClass, ...] = (
+    DivergenceClass(
+        "credential-fragments", "section 4.4",
+        "per-account /etc/shadows fragments replace the whole-file DB",
+        _credential_fragments),
+    DivergenceClass(
+        "ppp-device-dac", "section 4.1.2",
+        "/dev/ppp 0666: file permissions replace the capability check",
+        _ppp_device_dac),
+    DivergenceClass(
+        "unprivileged-rawsock", "section 4.1.1",
+        "raw sockets open to all users, filtered by PROTEGO_RAW",
+        _unprivileged_rawsock),
+    DivergenceClass(
+        "privileged-port-errno", "section 4.1.3",
+        "bind port map vs capability check: same deny, different errno",
+        _privileged_port_errno),
+    DivergenceClass(
+        "sudo-self-transition", "section 4.3",
+        "the su explication rule admits self-transitions legacy lacks",
+        _sudo_self_transition),
+    DivergenceClass(
+        "delegation-fail-closed", "section 4.3",
+        "kernel delegation denies where legacy userspace allowed",
+        _delegation_fail_closed),
+)
+
+
+def classify(op: str, legacy: str, protego: str) -> Optional[str]:
+    """The first class predicting this divergence, or None — and None
+    means the differential run FAILS."""
+    for klass in DIVERGENCE_CLASSES:
+        if klass.predicts(op, legacy, protego):
+            return klass.name
+    return None

@@ -1,0 +1,205 @@
+"""Scenario workloads: outcome-tokenized session traces.
+
+Two workload families run against a scenario-built system:
+
+* the fleet session scripts (:mod:`repro.fleet.sessions`), reused
+  verbatim — their yielded op names are the trace;
+* :func:`probe_script`, a scenario-aware session that fires one probe
+  per paper mechanism (credential fragments, /dev/ppp DAC, raw
+  sockets, bind grants, user mounts, delegation, sandboxing) and
+  yields ``name=outcome`` tokens, where an outcome is ``ok``, an
+  errno name, or a program exit status (``s0``, ``s1``, ...).
+
+Traces are lists of strings; the differ compares them step-by-step
+across modes. Every probe runs under ``attempt``/``status`` so no
+expected denial can escape as an exception — a trace always ends
+with an ``end=`` marker.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterator, List
+
+from repro.core.system import System
+from repro.fleet.sessions import SCRIPTS, SessionContext
+from repro.kernel import modes
+from repro.kernel.errno import SyscallError
+from repro.kernel.net.packets import Packet, Protocol
+from repro.kernel.net.socket import AddressFamily, SocketType
+from repro.scenarios.build import TENANT
+from repro.scenarios.generator import VERSION, ScenarioSpec
+
+
+def attempt(fn: Callable[[], object]) -> str:
+    """``ok`` or the errno name the call died with."""
+    try:
+        fn()
+        return "ok"
+    except SyscallError as exc:
+        return exc.errno_value.name
+    except PermissionError:
+        return "EPERM"
+
+
+def _status(system: System, task, path: str, argv, feed=None) -> str:
+    try:
+        status, _ = system.run(task, path, argv, feed=feed)
+        return f"s{status}"
+    except SyscallError as exc:
+        return exc.errno_value.name
+
+
+def probe_script(ctx: SessionContext, spec: ScenarioSpec) -> Iterator[str]:
+    """One probe per paper mechanism, as ``name=outcome`` tokens."""
+    system = ctx.system
+    kernel = ctx.kernel
+
+    try:
+        task = ctx.login()
+    except PermissionError:
+        yield "login=EPERM"
+        return
+    yield "login=ok"
+
+    # -- plain file I/O (must match everywhere) ------------------------
+    workdir = ctx.workdir
+    yield "mkdir=" + attempt(
+        lambda: kernel.sys_mkdir(task, workdir, 0o755))
+    yield "file-io=" + attempt(
+        lambda: kernel.write_file(task, f"{workdir}/notes", b"scenario"))
+    yield "file-read=" + attempt(
+        lambda: kernel.read_file(task, f"{workdir}/notes"))
+
+    # -- credential database granularity (section 4.4) -----------------
+    yield "shadow-db=" + attempt(
+        lambda: kernel.read_file(task, "/etc/shadow"))
+    yield "shadow-own=" + attempt(
+        lambda: kernel.read_file(task, f"/etc/shadows/{ctx.username}"))
+    other = next(u.name for u in spec.users if u.name != ctx.username)
+    yield "shadow-other=" + attempt(
+        lambda: kernel.read_file(task, f"/etc/shadows/{other}"))
+
+    # -- device DAC in place of capability checks (section 4.1.2) ------
+    def open_ppp():
+        fd = kernel.sys_open(task, "/dev/ppp", modes.O_RDWR)
+        kernel.sys_close(task, fd)
+    yield "ppp-open=" + attempt(open_ppp)
+
+    # -- unprivileged raw sockets (section 4.1.1) ----------------------
+    yield "rawsock=" + attempt(
+        lambda: kernel.sys_socket(task, AddressFamily.AF_INET,
+                                  SocketType.RAW, "icmp"))
+
+    # -- the bind port map (section 4.1.3) -----------------------------
+    for port, _binary, _grantee in spec.bind_grants:
+        sock = kernel.sys_socket(task, AddressFamily.AF_INET,
+                                 SocketType.STREAM)
+        yield f"bind-{port}=" + attempt(
+            lambda s=sock, p=port: kernel.sys_bind(task, s, "192.168.1.10", p))
+    sock = kernel.sys_socket(task, AddressFamily.AF_INET, SocketType.STREAM)
+    yield "bind-22=" + attempt(
+        lambda: kernel.sys_bind(task, sock, "192.168.1.10", 22))
+
+    # -- user mounts from the generated fstab (section 4.2) ------------
+    for source, mountpoint, _user_ok in spec.mounts:
+        token = _status(system, task, "/bin/mount",
+                        ["mount", source, mountpoint])
+        yield f"mount-{mountpoint}={token}"
+        if token == "s0":
+            yield f"umount-{mountpoint}=" + _status(
+                system, task, "/bin/umount", ["umount", mountpoint])
+    yield "mount-unlisted=" + _status(
+        system, task, "/bin/mount", ["mount", "/dev/sda1", "/mnt/nfs"])
+
+    # -- generated netfilter policy ------------------------------------
+    udp = kernel.sys_socket(task, AddressFamily.AF_INET, SocketType.DGRAM)
+    kernel.net.bind_socket(udp, "192.168.1.10", 0)
+    probe_ports = list(spec.drop_ports) or [9]
+    probe_ports.append(7)   # never in the drop menu: the clear control
+    for port in probe_ports:
+        packet = Packet(Protocol.UDP, "192.168.1.10", "8.8.8.8",
+                        src_port=udp.local_port, dst_port=port,
+                        payload=b"scenario-probe")
+        yield f"send-{port}=" + attempt(
+            lambda p=packet: kernel.sys_sendto(task, udp, p))
+
+    # -- confined binaries ---------------------------------------------
+    for binary, _rules in spec.profiles:
+        yield f"run-{binary}=" + _status(system, task, binary, [binary])
+
+    # -- delegation probes (section 4.3): fresh login per probe so tty
+    # queues can never leak a fed password across probes ---------------
+    for target, command in spec.sudo_probes:
+        probe_task = ctx.login()
+        token = _status(system, probe_task, "/usr/bin/sudo",
+                        ["sudo", "-u", target, command, "probe"],
+                        feed=[ctx.password])
+        # A probe whose target happens to be the invoker is a
+        # self-transition — name it so, because the taxonomy predicate
+        # only sees the op name and the two outcomes.
+        label = "self" if target == ctx.username else target
+        yield f"sudo-{label}:{command}={token}"
+    probe_task = ctx.login()
+    yield "sudo-self=" + _status(
+        system, probe_task, "/usr/bin/sudo",
+        ["sudo", "-u", ctx.username, "/bin/true"], feed=[ctx.password])
+
+    su_target = other
+    probe_task = ctx.login()
+    yield f"su-{su_target}=" + _status(
+        system, probe_task, "/bin/su", ["su", su_target],
+        feed=[system.password_of(su_target)])
+
+    if spec.vault:
+        vault_password = dict(spec.group_passwords)["vault"]
+        probe_task = ctx.login()
+        yield "newgrp-vault=" + _status(
+            system, probe_task, "/usr/bin/newgrp", ["newgrp", "vault"],
+            feed=[vault_password])
+
+    # -- sandboxing via namespaces (section 4.6), last: unshare changes
+    # the task's own view, so it gets a dedicated login ----------------
+    if spec.sandbox:
+        ns_task = ctx.login()
+        yield "unshare-user=" + attempt(
+            lambda: kernel.sys_unshare(ns_task, ("user",)))
+        yield "unshare-mount=" + attempt(
+            lambda: kernel.sys_unshare(ns_task, ("mount",)))
+
+
+def run_session(system: System, spec: ScenarioSpec,
+                plan_index: int) -> List[str]:
+    """Drive plan *plan_index* of *spec* against *system* to
+    completion; returns the outcome-token trace."""
+    plan = spec.plans[plan_index]
+    user = spec.users[plan_index % len(spec.users)]
+    if plan == "admin" and spec.admin_user:
+        user = next(u for u in spec.users if u.is_admin)
+    rng = random.Random(
+        f"scenario-session:{VERSION}:{spec.seed}:{spec.scenario_id}:{plan_index}")
+    ctx = SessionContext(system, plan_index, TENANT, user.name,
+                         user.password, rng)
+    if plan == "probe":
+        gen = probe_script(ctx, spec)
+    else:
+        gen = SCRIPTS[plan](ctx)
+    trace = [f"plan={plan}", f"user={user.name}"]
+    try:
+        for token in gen:
+            trace.append(token)
+        trace.append("end=done")
+    except SyscallError as exc:
+        trace.append(f"end={exc.errno_value.name}")
+    except PermissionError:
+        trace.append("end=EPERM")
+    return trace
+
+
+def run_all_sessions(system: System, spec: ScenarioSpec) -> List[List[str]]:
+    return [run_session(system, spec, index)
+            for index in range(len(spec.plans))]
+
+
+__all__ = ["attempt", "probe_script", "run_session", "run_all_sessions",
+           "SCRIPTS"]

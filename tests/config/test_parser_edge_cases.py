@@ -1,0 +1,123 @@
+"""Config-parser edge cases: parse whole or raise with a line number.
+
+The contract every parser shares (and the monitoring daemon relies
+on): a malformed file raises — naming the offending line — before any
+entry is applied, so the kernel keeps last-good policy; odd-but-legal
+content (duplicate uids, empty numeric columns) parses completely.
+The corpus lives with the scenario generator so sweeps and unit tests
+reject the exact same payloads.
+"""
+
+import pytest
+
+from repro.config.fstab import parse_fstab
+from repro.config.passwd_db import parse_group, parse_passwd, parse_shadow
+from repro.config.sudoers import SudoersError, parse_sudoers
+from repro.core.system import System, SystemMode
+from repro.scenarios.generator import malformed_corpus
+
+PARSERS = {
+    "fstab": parse_fstab,
+    "sudoers": parse_sudoers,
+    "passwd": parse_passwd,
+    "group": parse_group,
+    "shadow": parse_shadow,
+}
+
+
+@pytest.mark.parametrize("kind,payload", malformed_corpus())
+def test_malformed_corpus_raises_with_line_number(kind, payload):
+    with pytest.raises(ValueError) as excinfo:
+        PARSERS[kind](payload)
+    assert "line 1" in str(excinfo.value)
+
+
+def test_fstab_line_numbers_point_at_the_bad_row():
+    text = ("/dev/sda1 / ext4 defaults 0 1\n"
+            "# a comment\n"
+            "/dev/cdrom /cdrom iso9660 user,noauto zero 0\n")
+    with pytest.raises(ValueError, match="fstab line 3"):
+        parse_fstab(text)
+
+
+def test_passwd_duplicate_uids_parse_whole():
+    # Duplicate uids are legal (two login names sharing an account);
+    # the parser's job is fidelity, not policy.
+    entries = parse_passwd(
+        "dana:x:2000:2000::/home/dana:/bin/sh\n"
+        "dana2:x:2000:2000::/home/dana:/bin/sh\n")
+    assert [(e.name, e.uid) for e in entries] == \
+        [("dana", 2000), ("dana2", 2000)]
+
+
+def test_shadow_empty_numeric_columns_take_defaults():
+    entry = parse_shadow("dana:HASH:::\n")[0]
+    assert (entry.last_change, entry.min_days, entry.max_days) == \
+        (0, 0, 99999)
+
+
+def test_sudoers_negation_with_group_grant_parses():
+    policy = parse_sudoers(
+        "%ops ALL=(root) ALL, !/bin/sh\n"
+        "alice ALL=(bob) NOPASSWD: ALL, !/bin/sh\n")
+    group_rule, user_rule = policy.rules
+    assert group_rule.invoker_is_group()
+    assert group_rule.negated_commands == ("/bin/sh",)
+    assert group_rule.allows_command("/usr/bin/lpr")
+    assert not group_rule.allows_command("/bin/sh")
+    # The negation survives specificity resolution: the most specific
+    # matching rule still refuses the carved-out command.
+    assert policy.find_rule("alice", ["ops"], "bob", "/bin/true") is not None
+    assert policy.find_rule("alice", ["ops"], "bob", "/bin/sh") is None
+
+
+@pytest.mark.parametrize("mode", [SystemMode.LINUX, SystemMode.PROTEGO])
+def test_negated_command_is_denied_end_to_end(mode):
+    """``alice ALL=(bob) ALL, !/bin/sh``: /bin/true delegates, the
+    carved-out shell does not — in both modes (legacy sudo refuses to
+    find a rule; Protego's exec hook vetoes the parked transition)."""
+    system = System(mode, sudoers="root ALL=(ALL) ALL\n"
+                                  "alice ALL=(bob) ALL, !/bin/sh\n")
+    task = system.login("alice", "alice-password")
+    status, _ = system.run(task, "/usr/bin/sudo",
+                           ["sudo", "-u", "bob", "/bin/true"],
+                           feed=["alice-password"])
+    assert status == 0
+
+    task = system.login("alice", "alice-password")
+    status, _ = system.run(task, "/usr/bin/sudo",
+                           ["sudo", "-u", "bob", "/bin/sh"],
+                           feed=["alice-password"])
+    assert status != 0
+
+
+def test_daemon_keeps_last_good_policy_on_malformed_fstab():
+    """A bad /etc/fstab edit must not take down the mount policy: the
+    daemon notes the error, marks the policy stale, and the kernel
+    keeps enforcing the last good one (the cdrom stays mountable)."""
+    system = System(SystemMode.PROTEGO)
+    system.sync()
+    assert not system.status_board.any_stale()
+
+    bad = "/dev/cdrom /cdrom iso9660 user,noauto zero 0\n"
+    system.kernel.write_file(system.kernel.init, "/etc/fstab", bad.encode())
+    system.sync()
+
+    board = system.status_board
+    assert board.policies["mounts"].stale
+    assert board.policies["mounts"].errors >= 1
+    assert "fstab" in board.policies["mounts"].last_error
+
+    # Last-good policy still in force: the user mount the original
+    # fstab granted keeps working.
+    task = system.login("alice", "alice-password")
+    status, _ = system.run(task, "/bin/mount",
+                           ["mount", "/dev/cdrom", "/cdrom"])
+    assert status == 0
+
+    # And a repaired file recovers cleanly.
+    good = ("/dev/sda1  /  ext4  errors=remount-ro  0 1\n"
+            "/dev/cdrom /cdrom iso9660 user,noauto,ro 0 0\n")
+    system.kernel.write_file(system.kernel.init, "/etc/fstab", good.encode())
+    system.sync()
+    assert not system.status_board.policies["mounts"].stale

@@ -1,0 +1,89 @@
+"""The scenario generator's contract: deterministic, parseable,
+varied.
+
+Every generated configuration must (a) be a pure function of
+``(seed, scenario_id)``, (b) survive the repo's own config parsers —
+the generator may only emit what a real system could boot — and
+(c) actually cover the space: admins and admin-less systems, vaults,
+negated sudo commands, user and root mounts, both kernel versions.
+"""
+
+from repro.config.bindconf import parse_bind_config
+from repro.config.fstab import parse_fstab, user_mountable_entries
+from repro.config.sudoers import parse_sudoers
+from repro.scenarios.generator import (
+    NAME_POOL,
+    generate_scenario,
+    malformed_corpus,
+)
+
+SPACE = [generate_scenario(0, i) for i in range(40)]
+
+
+def test_same_point_same_spec():
+    for scenario_id in (0, 7, 23):
+        assert generate_scenario(5, scenario_id) == \
+            generate_scenario(5, scenario_id)
+
+
+def test_different_points_differ():
+    specs = {generate_scenario(0, i) for i in range(10)}
+    assert len(specs) == 10
+    assert generate_scenario(1, 0) != generate_scenario(2, 0)
+
+
+def test_generated_configs_parse_with_the_repo_parsers():
+    for spec in SPACE:
+        policy = parse_sudoers(spec.sudoers)
+        assert policy.timestamp_timeout_minutes == spec.timestamp_timeout
+        # Every generated rule names only principals the scenario
+        # provisions (root, its own users, or a non-empty %ops).
+        names = {u.name for u in spec.users} | {"root", "ALL"}
+        for rule in policy.rules:
+            if rule.invoker_is_group():
+                assert any(rule.invoker[1:] in u.groups
+                           for u in spec.users)
+            else:
+                assert rule.invoker in names
+
+        entries = parse_fstab(spec.fstab)
+        assert entries[0].mountpoint == "/"
+        user_ok = {e.mountpoint for e in user_mountable_entries(entries)}
+        for _source, mountpoint, user_mountable in spec.mounts:
+            assert (mountpoint in user_ok) == user_mountable
+
+        grants = parse_bind_config(spec.bind_conf)
+        assert [(g.port, g.binary, g.user) for g in grants] == \
+            list(spec.bind_grants)
+
+
+def test_space_actually_varies():
+    assert any(s.admin_user for s in SPACE)
+    assert any(not s.admin_user for s in SPACE)
+    assert any(s.vault for s in SPACE)
+    assert any(not s.vault for s in SPACE)
+    assert any("!" in s.sudoers for s in SPACE)
+    assert any(s.sandbox for s in SPACE)
+    assert any(not s.sandbox for s in SPACE)
+    assert {s.kernel_version for s in SPACE} == {(3, 6), (3, 12)}
+    assert any(s.bind_grants for s in SPACE)
+    assert any(s.drop_ports for s in SPACE)
+    assert any(s.profiles for s in SPACE)
+    # Both mount flavours appear somewhere in the space.
+    flags = {flag for s in SPACE for _, _, flag in s.mounts}
+    assert flags == {True, False}
+
+
+def test_every_spec_is_runnable():
+    for spec in SPACE:
+        assert 2 <= len(spec.users) <= 5
+        assert all(u.name in NAME_POOL for u in spec.users)
+        assert len({u.uid for u in spec.users}) == len(spec.users)
+        assert "probe" in spec.plans
+        assert "admin" not in spec.plans or spec.admin_user
+        assert spec.sudo_probes
+
+
+def test_malformed_corpus_covers_every_parser():
+    kinds = {kind for kind, _ in malformed_corpus()}
+    assert kinds == {"fstab", "sudoers", "passwd", "group", "shadow"}
