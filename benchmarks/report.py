@@ -32,6 +32,7 @@ REPORT_DIR = Path(__file__).resolve().parent / "reports"
 KNOWN_BENCHES = (
     "BENCH_dcache.json",
     "BENCH_decision_cache.json",
+    "BENCH_escalation.json",
     "BENCH_fastpath.json",
     "BENCH_fault_overhead.json",
     "BENCH_policy_dfa.json",
@@ -176,6 +177,45 @@ def _scenarios_rows(name: str, payload: dict) -> list:
     return rows
 
 
+def _escalation_rows(name: str, payload: dict) -> list:
+    """Adapter for the red-team battery payload: chain throughput,
+    the block rate over legacy escalations (must read 100% — the
+    battery itself asserts it), per-mechanism attribution counts, and
+    the KASR-style surface reduction (legacy count as baseline,
+    Protego count as current)."""
+    rows = [{
+        "benchmark": name,
+        "operation": f"chains x{payload.get('chains', 0)}",
+        "baseline_us": None,
+        "current_us": None,
+        "ratio": f"{payload.get('chains_per_sec', 0):.1f}/s",
+    }, {
+        "benchmark": name,
+        "operation": (f"block rate ({payload.get('protego_blocks', 0)}"
+                      f"/{payload.get('legacy_successes', 0)})"),
+        "baseline_us": None,
+        "current_us": None,
+        "ratio": f"{payload.get('block_rate', 0) * 100:.1f}%",
+    }]
+    for mechanism, count in sorted(payload.get("mechanisms", {}).items()):
+        rows.append({
+            "benchmark": name,
+            "operation": f"blocks via {mechanism}",
+            "baseline_us": None,
+            "current_us": None,
+            "ratio": f"{count}",
+        })
+    for metric, cell in payload.get("surface_reduction", {}).items():
+        rows.append({
+            "benchmark": name,
+            "operation": f"surface {metric}",
+            "baseline_us": float(cell.get("legacy", 0)),
+            "current_us": float(cell.get("protego", 0)),
+            "ratio": f"-{cell.get('reduction_percent', 0):.1f}%",
+        })
+    return rows
+
+
 def missing_known(root: Path = REPO_ROOT) -> list:
     """Known payloads absent from *root* (see :data:`KNOWN_BENCHES`)."""
     return [name for name in KNOWN_BENCHES if not (root / name).exists()]
@@ -196,6 +236,9 @@ def collect(root: Path = REPO_ROOT) -> list:
             continue
         if name == "scenarios":
             rows.extend(_scenarios_rows(name, payload))
+            continue
+        if name == "escalation":
+            rows.extend(_escalation_rows(name, payload))
             continue
         ops = payload.get("ops", {})
         for op, row in ops.items():

@@ -1,0 +1,82 @@
+"""Red-team battery benchmark: chains per second and block rate.
+
+Runs the generative escalation battery (:mod:`repro.redteam`) over a
+seeded scenario sweep and measures end-to-end throughput — scenario
+pairs built, surfaces enumerated, every applicable technique chained
+against both builds. The sweep doubles as an acceptance gate: zero
+invariant violations, block rate 1.0 over legacy successes, every
+block attributed to a paper mechanism.
+
+Results land in ``BENCH_escalation.json`` at the repo root (consumed
+by ``benchmarks/report.py`` and CI) and ``benchmarks/reports/``.
+"""
+
+import gc
+import json
+import time
+from pathlib import Path
+
+from benchmarks.conftest import bench_scale
+from repro.analysis.escalation_surface import surface_reduction
+from repro.redteam import run_battery
+
+SCALE = bench_scale()
+SEED = 0
+SCENARIOS = max(10, int(50 * SCALE))
+JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_escalation.json"
+
+
+def test_escalation_battery_bench(write_report):
+    gc.collect()
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    start = time.perf_counter()
+    try:
+        battery = run_battery(SEED, SCENARIOS)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    elapsed = time.perf_counter() - start
+
+    chains = battery["chains"]
+    reduction = surface_reduction(battery)
+    payload = {
+        "benchmark": "escalation",
+        "scale": SCALE,
+        "seed": SEED,
+        "scenarios": SCENARIOS,
+        "chains": chains,
+        "chains_per_sec": round(chains / elapsed, 1),
+        "scenarios_per_sec": round(SCENARIOS / elapsed, 1),
+        "legacy_successes": battery["legacy_successes"],
+        "protego_blocks": battery["protego_blocks"],
+        "block_rate": battery["block_rate"],
+        "mechanisms": battery["mechanisms"],
+        "surface_reduction": reduction,
+        "violations": len(battery["violations"]),
+    }
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    lines = [
+        f"Red-team battery — escalation throughput "
+        f"(seed={SEED}, scale={SCALE})",
+        f"{SCENARIOS} scenarios, {chains} chains in {elapsed:.2f}s "
+        f"({chains / elapsed:.1f} chains/s)",
+        f"legacy escalations {battery['legacy_successes']}, blocked "
+        f"{battery['protego_blocks']}, block rate "
+        f"{battery['block_rate']:.2%}",
+    ]
+    for mechanism in sorted(battery["mechanisms"]):
+        lines.append(f"  {mechanism}: {battery['mechanisms'][mechanism]}")
+    for metric, row in reduction.items():
+        lines.append(f"  {metric}: {row['legacy']} -> {row['protego']} "
+                     f"({row['reduction_percent']:+.1f}% removed)")
+    write_report("escalation", lines)
+
+    # Acceptance gates, not just timings.
+    assert not battery["violations"]
+    assert battery["block_rate"] == 1.0
+    assert battery["legacy_successes"] > 0
+    # The setuid inventory is the paper's headline reduction.
+    assert reduction["setuid_binaries"]["protego"] == 0
+    assert reduction["setuid_binaries"]["legacy"] > 0

@@ -11,5 +11,8 @@
 * :mod:`repro.analysis.coverage` — functional-test coverage of the
   command-line utilities (Table 7);
 * :mod:`repro.analysis.remaining` — the remaining-packages interface
-  survey (Table 8).
+  survey (Table 8);
+* :mod:`repro.analysis.escalation_surface` — the KASR-style
+  reachable-escalation-surface report over the red-team battery
+  (:mod:`repro.redteam`).
 """

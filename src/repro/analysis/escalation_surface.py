@@ -1,0 +1,112 @@
+"""KASR-style reachable-escalation-surface report.
+
+Kernel attack-surface reduction papers quantify hardening as "how
+much reachable surface did the mechanism remove". This module applies
+the same lens to the red-team battery: aggregate the attacker's-eye
+enumeration (:mod:`repro.redteam.surface`) across a generated sweep
+and report, per surface class, how much of it the Protego build
+removed — alongside the chain-level outcome (every legacy escalation
+blocked, each block attributed to a paper mechanism).
+
+The input is the record :func:`repro.redteam.battery.run_battery`
+returns; this module is pure post-processing, so the analysis can be
+re-rendered from a saved battery without re-running a single chain.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+#: Surface classes aggregated from the per-scenario enumeration.
+#: ``own_fragment_writable`` is deliberately absent: a user being able
+#: to edit *their own* credential fragment is the paper's feature, not
+#: attack surface.
+SURFACE_METRICS = (
+    "setuid_binaries",
+    "writable_credential_files",
+    "other_fragments_writable",
+    "user_mounts",
+)
+
+
+def _count(surface: Dict, metric: str) -> int:
+    value = surface[metric]
+    return len(value) if isinstance(value, (list, tuple)) else int(value)
+
+
+def surface_reduction(battery: Dict) -> Dict[str, Dict[str, object]]:
+    """Per surface class: total reachable items across the sweep on
+    each build, and the percentage Protego removed."""
+    report: Dict[str, Dict[str, object]] = {}
+    for metric in SURFACE_METRICS:
+        legacy = sum(_count(record["surface"]["linux"], metric)
+                     for record in battery["scenarios"])
+        protego = sum(_count(record["surface"]["protego"], metric)
+                      for record in battery["scenarios"])
+        reduction = (100.0 * (legacy - protego) / legacy) if legacy else 0.0
+        report[metric] = {
+            "legacy": legacy,
+            "protego": protego,
+            "reduction_percent": round(reduction, 2),
+        }
+    return report
+
+
+def escalation_report(battery: Dict) -> Dict[str, object]:
+    """The full analysis payload: chain outcomes, per-technique
+    matrix, mechanism attribution, and the surface reduction."""
+    return {
+        "seed": battery["seed"],
+        "n_scenarios": battery["n_scenarios"],
+        "chains": battery["chains"],
+        "legacy_successes": battery["legacy_successes"],
+        "protego_blocks": battery["protego_blocks"],
+        "block_rate": battery["block_rate"],
+        "mechanisms": dict(battery["mechanisms"]),
+        "matrix": battery["matrix"],
+        "surface_reduction": surface_reduction(battery),
+        "violations": list(battery["violations"]),
+    }
+
+
+def render_report(battery: Dict) -> str:
+    """A markdown rendering of :func:`escalation_report` (the README's
+    red-team matrix is a snapshot of this output)."""
+    report = escalation_report(battery)
+    lines: List[str] = [
+        "# Reachable escalation surface",
+        "",
+        f"Seed {report['seed']}, {report['n_scenarios']} scenarios, "
+        f"{report['chains']} technique chains. Legacy escalations: "
+        f"{report['legacy_successes']}; blocked under Protego: "
+        f"{report['protego_blocks']} "
+        f"(block rate {report['block_rate']:.2%}).",
+        "",
+        "| technique | applicable | legacy success | protego blocked |",
+        "|---|---:|---:|---:|",
+    ]
+    for name, cell in report["matrix"].items():
+        lines.append(
+            f"| {name} | {cell['applicable']} "
+            f"| {cell['legacy']['success']} "
+            f"| {cell['protego']['blocked']} |")
+    lines.extend(["", "| mechanism | blocks attributed |", "|---|---:|"])
+    for mechanism in sorted(report["mechanisms"]):
+        lines.append(f"| {mechanism} | {report['mechanisms'][mechanism]} |")
+    lines.extend([
+        "",
+        "| surface class | legacy | protego | reduction |",
+        "|---|---:|---:|---:|",
+    ])
+    for metric, row in report["surface_reduction"].items():
+        lines.append(
+            f"| {metric} | {row['legacy']} | {row['protego']} "
+            f"| {row['reduction_percent']:.1f}% |")
+    if report["violations"]:
+        lines.extend(["", "## VIOLATIONS", ""])
+        lines.extend(f"* {violation}" for violation in report["violations"])
+    return "\n".join(lines) + "\n"
+
+
+__all__ = ["SURFACE_METRICS", "surface_reduction", "escalation_report",
+           "render_report"]

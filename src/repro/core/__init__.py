@@ -27,6 +27,7 @@ __all__ = [
     "MountRule",
     "ProtegoLSM",
     "RoutePolicy",
+    "Session",
     "System",
     "SystemMode",
     "authenticated_recently",
@@ -38,4 +39,7 @@ def __getattr__(name):
     if name in ("System", "SystemMode", "UserSpec"):
         from repro.core import system
         return getattr(system, name)
+    if name in ("Session", "DENIAL_ERRNOS", "UnexpectedSuccess", "VacuousDenial"):
+        from repro.core import session
+        return getattr(session, name)
     raise AttributeError(f"module 'repro.core' has no attribute {name!r}")

@@ -1,0 +1,161 @@
+"""The attacker/user session facade: one way to drive a shell.
+
+Historically every layer that drove a logged-in user grew its own
+tty-feed plumbing: the fleet scripts queued passwords by hand, the
+scenario probes wrapped ``System.run`` with ad-hoc status helpers,
+and tests re-invented both. :class:`Session` is the single public
+surface: ``System.spawn_session(user)`` performs the full login
+ceremony and returns an object that can run programs, delegate via
+sudo/su, touch files, mount — and assert *denials* precisely.
+
+Denial precision is the point of :meth:`Session.expect_denied`: a
+path-confusion probe that typos its target gets ENOENT, which is not
+a security denial — treating it as one would make the probe pass
+vacuously. ``expect_denied`` therefore distinguishes the denial class
+(EACCES/EPERM by default) from every other errno and raises
+:class:`VacuousDenial` for the latter, and :class:`UnexpectedSuccess`
+when the operation was not denied at all.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, List, Optional, Tuple
+
+from repro.kernel import modes
+from repro.kernel.errno import Errno, SyscallError
+from repro.kernel.task import Task
+
+#: The errnos that count as a *security* denial. ENOENT/ENOTDIR mean
+#: the probe never reached the object it claims was protected.
+DENIAL_ERRNOS: FrozenSet[Errno] = frozenset({Errno.EACCES, Errno.EPERM})
+
+
+class UnexpectedSuccess(AssertionError):
+    """An operation expected to be denied succeeded."""
+
+
+class VacuousDenial(AssertionError):
+    """An operation failed, but not with a security denial — the probe
+    proved nothing (typo'd path, bad argument, missing object)."""
+
+    def __init__(self, errno_value: Errno, context: str = ""):
+        self.errno_value = errno_value
+        super().__init__(
+            f"denied with {errno_value.name} (not a security denial)"
+            + (f": {context}" if context else ""))
+
+
+class Session:
+    """A logged-in user's handle on a :class:`~repro.core.system.System`.
+
+    Thin by design: every method maps onto the same kernel entry
+    points the historical plumbing used, so migrating callers onto
+    the facade changes no observable syscall sequence.
+    """
+
+    __slots__ = ("system", "kernel", "task", "username", "password")
+
+    def __init__(self, system, task: Task, username: str, password: str):
+        self.system = system
+        self.kernel = system.kernel
+        self.task = task
+        self.username = username
+        self.password = password
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Session({self.username!r}, pid={self.task.pid}, "
+                f"euid={self.task.cred.euid})")
+
+    # -- processes -----------------------------------------------------
+    def feed(self, *lines: str) -> "Session":
+        """Queue tty input lines (passwords) for the next prompt."""
+        if self.task.tty is not None:
+            for line in lines:
+                self.task.tty.feed(line)
+        return self
+
+    def run(self, path: str, argv: Optional[List[str]] = None,
+            feed: Optional[List[str]] = None) -> Tuple[int, List[str]]:
+        """fork+exec *path*; returns (exit status, stdout)."""
+        return self.system.run(self.task, path, argv, feed=feed)
+
+    def spawn(self, path: str, argv: Optional[List[str]] = None,
+              feed: Optional[List[str]] = None) -> Tuple[Task, int]:
+        """Like :meth:`run` but returns the child task itself, so the
+        caller can inspect the credentials the program ended with —
+        the question every escalation check asks."""
+        self.feed(*(feed or []))
+        return self.kernel.spawn(self.task, path, argv or [path])
+
+    def sudo(self, command: str, *args: str, target: str = "root",
+             password: Optional[str] = None) -> Tuple[int, List[str]]:
+        """``sudo -u <target> <command> [args...]`` with the invoker's
+        password queued (consumed only if recency is stale)."""
+        argv = ["sudo", "-u", target, command] + list(args)
+        return self.run("/usr/bin/sudo", argv,
+                        feed=[self.password if password is None else password])
+
+    def su(self, target: str = "root",
+           password: Optional[str] = None) -> Tuple[int, List[str]]:
+        """``su <target>`` feeding the *target's* password (su's
+        authentication model in both modes)."""
+        if password is None:
+            password = self.system.password_of(target)
+        return self.run("/bin/su", ["su", target], feed=[password])
+
+    # -- files ---------------------------------------------------------
+    def open(self, path: str, flags: int = modes.O_RDONLY,
+             mode: int = 0o644) -> int:
+        return self.kernel.sys_open(self.task, path, flags, mode)
+
+    def read(self, path: str) -> bytes:
+        return self.kernel.read_file(self.task, path)
+
+    def write(self, path: str, payload: bytes, append: bool = False) -> None:
+        self.kernel.write_file(self.task, path, payload, append=append)
+
+    def mkdir(self, path: str, mode: int = 0o755) -> None:
+        self.kernel.sys_mkdir(self.task, path, mode)
+
+    def symlink(self, target: str, linkpath: str) -> None:
+        self.kernel.sys_symlink(self.task, target, linkpath)
+
+    def unlink(self, path: str) -> None:
+        self.kernel.sys_unlink(self.task, path)
+
+    def stat(self, path: str):
+        return self.kernel.sys_stat(self.task, path)
+
+    # -- mounts --------------------------------------------------------
+    def mount(self, source: str, mountpoint: str) -> Tuple[int, List[str]]:
+        """A user mount through /bin/mount (the paper's motivating
+        example)."""
+        return self.run("/bin/mount", ["mount", source, mountpoint])
+
+    def umount(self, mountpoint: str) -> Tuple[int, List[str]]:
+        return self.run("/bin/umount", ["umount", mountpoint])
+
+    # -- denial assertions ---------------------------------------------
+    def expect_denied(self, fn: Callable, *args,
+                      errnos: FrozenSet[Errno] = DENIAL_ERRNOS,
+                      **kwargs) -> Errno:
+        """Call ``fn(*args, **kwargs)`` and require a security denial.
+
+        Returns the denial :class:`Errno`. Raises
+        :class:`UnexpectedSuccess` when the call succeeds and
+        :class:`VacuousDenial` when it fails with an errno outside
+        *errnos* — so an ENOENT from a typo'd path can never
+        masquerade as an enforcement win.
+        """
+        try:
+            fn(*args, **kwargs)
+        except SyscallError as exc:
+            if exc.errno_value in errnos:
+                return exc.errno_value
+            raise VacuousDenial(exc.errno_value, exc.context) from exc
+        raise UnexpectedSuccess(
+            f"{getattr(fn, '__name__', fn)!s} succeeded for "
+            f"{self.username} (expected {'/'.join(e.name for e in sorted(errnos))})")
+
+
+__all__ = ["Session", "DENIAL_ERRNOS", "UnexpectedSuccess", "VacuousDenial"]

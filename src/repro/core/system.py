@@ -454,6 +454,20 @@ class System:
             raise PermissionError(f"login failed for {username}: {session.stdout}")
         return session
 
+    def spawn_session(self, username: str, password: Optional[str] = None):
+        """The public session entry point: the full login ceremony,
+        wrapped in a :class:`~repro.core.session.Session` facade.
+
+        *password* defaults to the account's provisioned password.
+        Raises :class:`PermissionError` when authentication fails,
+        exactly as :meth:`login` does.
+        """
+        from repro.core.session import Session
+        if password is None:
+            password = self.password_of(username)
+        task = self.login(username, password)
+        return Session(self, task, username, password)
+
     def session_for(self, username: str) -> Task:
         """A shell task for *username* without the login ceremony
         (no authentication recency stamp)."""

@@ -37,6 +37,7 @@ from __future__ import annotations
 import random
 from typing import Dict, Iterator, List
 
+from repro.core.session import Session
 from repro.core.system import System, SystemMode
 from repro.kernel import modes
 from repro.kernel.errno import SyscallError
@@ -78,19 +79,26 @@ class SessionContext:
         self.shard = shard
 
     # -- building blocks ----------------------------------------------
+    def spawn_session(self) -> Session:
+        """The full login ceremony, as a :class:`Session` facade."""
+        return self.system.spawn_session(self.username, self.password)
+
     def login(self) -> Task:
         """The full login ceremony through /bin/login."""
-        return self.system.login(self.username, self.password)
+        return self.spawn_session().task
+
+    def session_on(self, task: Task) -> Session:
+        """Wrap an already-logged-in *task* in the facade (scripts
+        hold bare tasks across yields; the facade is stateless)."""
+        return Session(self.system, task, self.username, self.password)
 
     def sudo_print(self, task: Task) -> int:
         """A delegated print: alice may lpr as bob (and %admin as
         anyone). The password is fed for when recency has gone stale
         on a long schedule."""
         target = "bob" if self.username != "bob" else "alice"
-        status, _ = self.system.run(
-            task, "/usr/bin/sudo",
-            ["sudo", "-u", target, "/usr/bin/lpr", f"job-{self.sid}"],
-            feed=[self.password])
+        status, _ = self.session_on(task).sudo(
+            "/usr/bin/lpr", f"job-{self.sid}", target=target)
         return status
 
     def make_workdir(self, task: Task) -> None:

@@ -954,6 +954,15 @@ class SyscallMixin:
         inode = self._path_permission(task, path, modes.X_OK)
         if inode.is_dir():
             raise SyscallError(Errno.EISDIR, path)
+        if not self.vfs.walk_cached(path):
+            # The permission walk crossed a symlink (a dentry is left
+            # behind iff it did not): canonicalize, so the LSM exec
+            # hooks, the binary lookup, and the task's exe identity
+            # all see the real binary. Without this, exec'ing a
+            # symlink to a policy-negated binary would present the
+            # link's path to the delegation veto — the path-confusion
+            # attack the redteam battery drives.
+            path = self.vfs.realpath(path)
 
         decision = self.security_server.check(AccessRequest(
             hook="bprm_check", task=task, obj=path,

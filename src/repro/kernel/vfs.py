@@ -322,6 +322,38 @@ class VFS:
             raise SyscallError(Errno.ENOTDIR, parent_path)
         return parent, leaf
 
+    def realpath(self, path: str, _depth: int = 0) -> str:
+        """The canonical, symlink-free path of *path* (realpath(3)).
+
+        Walks every component, chasing symlinks with the same depth
+        limit as :meth:`lookup`. No permission enforcement — callers
+        that need checks walk separately (exec does its X_OK walk
+        before canonicalizing). Raises ENOENT/ENOTDIR/ELOOP exactly as
+        a resolving walk would.
+        """
+        if _depth > MAX_SYMLINK_DEPTH:
+            raise SyscallError(Errno.ELOOP, path)
+        components = split_path(normalize(path))
+        current = self.rootfs.root
+        mount = self.mounts.get("/")
+        if mount is not None:
+            current = mount.fs.root
+        walked = ""
+        for index, name in enumerate(components):
+            if not current.is_dir():
+                raise SyscallError(Errno.ENOTDIR, walked or "/")
+            child = current.lookup(name)
+            walked = walked + "/" + name
+            covering = self.mounts.get(walked)
+            if covering is not None:
+                child = covering.fs.root
+            if child.is_symlink():
+                full = self._symlink_target(walked, child,
+                                            components[index + 1:])
+                return self.realpath(full, _depth + 1)
+            current = child
+        return walked or "/"
+
     @staticmethod
     def _symlink_target(walked: str, link: Inode, rest: List[str]) -> str:
         """The absolute path a traversed symlink redirects the walk to:

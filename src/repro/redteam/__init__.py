@@ -1,0 +1,44 @@
+"""Generative privilege-escalation battery (pwncat/GTFOBins style).
+
+The attacker's half of the reproduction: given any generated scenario
+(:mod:`repro.scenarios.generator`), enumerate the system the way
+post-exploitation tooling does, then chain escalation techniques
+against the legacy and Protego builds of the *same* configuration.
+
+* :mod:`repro.redteam.surface` — pwncat-style enumeration from an
+  attacker :class:`~repro.core.session.Session`: setuid binaries,
+  applicable sudo rules, writable credential files, user-mountable
+  fstab entries, bind grants;
+* :mod:`repro.redteam.techniques` — the GTFOBins-style catalog:
+  setuid hijack, sudo-parser hijack, negation laundering through
+  symlinks, AppArmor path confusion, profile escape, non-whitelisted
+  mounts, credential-fragment trespass — each classifying its outcome
+  (success / blocked / absent / error) and attributing every block to
+  a paper mechanism;
+* :mod:`repro.redteam.battery` — the seeded generative sweep and its
+  invariant: every chain succeeding under legacy is blocked under
+  Protego, every block attributed, the whole record bit-identically
+  replayable from ``(seed, scenario_id)``.
+"""
+
+from repro.redteam.battery import (  # noqa: F401
+    REDTEAM_VERSION,
+    RedteamPlan,
+    battery_config,
+    redteam_plan,
+    run_battery,
+    run_scenario_battery,
+)
+from repro.redteam.surface import enumerate_surface  # noqa: F401
+from repro.redteam.techniques import (  # noqa: F401
+    MECHANISMS,
+    TECHNIQUE_NAMES,
+    TECHNIQUES,
+    attribute_block,
+)
+
+__all__ = [
+    "REDTEAM_VERSION", "RedteamPlan", "battery_config", "redteam_plan",
+    "run_battery", "run_scenario_battery", "enumerate_surface",
+    "MECHANISMS", "TECHNIQUE_NAMES", "TECHNIQUES", "attribute_block",
+]

@@ -1,0 +1,251 @@
+"""The generative escalation battery: seeded scenarios, twin builds,
+one attacker, every technique.
+
+``run_scenario_battery(seed, scenario_id)`` is the unit of work: it
+generates the scenario (reusing :mod:`repro.scenarios.generator`),
+derives a deterministic attacker plan, builds the legacy/Protego twin
+systems from the *same* config (plus one injected AppArmor profile
+for the path-confusion technique), enumerates the escalation surface
+on both, then drives every applicable technique against both builds
+and checks the battery invariant:
+
+    every chain that succeeds under legacy is **blocked** under
+    Protego, and every block is attributed to a paper mechanism.
+
+Violations are collected, never raised — a sweep reports every broken
+scenario. The record is a pure function of ``(seed, scenario_id)``:
+re-running the same point yields a bit-identical dict (the replay
+contract the acceptance test pins).
+
+``run_battery(seed, n_scenarios)`` sweeps scenario ids and aggregates
+the per-technique success/block matrix, the mechanism attribution
+counts, and the two surface tallies the KASR-style report consumes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.auth.passwords import hash_password
+from repro.config.sudoers import ALL, parse_sudoers
+from repro.core.build import build_pair, config_from_scenario
+from repro.kernel.capabilities import Capability
+from repro.redteam.surface import enumerate_surface
+from repro.redteam.techniques import (
+    OUTCOME_BLOCKED,
+    OUTCOME_ERROR,
+    OUTCOME_SUCCESS,
+    TECHNIQUES,
+)
+from repro.scenarios.generator import generate_scenario
+
+#: Bump when the plan derivation or record shape changes — same
+#: version, same (seed, scenario_id), bit-identical record.
+REDTEAM_VERSION = 1
+
+#: Hijack vehicles: the ping family (paper section 4.1.1) — setuid
+#: root on legacy, unprivileged on Protego, and disjoint from the
+#: binaries the scenario generator ever confines.
+VEHICLES = (
+    ("/bin/ping", ("ping", "-c", "1", "8.8.8.8")),
+    ("/usr/bin/traceroute", ("traceroute", "8.8.8.8")),
+    ("/usr/bin/mtr", ("mtr", "-r", "8.8.8.8")),
+)
+
+#: The profile injected onto the confusion vehicle: generous inside
+#: the home/tmp trees, nothing under /etc but a harmless read — and
+#: every capability, so the vehicle's own raw socket still works and
+#: any denial is a *path* denial.
+T4_PROFILE_RULES = (("/home/**", "r"), ("/tmp/**", "rw"),
+                    ("/dev/**", "rw"), ("/etc/hosts", "r"))
+
+
+@dataclasses.dataclass(frozen=True)
+class RedteamPlan:
+    """Everything the techniques need, derived once per scenario from
+    the battery RNG (never from wall clock or global state)."""
+
+    attacker: str
+    attacker_password: str
+    attacker_uid: int
+    attacker_groups: Tuple[str, ...]
+    root_delegable: bool
+    t1_vehicle: Tuple[str, Tuple[str, ...]]
+    t4_vehicle: Tuple[str, Tuple[str, ...]]
+    planted_name: str
+    planted_password: str
+    planted_hash: str
+    shell_link: str
+    creds_link: str
+
+
+def root_delegable(spec, username: str, groups) -> bool:
+    """True when the generated sudoers carries an invoker-password
+    rule that could authorize *username* -> root (TARGETPW rules
+    demand root's own password and do not count)."""
+    for rule in parse_sudoers(spec.sudoers).rules:
+        if rule.check_target_password or rule.group_join:
+            continue
+        if not rule.matches_invoker(username, list(groups)):
+            continue
+        if rule.runas_user in (ALL, "root"):
+            return True
+    return False
+
+
+def redteam_plan(spec) -> RedteamPlan:
+    """The deterministic attacker plan for one scenario."""
+    rng = random.Random(
+        f"redteam:{REDTEAM_VERSION}:{spec.seed}:{spec.scenario_id}")
+    pool = [u for u in spec.users if not u.is_admin] or list(spec.users)
+    attacker = rng.choice(pool)
+    t1_vehicle, t4_vehicle = rng.sample(VEHICLES, 2)
+    planted_password = f"rt-{spec.seed}-{spec.scenario_id}-secret"
+    salt = f"rt{(spec.seed * 9973 + spec.scenario_id) % 99991:x}"
+    return RedteamPlan(
+        attacker=attacker.name,
+        attacker_password=attacker.password,
+        attacker_uid=attacker.uid,
+        attacker_groups=tuple(attacker.groups),
+        root_delegable=root_delegable(spec, attacker.name, attacker.groups),
+        t1_vehicle=t1_vehicle,
+        t4_vehicle=t4_vehicle,
+        planted_name="rtroot",
+        planted_password=planted_password,
+        planted_hash=hash_password(planted_password, salt),
+        shell_link=f"rt{spec.scenario_id}-sh",
+        creds_link=f"rt{spec.scenario_id}-creds",
+    )
+
+
+def battery_config(spec, plan: RedteamPlan):
+    """The scenario's construction recipe plus the injected confusion
+    profile — identical on both builds, like every other config."""
+    config = config_from_scenario(spec)
+    t4_profile = (plan.t4_vehicle[0], T4_PROFILE_RULES, tuple(Capability))
+    return dataclasses.replace(
+        config, profiles=config.profiles + (t4_profile,))
+
+
+def _check_invariant(name: str, legacy: Dict[str, str],
+                     protego: Dict[str, str]) -> List[str]:
+    violations = []
+    for mode, outcome in (("linux", legacy), ("protego", protego)):
+        if outcome["outcome"] == OUTCOME_ERROR:
+            violations.append(f"{name}:{mode}:error:{outcome['evidence']}")
+    if protego["outcome"] == OUTCOME_SUCCESS:
+        violations.append(f"{name}:protego-escalation")
+    if legacy["outcome"] == OUTCOME_SUCCESS:
+        if protego["outcome"] != OUTCOME_BLOCKED:
+            violations.append(
+                f"{name}:unblocked-under-protego:{protego['outcome']}")
+        elif not protego["mechanism"]:
+            violations.append(f"{name}:unattributed-block")
+    return violations
+
+
+def run_scenario_battery(seed: int, scenario_id: int) -> Dict[str, object]:
+    """One scenario, both builds, every technique; returns the
+    deterministic record (violations included — callers assert they
+    are empty)."""
+    spec = generate_scenario(seed, scenario_id)
+    plan = redteam_plan(spec)
+    linux, protego = build_pair(battery_config(spec, plan))
+
+    # Enumeration first: the techniques mutate state (planted
+    # accounts, symlinks) and the surface must be the pristine one.
+    surface = {}
+    for mode, system in (("linux", linux), ("protego", protego)):
+        session = system.spawn_session(plan.attacker,
+                                       plan.attacker_password)
+        surface[mode] = enumerate_surface(session, spec)
+
+    techniques: List[Dict[str, object]] = []
+    violations: List[str] = []
+    for name, applicable, run in TECHNIQUES:
+        if not applicable(spec, plan):
+            techniques.append({"technique": name, "applicable": False,
+                               "legacy": None, "protego": None})
+            continue
+        legacy_out = run(linux, spec, plan)
+        protego_out = run(protego, spec, plan)
+        techniques.append({"technique": name, "applicable": True,
+                           "legacy": legacy_out, "protego": protego_out})
+        violations.extend(_check_invariant(name, legacy_out, protego_out))
+
+    return {
+        "redteam_version": REDTEAM_VERSION,
+        "seed": seed,
+        "scenario_id": scenario_id,
+        "attacker": plan.attacker,
+        "root_delegable": plan.root_delegable,
+        "techniques": techniques,
+        "surface": surface,
+        "violations": violations,
+    }
+
+
+def _empty_cell() -> Dict[str, object]:
+    sides = {outcome: 0 for outcome in
+             ("success", "blocked", "absent", "error")}
+    return {"applicable": 0, "legacy": dict(sides),
+            "protego": dict(sides)}
+
+
+def run_battery(seed: int, n_scenarios: int,
+                scenario_ids: Optional[List[int]] = None) -> Dict[str, object]:
+    """Sweep *n_scenarios* scenario ids (or an explicit list) and
+    aggregate the per-technique matrix, mechanism attribution counts,
+    and block rate."""
+    ids = list(scenario_ids) if scenario_ids is not None else list(
+        range(n_scenarios))
+    scenarios = [run_scenario_battery(seed, sid) for sid in ids]
+
+    matrix: Dict[str, Dict[str, object]] = {}
+    mechanisms: Dict[str, int] = {}
+    chains = 0
+    legacy_successes = 0
+    blocked_of_successes = 0
+    for record in scenarios:
+        for row in record["techniques"]:
+            cell = matrix.setdefault(row["technique"], _empty_cell())
+            if not row["applicable"]:
+                continue
+            cell["applicable"] += 1
+            chains += 1
+            cell["legacy"][row["legacy"]["outcome"]] += 1
+            cell["protego"][row["protego"]["outcome"]] += 1
+            mech = row["protego"]["mechanism"]
+            if mech:
+                mechanisms[mech] = mechanisms.get(mech, 0) + 1
+            if row["legacy"]["outcome"] == OUTCOME_SUCCESS:
+                legacy_successes += 1
+                if row["protego"]["outcome"] == OUTCOME_BLOCKED:
+                    blocked_of_successes += 1
+    violations = [f"s{record['scenario_id']}:{violation}"
+                  for record in scenarios
+                  for violation in record["violations"]]
+    block_rate = (blocked_of_successes / legacy_successes
+                  if legacy_successes else 1.0)
+    return {
+        "redteam_version": REDTEAM_VERSION,
+        "seed": seed,
+        "n_scenarios": len(ids),
+        "chains": chains,
+        "legacy_successes": legacy_successes,
+        "protego_blocks": blocked_of_successes,
+        "block_rate": round(block_rate, 4),
+        "matrix": matrix,
+        "mechanisms": mechanisms,
+        "violations": violations,
+        "scenarios": scenarios,
+    }
+
+
+__all__ = [
+    "REDTEAM_VERSION", "VEHICLES", "T4_PROFILE_RULES", "RedteamPlan",
+    "redteam_plan", "root_delegable", "battery_config",
+    "run_scenario_battery", "run_battery",
+]

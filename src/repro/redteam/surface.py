@@ -1,0 +1,128 @@
+"""pwncat-style enumeration: what an attacker session can see.
+
+Given a logged-in :class:`~repro.core.session.Session`, walk the
+system the way post-exploitation tooling does — setuid binaries under
+the usual directories, the sudo rules that apply to this account
+(grey-box from the scenario spec: /etc/sudoers is 0440 on both
+builds, exactly like the real file), writable credential files,
+user-mountable fstab entries, bind port grants — and return the
+*reachable escalation surface* as a plain dict. The battery runs the
+enumeration against both builds of every scenario; the analysis layer
+aggregates the two into the KASR-style reduction report.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.config.sudoers import parse_sudoers
+from repro.core.session import Session
+from repro.kernel import modes
+from repro.kernel.errno import SyscallError
+
+#: Where distributions keep their setuid inventory (the paper's
+#: Table 1 walks the same directories).
+SETUID_DIRS = ("/bin", "/sbin", "/usr/bin", "/usr/sbin",
+               "/usr/lib/dbus-1.0")
+
+#: The whole-file credential databases whose writability is the
+#: headline difference between the two layouts.
+CREDENTIAL_FILES = ("/etc/passwd", "/etc/shadow", "/etc/group",
+                    "/etc/sudoers", "/etc/fstab")
+
+
+def _setuid_binaries(session: Session) -> List[str]:
+    kernel, task = session.kernel, session.task
+    found = []
+    for directory in SETUID_DIRS:
+        try:
+            names = kernel.sys_readdir(task, directory)
+        except SyscallError:
+            continue
+        for name in names:
+            path = f"{directory}/{name}"
+            try:
+                st = kernel.sys_stat(task, path)
+            except SyscallError:
+                continue
+            if st.mode & 0o4000 and st.uid == 0:
+                found.append(path)
+    return sorted(found)
+
+
+def _applicable_sudo_rules(session: Session, spec) -> List[str]:
+    groups = next((list(u.groups) for u in spec.users
+                   if u.name == session.username), [])
+    rendered = []
+    for rule in parse_sudoers(spec.sudoers).rules:
+        if not rule.matches_invoker(session.username, groups):
+            continue
+        tags = []
+        if rule.nopasswd:
+            tags.append("NOPASSWD")
+        if rule.check_target_password:
+            tags.append("TARGETPW")
+        if rule.group_join:
+            tags.append("GROUPJOIN")
+        rendered.append(
+            f"{rule.invoker} -> ({rule.runas_user}) "
+            + ", ".join(rule.commands)
+            + (f" [{'|'.join(tags)}]" if tags else ""))
+    return rendered
+
+
+def _user_mounts(session: Session) -> List[str]:
+    entries = []
+    try:
+        fstab = session.read("/etc/fstab").decode()
+    except SyscallError:
+        return entries
+    for line in fstab.splitlines():
+        fields = line.split()
+        if len(fields) < 4:
+            continue
+        options = fields[3].split(",")
+        if "user" in options or "users" in options:
+            entries.append(f"{fields[0]} on {fields[1]}")
+    return entries
+
+
+def _bind_grants(session: Session) -> List[str]:
+    grants = []
+    try:
+        conf = session.read("/etc/bind").decode()
+    except SyscallError:
+        return grants
+    for line in conf.splitlines():
+        fields = line.split()
+        if len(fields) == 3 and fields[2] == session.username:
+            grants.append(f"{fields[0]} via {fields[1]}")
+    return grants
+
+
+def enumerate_surface(session: Session, spec) -> Dict[str, object]:
+    """The attacker's-eye view of one build. Pure enumeration — no
+    state is mutated, so the battery can run it before any technique
+    pollutes the system."""
+    kernel, task = session.kernel, session.task
+    writable = [path for path in CREDENTIAL_FILES
+                if kernel.sys_access(task, path, modes.W_OK)]
+    own_fragment = kernel.sys_access(
+        task, f"/etc/shadows/{session.username}", modes.W_OK)
+    other_fragments = sorted(
+        u.name for u in spec.users
+        if u.name != session.username and kernel.sys_access(
+            task, f"/etc/shadows/{u.name}", modes.W_OK))
+    return {
+        "user": session.username,
+        "setuid_binaries": _setuid_binaries(session),
+        "sudo_rules": _applicable_sudo_rules(session, spec),
+        "writable_credential_files": writable,
+        "own_fragment_writable": own_fragment,
+        "other_fragments_writable": other_fragments,
+        "user_mounts": _user_mounts(session),
+        "bind_grants": _bind_grants(session),
+    }
+
+
+__all__ = ["enumerate_surface", "SETUID_DIRS", "CREDENTIAL_FILES"]

@@ -1,0 +1,485 @@
+"""The escalation technique catalog (GTFOBins/pwncat style).
+
+Each technique is one privilege-escalation chain an attacker session
+drives against a built system: hijack a setuid binary's parse stage,
+abuse a sudo grant, confuse a path-based AppArmor profile through a
+symlink, mount something the whitelist never listed, tamper with
+another account's credentials. A technique runs identically against
+the legacy and Protego builds of the same scenario; the battery's
+invariant is that every chain succeeding under legacy is *blocked*
+under Protego, with the block attributed to a paper mechanism.
+
+Outcomes are plain dicts (JSON-able, replay-comparable):
+
+``success``
+    the chain escalated privilege (evidence says how);
+``blocked``
+    a security denial (EACCES/EPERM) stopped it — ``context`` carries
+    the kernel's ``layer:hook`` denial context and ``mechanism`` the
+    paper mechanism it attributes to;
+``absent``
+    the chain died on a non-security errno (ENOENT and friends): the
+    object it needed does not exist on this build. Distinguishing
+    this class from ``blocked`` is what keeps the battery non-vacuous
+    — a typo'd path must never count as an enforcement win;
+``error``
+    the harness's own expectations broke (a control probe failed, a
+    vulnerable point was never reached). Always a battery violation.
+
+Attribution maps the denial context onto the paper's four mechanisms:
+
+* ``sb_mount``/``sb_umount`` hooks -> **mount-policy** (section 4.2);
+* the ``apparmor`` layer -> **profile-dfa** (path-based confinement);
+* setuid/exec hooks (``task_fix_setuid``, ``bprm_check``) ->
+  **delegation** (section 4.3's setuid-on-exec) — including their
+  capability-layer fallback, because with the setuid bit gone every
+  uid transition is governed by the delegation subsystem;
+* everything else (DAC, capability, default) -> **reference-monitor**.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.config.sudoers import ALL, parse_sudoers
+from repro.core.protego import rule_covers_exec
+from repro.core.session import DENIAL_ERRNOS
+from repro.kernel.errno import SyscallError
+
+MECH_REFERENCE_MONITOR = "reference-monitor"
+MECH_DELEGATION = "delegation"
+MECH_MOUNT_POLICY = "mount-policy"
+MECH_PROFILE_DFA = "profile-dfa"
+
+MECHANISMS = (MECH_REFERENCE_MONITOR, MECH_DELEGATION,
+              MECH_MOUNT_POLICY, MECH_PROFILE_DFA)
+
+OUTCOME_SUCCESS = "success"
+OUTCOME_BLOCKED = "blocked"
+OUTCOME_ABSENT = "absent"
+OUTCOME_ERROR = "error"
+
+#: The hooks whose denials the delegation subsystem owns (uid
+#: transitions and the exec that commits them).
+_DELEGATION_HOOKS = ("task_fix_setuid", "task_fix_setgid", "bprm_check")
+_MOUNT_HOOKS = ("sb_mount", "sb_umount")
+
+
+def attribute_block(context: str) -> str:
+    """Map a kernel denial context (``layer:hook[: detail]``) onto the
+    paper mechanism that produced it."""
+    layer, _, rest = context.partition(":")
+    hook = rest.strip().partition(":")[0].strip()
+    if hook in _MOUNT_HOOKS:
+        return MECH_MOUNT_POLICY
+    if layer == "apparmor":
+        return MECH_PROFILE_DFA
+    if hook in _DELEGATION_HOOKS:
+        return MECH_DELEGATION
+    return MECH_REFERENCE_MONITOR
+
+
+def _success(evidence: str) -> Dict[str, str]:
+    return {"outcome": OUTCOME_SUCCESS, "errno": "", "context": "",
+            "mechanism": "", "evidence": evidence}
+
+
+def _error(evidence: str) -> Dict[str, str]:
+    return {"outcome": OUTCOME_ERROR, "errno": "", "context": "",
+            "mechanism": "", "evidence": evidence}
+
+
+def _absent(evidence: str, errno: str = "", context: str = "") -> Dict[str, str]:
+    return {"outcome": OUTCOME_ABSENT, "errno": errno, "context": context,
+            "mechanism": "", "evidence": evidence}
+
+
+#: Inode numbers come from a process-global allocator, so a denial
+#: detail embedding one is not a function of (seed, scenario_id) —
+#: scrub them to keep records bit-identically replayable.
+_INO_RE = re.compile(r"\bino \d+\b")
+
+
+def _scrub(context: str) -> str:
+    return _INO_RE.sub("ino ?", context)
+
+
+def _denied(exc: SyscallError, evidence: str = "") -> Dict[str, str]:
+    """Classify a SyscallError: security denial vs absent object."""
+    context = _scrub(exc.context or "")
+    if exc.errno_value in DENIAL_ERRNOS:
+        return {"outcome": OUTCOME_BLOCKED, "errno": exc.errno_value.name,
+                "context": context, "mechanism": attribute_block(context),
+                "evidence": evidence}
+    return _absent(evidence, errno=exc.errno_value.name, context=context)
+
+
+def _hijack(system, plan, vehicle: Tuple[str, Tuple[str, ...]],
+            payload: Callable) -> Tuple[int, List[str]]:
+    """Run *vehicle* from a fresh attacker session with
+    attacker-controlled *payload* wired into its input-parsing stage
+    (the historical CVE site every ping/sudo-class binary carries)."""
+    session = system.spawn_session(plan.attacker, plan.attacker_password)
+    program = system.programs[vehicle[0]]
+    program.exploit = payload
+    try:
+        return session.run(vehicle[0], list(vehicle[1]))
+    finally:
+        program.exploit = None
+
+
+# ---------------------------------------------------------------------
+# T1: hijack an (ex-)setuid binary, plant a uid-0 account
+# ---------------------------------------------------------------------
+
+def run_setuid_shell_hijack(system, spec, plan) -> Dict[str, str]:
+    """Classic post-exploitation: code execution inside a setuid
+    network tool appends a uid-0 account to /etc/passwd + /etc/shadow,
+    then ``su`` into it. Legacy: the tool runs with euid 0, DAC waves
+    the writes through. Protego: the binary is no longer setuid, so
+    the same write dies on the reference monitor's DAC check."""
+    record: Dict[str, object] = {}
+    passwd_line = (f"{plan.planted_name}:x:0:0:redteam:/root:/bin/sh\n"
+                   ).encode()
+    shadow_line = (f"{plan.planted_name}:{plan.planted_hash}:0:0:99999:7:::\n"
+                   ).encode()
+
+    def payload(kernel, task):
+        record["euid"] = task.cred.euid
+        try:
+            kernel.write_file(task, "/etc/passwd", passwd_line, append=True)
+            kernel.write_file(task, "/etc/shadow", shadow_line, append=True)
+            record["planted"] = True
+        except SyscallError as exc:
+            record["exc"] = exc
+
+    _hijack(system, plan, plan.t1_vehicle, payload)
+    if "euid" not in record:
+        return _error(f"{plan.t1_vehicle[0]} never reached its "
+                      "vulnerable point")
+    if not record.get("planted"):
+        return _denied(record["exc"],
+                       evidence=f"append to /etc/passwd as "
+                                f"euid={record['euid']}")
+    session = system.spawn_session(plan.attacker, plan.attacker_password)
+    child, status = session.spawn("/bin/su", ["su", plan.planted_name],
+                                  feed=[plan.planted_password])
+    if status == 0 and child.cred.ruid == 0:
+        return _success(
+            f"hijacked {plan.t1_vehicle[0]} (euid={record['euid']}) "
+            f"planted uid-0 account {plan.planted_name}; su reached "
+            "ruid 0")
+    return _error(f"account planted but su exited {status} "
+                  f"(ruid={child.cred.ruid})")
+
+
+# ---------------------------------------------------------------------
+# T2: hijack sudo's parser before it decides anything
+# ---------------------------------------------------------------------
+
+def applicable_sudo_parser(spec, plan) -> bool:
+    # An attacker the sudoers already delegates to root can setuid(0)
+    # legitimately — the hijack proves nothing for them.
+    return not plan.root_delegable
+
+
+def run_sudo_parser_hijack(system, spec, plan) -> Dict[str, str]:
+    """Code execution at sudo's argument-parsing stage, *before* any
+    rule is consulted (the CVE-2021-3156 shape). Legacy: sudo is
+    setuid, so the parser already runs with euid 0 — game over.
+    Protego: the parser runs as the invoker and the explicit
+    ``setuid(0)`` it attempts is refused by the delegation policy."""
+    record: Dict[str, object] = {}
+
+    def payload(kernel, task):
+        record["euid"] = task.cred.euid
+        if task.cred.euid == 0:
+            return
+        try:
+            kernel.sys_setuid(task, 0)
+            record["after"] = task.cred.euid
+        except SyscallError as exc:
+            record["exc"] = exc
+
+    session = system.spawn_session(plan.attacker, plan.attacker_password)
+    program = system.programs["/usr/bin/sudo"]
+    program.exploit = payload
+    try:
+        session.sudo("/bin/true", target="root")
+    finally:
+        program.exploit = None
+    if "euid" not in record:
+        return _error("/usr/bin/sudo never reached its vulnerable point")
+    if record["euid"] == 0 or record.get("after") == 0:
+        return _success(
+            f"attacker code inside sudo ran with euid={record['euid']}"
+            + ("" if record["euid"] == 0 else "; setuid(0) committed"))
+    if "exc" in record:
+        return _denied(record["exc"],
+                       evidence=f"setuid(0) from euid={record['euid']}")
+    # setuid(2) returned but nothing committed: the delegation layer
+    # parked a transition no exec will ever be allowed to commit.
+    return {"outcome": OUTCOME_BLOCKED, "errno": "",
+            "context": "protego:task_fix_setuid: transition parked, "
+                       "never committed",
+            "mechanism": MECH_DELEGATION,
+            "evidence": f"euid stayed {record.get('after')}"}
+
+
+# ---------------------------------------------------------------------
+# T3: launder a negated command through a symlink
+# ---------------------------------------------------------------------
+
+def _negation_vector(spec, plan) -> Optional[Tuple[str, str, int]]:
+    """The first (negated command, target user, target uid) an
+    ``ALL, !cmd`` grant exposes to the attacker — provided no *other*
+    applicable rule authorizes that command outright (then running it
+    would be legitimate, not an escalation)."""
+    policy = parse_sudoers(spec.sudoers)
+    groups = list(plan.attacker_groups)
+    usable = [r for r in policy.rules
+              if not r.check_target_password and not r.group_join
+              and r.matches_invoker(plan.attacker, groups)]
+    for rule in usable:
+        if ALL not in rule.positive_commands or not rule.negated_commands:
+            continue
+        target = "root" if rule.runas_user == ALL else rule.runas_user
+        if target == plan.attacker:
+            continue
+        uid = 0 if target == "root" else next(
+            (u.uid for u in spec.users if u.name == target), None)
+        if uid is None:
+            continue
+        denied = rule.negated_commands[0]
+        covered = any(
+            r.allows_target(target) and rule_covers_exec(r, denied, [denied])
+            for r in usable)
+        if covered:
+            continue
+        return denied, target, uid
+    return None
+
+
+def applicable_negation_symlink(spec, plan) -> bool:
+    return _negation_vector(spec, plan) is not None
+
+
+def run_sudo_negation_symlink(system, spec, plan) -> Dict[str, str]:
+    """Point a symlink at a command the sudoers negates, then sudo the
+    *link*. Legacy sudo compares the literal argv string against the
+    negation list, so the link path sails past ``!/bin/sh``. Protego
+    defers the uid transition to exec, where the kernel validates the
+    *resolved* binary — the symlink laundering evaporates."""
+    denied_cmd, target, target_uid = _negation_vector(spec, plan)
+    if not system.kernel.vfs.exists(denied_cmd):
+        return _absent(f"negated command {denied_cmd} not installed")
+    planter = system.spawn_session(plan.attacker, plan.attacker_password)
+    link = f"/home/{plan.attacker}/{plan.shell_link}"
+    try:
+        planter.symlink(denied_cmd, link)
+    except SyscallError as exc:
+        return _denied(exc, evidence=f"planting symlink {link}")
+    runner = system.spawn_session(plan.attacker, plan.attacker_password)
+    try:
+        child, status = runner.spawn(
+            "/usr/bin/sudo", ["sudo", "-u", target, link],
+            feed=[plan.attacker_password])
+    except SyscallError as exc:
+        return _denied(exc, evidence=f"sudo exec of {link}")
+    if child.cred.euid == target_uid and target_uid != plan.attacker_uid:
+        return _success(
+            f"sudo ran negated {denied_cmd} as {target} "
+            f"(uid {target_uid}) through symlink {link}; exit={status}")
+    # sudo refused in userspace (exit status, no syscall error). For
+    # attribution, replay the transition against the kernel directly:
+    # park the setuid, then exec the link — the denial context names
+    # the mechanism that vetoed it.
+    replay = system.spawn_session(plan.attacker, plan.attacker_password)
+    try:
+        system.kernel.sys_setuid(replay.task, target_uid)
+        system.kernel.sys_execve(replay.task, link, [link])
+    except SyscallError as exc:
+        return _denied(exc, evidence=f"sudo exited {status}; direct "
+                                     "setuid+exec replay denied")
+    return _error(f"sudo exited {status} but the direct replay of "
+                  f"setuid({target_uid})+exec({link}) was not denied")
+
+
+# ---------------------------------------------------------------------
+# T4: path confusion against a path-based AppArmor profile
+# ---------------------------------------------------------------------
+
+def run_apparmor_symlink_confusion(system, spec, plan) -> Dict[str, str]:
+    """A confined-but-privileged binary may read ``/home/**`` and not
+    ``/etc/shadow``; the attacker plants ``/home/<a>/...-creds ->
+    /etc/shadow``. The profile matches the literal, pre-resolution
+    path, so legacy (euid 0 resolves the link) leaks the shadow file.
+    Protego's twin has no euid-0 to confuse: plain DAC refuses the
+    resolved target. A direct /etc/shadow open runs first as the
+    non-vacuity control — it must be denied on both builds."""
+    planter = system.spawn_session(plan.attacker, plan.attacker_password)
+    link = f"/home/{plan.attacker}/{plan.creds_link}"
+    try:
+        planter.symlink("/etc/shadow", link)
+    except SyscallError as exc:
+        return _denied(exc, evidence=f"planting symlink {link}")
+    record: Dict[str, object] = {}
+
+    def payload(kernel, task):
+        record["euid"] = task.cred.euid
+        try:
+            kernel.read_file(task, "/etc/shadow")
+            record["control"] = "open"
+        except SyscallError as exc:
+            record["control"] = _scrub(exc.context or exc.errno_value.name)
+        try:
+            data = kernel.read_file(task, link)
+            record["leak"] = data.startswith(b"root:")
+        except SyscallError as exc:
+            record["exc"] = exc
+
+    _hijack(system, plan, plan.t4_vehicle, payload)
+    if "euid" not in record:
+        return _error(f"{plan.t4_vehicle[0]} never reached its "
+                      "vulnerable point")
+    if record.get("control") == "open":
+        return _error("control failed: the profile allowed a direct "
+                      "/etc/shadow open")
+    if record.get("leak"):
+        return _success(
+            f"confined {plan.t4_vehicle[0]} (euid={record['euid']}) read "
+            f"/etc/shadow through {link}; direct open denied by "
+            f"[{record['control']}]")
+    if "exc" in record:
+        return _denied(record["exc"],
+                       evidence=f"link read as euid={record['euid']}; "
+                                f"control [{record['control']}]")
+    return _error("link read returned no credential data")
+
+
+# ---------------------------------------------------------------------
+# T5: confined binary walks straight out of its profile
+# ---------------------------------------------------------------------
+
+def run_confined_profile_escape(system, spec, plan) -> Dict[str, str]:
+    """Defense-in-depth control: the same confined vehicle opens a
+    world-readable file outside its profile (/etc/fstab). The profile
+    DFA must deny this on *both* builds — confinement is orthogonal
+    to the setuid question, and a legacy success here would mean the
+    profile never attached at all."""
+    record: Dict[str, object] = {}
+
+    def payload(kernel, task):
+        record["euid"] = task.cred.euid
+        try:
+            kernel.read_file(task, "/etc/fstab")
+            record["read"] = True
+        except SyscallError as exc:
+            record["exc"] = exc
+
+    _hijack(system, plan, plan.t4_vehicle, payload)
+    if "euid" not in record:
+        return _error(f"{plan.t4_vehicle[0]} never reached its "
+                      "vulnerable point")
+    if record.get("read"):
+        return _success(
+            f"confined {plan.t4_vehicle[0]} (euid={record['euid']}) "
+            "escaped its profile and read /etc/fstab")
+    return _denied(record["exc"],
+                   evidence=f"read as euid={record['euid']}")
+
+
+# ---------------------------------------------------------------------
+# T6: mount something the whitelist never listed
+# ---------------------------------------------------------------------
+
+def _unlisted_mount(spec) -> Tuple[str, str]:
+    for source, mountpoint, user_mountable in spec.mounts:
+        if not user_mountable:
+            return source, mountpoint
+    # Always present, never user-whitelisted: the root device itself.
+    return "/dev/sda1", "/mnt"
+
+
+def run_mount_nonwhitelisted(system, spec, plan) -> Dict[str, str]:
+    """From inside a hijacked (ex-)setuid tool, mount(2) a filesystem
+    the fstab whitelist does not grant this user. Legacy: euid 0
+    carries CAP_SYS_ADMIN, the kernel obliges. Protego: the mount
+    policy only whitelists the generated user-mountable entries, so
+    the syscall dies at the mount hook."""
+    source, mountpoint = _unlisted_mount(spec)
+    record: Dict[str, object] = {}
+
+    def payload(kernel, task):
+        record["euid"] = task.cred.euid
+        try:
+            kernel.sys_mount(task, source, mountpoint)
+            record["mounted"] = True
+            kernel.sys_umount(task, mountpoint)
+        except SyscallError as exc:
+            record["exc"] = exc
+
+    _hijack(system, plan, plan.t1_vehicle, payload)
+    if "euid" not in record:
+        return _error(f"{plan.t1_vehicle[0]} never reached its "
+                      "vulnerable point")
+    if record.get("mounted"):
+        return _success(
+            f"mounted non-whitelisted {source} on {mountpoint} as "
+            f"euid={record['euid']} (then unmounted)")
+    return _denied(record["exc"],
+                   evidence=f"mount {source} on {mountpoint} as "
+                            f"euid={record['euid']}")
+
+
+# ---------------------------------------------------------------------
+# T7: tamper with another account's credential fragment
+# ---------------------------------------------------------------------
+
+def run_fragment_trespass(system, spec, plan) -> Dict[str, str]:
+    """Append to another user's ``/etc/shadows/<name>`` fragment from
+    a plain session. Legacy has no fragment directory at all — the
+    probe records ``absent`` (ENOENT), exercising the errno-class
+    distinction. Protego: the fragment exists, is owned by its
+    account, and plain DAC refuses the trespass."""
+    other = next(u.name for u in spec.users if u.name != plan.attacker)
+    session = system.spawn_session(plan.attacker, plan.attacker_password)
+    path = f"/etc/shadows/{other}"
+    try:
+        session.write(path, b"rt-tamper:*:0:0:99999:7:::\n", append=True)
+        return _success(f"appended to {other}'s credential fragment "
+                        f"{path}")
+    except SyscallError as exc:
+        return _denied(exc, evidence=f"append to {path}")
+
+
+# ---------------------------------------------------------------------
+# the catalog
+# ---------------------------------------------------------------------
+
+def _always(spec, plan) -> bool:
+    return True
+
+
+#: (name, applicable(spec, plan), run(system, spec, plan)) — fixed
+#: order, part of the battery's determinism contract.
+TECHNIQUES: Tuple[Tuple[str, Callable, Callable], ...] = (
+    ("setuid-shell-hijack", _always, run_setuid_shell_hijack),
+    ("sudo-parser-hijack", applicable_sudo_parser, run_sudo_parser_hijack),
+    ("sudo-negation-symlink", applicable_negation_symlink,
+     run_sudo_negation_symlink),
+    ("apparmor-symlink-confusion", _always, run_apparmor_symlink_confusion),
+    ("confined-profile-escape", _always, run_confined_profile_escape),
+    ("mount-nonwhitelisted", _always, run_mount_nonwhitelisted),
+    ("credential-fragment-trespass", _always, run_fragment_trespass),
+)
+
+TECHNIQUE_NAMES = tuple(name for name, _, _ in TECHNIQUES)
+
+__all__ = [
+    "TECHNIQUES", "TECHNIQUE_NAMES", "MECHANISMS", "attribute_block",
+    "MECH_REFERENCE_MONITOR", "MECH_DELEGATION", "MECH_MOUNT_POLICY",
+    "MECH_PROFILE_DFA", "OUTCOME_SUCCESS", "OUTCOME_BLOCKED",
+    "OUTCOME_ABSENT", "OUTCOME_ERROR",
+]

@@ -25,7 +25,7 @@ from repro.scenarios.generator import (  # noqa: F401
     generate_scenario,
     malformed_corpus,
 )
-from repro.scenarios.build import build_system  # noqa: F401
+from repro.core.build import build_system  # noqa: F401
 from repro.scenarios.taxonomy import DIVERGENCE_CLASSES, classify  # noqa: F401
 from repro.scenarios.differ import DiffReport, run_differential  # noqa: F401
 from repro.scenarios.chaos import fault_schedule, run_chaos_point  # noqa: F401

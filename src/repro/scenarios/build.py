@@ -1,30 +1,20 @@
-"""Build a live System (legacy or Protego) from a ScenarioSpec.
+"""Deprecated shim: scenario system construction moved to
+:mod:`repro.core.build`.
 
-The builder is the equivalence anchor: both modes are constructed
-from the *same* spec, byte-identical configuration files, the same
-profiles and netfilter rules — so any behavioural difference the
-differ observes is a mode difference, never a provisioning one.
+This module's ``build_system(spec, mode)`` was the original
+equivalence anchor; the consolidation of every construction recipe
+(scenarios, workloads, tests) into :func:`repro.core.build.build_system`
+subsumed it. Import from :mod:`repro.core.build` instead.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+import warnings
 
-from repro.apparmor.profiles import make_profile
+from repro.core.build import GROUPJOIN_DROPIN, TENANT  # noqa: F401
+from repro.core.build import build_system as _core_build_system
 from repro.core.system import System, SystemMode, UserSpec
-from repro.kernel.namespaces import KernelVersion
-from repro.kernel.net.netfilter import Chain, Rule, Verdict
-from repro.kernel.net.packets import Protocol
 from repro.scenarios.generator import ScenarioSpec
-
-#: The single tenant namespace scenario sessions share.
-TENANT = "t00"
-
-#: The Protego convention for password-protected groups (paper
-#: section 4.3): membership of *vault* is joinable by anyone who can
-#: authenticate with the group password. Written in both modes so the
-#: file state stays byte-identical; legacy newgrp ignores it.
-GROUPJOIN_DROPIN = "ALL ALL=(ALL) GROUPJOIN: vault\n"
 
 
 def user_specs(spec: ScenarioSpec):
@@ -34,49 +24,10 @@ def user_specs(spec: ScenarioSpec):
 
 def build_system(spec: ScenarioSpec, mode: SystemMode,
                  hostname: str = "", start_daemon: bool = True) -> System:
-    group_passwords: Dict[str, str] = dict(spec.group_passwords)
-    system = System(
-        mode,
-        users=user_specs(spec),
-        hostname=hostname or
-        f"{mode.value}-s{spec.seed}-{spec.scenario_id}",
-        fstab=spec.fstab,
-        sudoers=spec.sudoers,
-        bind_conf=spec.bind_conf,
-        start_daemon=start_daemon,
-        group_passwords=group_passwords,
-    )
-    system.kernel.version = KernelVersion(*spec.kernel_version)
-    init = system.kernel.init
-
-    # Known, already-studied divergences are excluded at the source:
-    # polkit actions and dbus service activation have their own
-    # differential tests, so scenarios blank both configs in both
-    # modes rather than re-deriving those gaps here.
-    system.kernel.write_file(init, "/etc/polkit-1/rules", b"")
-    system.kernel.write_file(init, "/etc/dbus-1/system-services", b"")
-
-    if spec.vault:
-        system.kernel.write_file(init, "/etc/sudoers.d/protego-newgrp",
-                                 GROUPJOIN_DROPIN.encode())
-
-    for binary, path_rules in spec.profiles:
-        system.apparmor.load_profile(make_profile(binary, path_rules))
-
-    for port in spec.drop_ports:
-        system.kernel.net.netfilter.append(Rule(
-            Verdict.DROP, chain=Chain.OUTPUT, protocol=Protocol.UDP,
-            dst_port=port, comment=f"scenario drop {port}/udp"))
-
-    # The fleet namespace the session scripts expect.
-    root = system.root_session()
-    if not system.kernel.vfs.exists("/tmp/fleet"):
-        system.kernel.sys_mkdir(root, "/tmp/fleet", 0o1777)
-    if not system.kernel.vfs.exists(f"/tmp/fleet/{TENANT}"):
-        system.kernel.sys_mkdir(root, f"/tmp/fleet/{TENANT}", 0o1777)
-
-    if mode is SystemMode.PROTEGO:
-        # One daemon pass so the generated policies (sudoers drop-in
-        # included) are loaded before the first probe.
-        system.sync()
-    return system
+    """Deprecated: use :func:`repro.core.build.build_system`."""
+    warnings.warn(
+        "repro.scenarios.build.build_system is deprecated; use "
+        "repro.core.build.build_system(config, mode)",
+        DeprecationWarning, stacklevel=2)
+    return _core_build_system(spec, mode, hostname=hostname,
+                              start_daemon=start_daemon)

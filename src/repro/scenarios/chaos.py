@@ -37,7 +37,7 @@ from repro.kernel import modes
 from repro.kernel.errno import SyscallError
 from repro.kernel.fault import CATALOG
 from repro.kernel.net.socket import AddressFamily, SocketType
-from repro.scenarios.build import build_system
+from repro.core.build import build_system
 from repro.scenarios.generator import VERSION, ScenarioSpec, generate_scenario
 from repro.userspace.sshkeysign import HOST_KEY_PATH
 

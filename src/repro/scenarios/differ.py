@@ -13,7 +13,7 @@ from itertools import zip_longest
 from typing import Dict, List
 
 from repro.core.system import SystemMode
-from repro.scenarios.build import build_system
+from repro.core.build import build_system
 from repro.scenarios.generator import ScenarioSpec, generate_scenario
 from repro.scenarios.taxonomy import classify
 from repro.scenarios.workload import run_session

@@ -21,13 +21,13 @@ from __future__ import annotations
 import random
 from typing import Callable, Iterator, List
 
+from repro.core.build import TENANT
 from repro.core.system import System
 from repro.fleet.sessions import SCRIPTS, SessionContext
 from repro.kernel import modes
 from repro.kernel.errno import SyscallError
 from repro.kernel.net.packets import Packet, Protocol
 from repro.kernel.net.socket import AddressFamily, SocketType
-from repro.scenarios.build import TENANT
 from repro.scenarios.generator import VERSION, ScenarioSpec
 
 
@@ -42,9 +42,11 @@ def attempt(fn: Callable[[], object]) -> str:
         return "EPERM"
 
 
-def _status(system: System, task, path: str, argv, feed=None) -> str:
+def _status(fn: Callable[[], tuple]) -> str:
+    """Exit-status token (``s0``, ``s1``, ...) of a Session program
+    run, or the errno name when the exec itself died."""
     try:
-        status, _ = system.run(task, path, argv, feed=feed)
+        status, _ = fn()
         return f"s{status}"
     except SyscallError as exc:
         return exc.errno_value.name
@@ -52,14 +54,14 @@ def _status(system: System, task, path: str, argv, feed=None) -> str:
 
 def probe_script(ctx: SessionContext, spec: ScenarioSpec) -> Iterator[str]:
     """One probe per paper mechanism, as ``name=outcome`` tokens."""
-    system = ctx.system
     kernel = ctx.kernel
 
     try:
-        task = ctx.login()
+        session = ctx.spawn_session()
     except PermissionError:
         yield "login=EPERM"
         return
+    task = session.task
     yield "login=ok"
 
     # -- plain file I/O (must match everywhere) ------------------------
@@ -103,14 +105,13 @@ def probe_script(ctx: SessionContext, spec: ScenarioSpec) -> Iterator[str]:
 
     # -- user mounts from the generated fstab (section 4.2) ------------
     for source, mountpoint, _user_ok in spec.mounts:
-        token = _status(system, task, "/bin/mount",
-                        ["mount", source, mountpoint])
+        token = _status(lambda s=source, m=mountpoint: session.mount(s, m))
         yield f"mount-{mountpoint}={token}"
         if token == "s0":
             yield f"umount-{mountpoint}=" + _status(
-                system, task, "/bin/umount", ["umount", mountpoint])
+                lambda m=mountpoint: session.umount(m))
     yield "mount-unlisted=" + _status(
-        system, task, "/bin/mount", ["mount", "/dev/sda1", "/mnt/nfs"])
+        lambda: session.mount("/dev/sda1", "/mnt/nfs"))
 
     # -- generated netfilter policy ------------------------------------
     udp = kernel.sys_socket(task, AddressFamily.AF_INET, SocketType.DGRAM)
@@ -126,37 +127,34 @@ def probe_script(ctx: SessionContext, spec: ScenarioSpec) -> Iterator[str]:
 
     # -- confined binaries ---------------------------------------------
     for binary, _rules in spec.profiles:
-        yield f"run-{binary}=" + _status(system, task, binary, [binary])
+        yield f"run-{binary}=" + _status(
+            lambda b=binary: session.run(b, [b]))
 
     # -- delegation probes (section 4.3): fresh login per probe so tty
     # queues can never leak a fed password across probes ---------------
     for target, command in spec.sudo_probes:
-        probe_task = ctx.login()
-        token = _status(system, probe_task, "/usr/bin/sudo",
-                        ["sudo", "-u", target, command, "probe"],
-                        feed=[ctx.password])
+        probe = ctx.spawn_session()
+        token = _status(
+            lambda t=target, c=command, p=probe: p.sudo(c, "probe", target=t))
         # A probe whose target happens to be the invoker is a
         # self-transition — name it so, because the taxonomy predicate
         # only sees the op name and the two outcomes.
         label = "self" if target == ctx.username else target
         yield f"sudo-{label}:{command}={token}"
-    probe_task = ctx.login()
+    probe = ctx.spawn_session()
     yield "sudo-self=" + _status(
-        system, probe_task, "/usr/bin/sudo",
-        ["sudo", "-u", ctx.username, "/bin/true"], feed=[ctx.password])
+        lambda: probe.sudo("/bin/true", target=ctx.username))
 
     su_target = other
-    probe_task = ctx.login()
-    yield f"su-{su_target}=" + _status(
-        system, probe_task, "/bin/su", ["su", su_target],
-        feed=[system.password_of(su_target)])
+    su_probe = ctx.spawn_session()
+    yield f"su-{su_target}=" + _status(lambda: su_probe.su(su_target))
 
     if spec.vault:
         vault_password = dict(spec.group_passwords)["vault"]
-        probe_task = ctx.login()
+        grp_probe = ctx.spawn_session()
         yield "newgrp-vault=" + _status(
-            system, probe_task, "/usr/bin/newgrp", ["newgrp", "vault"],
-            feed=[vault_password])
+            lambda: grp_probe.run("/usr/bin/newgrp", ["newgrp", "vault"],
+                                  feed=[vault_password]))
 
     # -- sandboxing via namespaces (section 4.6), last: unshare changes
     # the task's own view, so it gets a dedicated login ----------------

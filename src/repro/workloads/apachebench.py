@@ -15,7 +15,8 @@ from __future__ import annotations
 import dataclasses
 from typing import List, Tuple
 
-from repro.core import System, SystemMode
+from repro.core import System
+from repro.core.build import build_pair
 from repro.kernel.net.packets import Packet, Protocol
 from repro.kernel.net.socket import AddressFamily, SocketType
 from repro.workloads.harness import BenchResult, time_pair
@@ -116,8 +117,9 @@ def run_apachebench(concurrency: int, rounds: int = 30,
     values, which is how a 13.7µs/req mean ended up printed with a
     ±254µs interval: the interval belonged to a different unit.
     """
-    linux_driver = ABDriver(System(SystemMode.LINUX), concurrency)
-    protego_driver = ABDriver(System(SystemMode.PROTEGO), concurrency)
+    linux_system, protego_system = build_pair()
+    linux_driver = ABDriver(linux_system, concurrency)
+    protego_driver = ABDriver(protego_system, concurrency)
     (linux_us, linux_ci), (protego_us, protego_ci) = time_pair(
         linux_driver.round, protego_driver.round, rounds, batches)
     paper = PAPER_TIME_PER_REQUEST[concurrency]

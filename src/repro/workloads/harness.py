@@ -13,7 +13,8 @@ import math
 import time
 from typing import Callable, List, Optional, Tuple
 
-from repro.core import System, SystemMode
+from repro.core import System
+from repro.core.build import build_pair
 
 #: Student's t for 95% two-sided at small degrees of freedom.
 _T_TABLE = {1: 12.71, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
@@ -151,8 +152,7 @@ def compare_modes(
     batches: int = 5,
 ) -> BenchResult:
     """Run the same operation on fresh LINUX and PROTEGO systems."""
-    linux_system = System(SystemMode.LINUX)
-    protego_system = System(SystemMode.PROTEGO)
+    linux_system, protego_system = build_pair()
     (linux_mean, linux_ci), (protego_mean, protego_ci) = time_pair(
         make_op(linux_system), make_op(protego_system), iterations, batches)
     paper_linux, paper_protego, paper_overhead = paper

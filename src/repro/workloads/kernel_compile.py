@@ -12,7 +12,8 @@ from __future__ import annotations
 
 import dataclasses
 
-from repro.core import System, SystemMode
+from repro.core import System
+from repro.core.build import build_pair
 from repro.workloads.harness import BenchResult, time_pair
 
 PAPER_COMPILE = (764.41, 775.39, 1.44)  # seconds, seconds, %
@@ -66,8 +67,7 @@ def _compile_once(system: System, builder, tree: CompileTree) -> None:
 
 def run_kernel_compile(builds: int = 3, tree: CompileTree = CompileTree(),
                        batches: int = 3) -> BenchResult:
-    linux = System(SystemMode.LINUX)
-    protego = System(SystemMode.PROTEGO)
+    linux, protego = build_pair()
     _prepare_tree(linux, tree)
     _prepare_tree(protego, tree)
     linux_builder = linux.session_for("alice")

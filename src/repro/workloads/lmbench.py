@@ -11,7 +11,8 @@ from __future__ import annotations
 import itertools
 from typing import Callable, Dict, List, Tuple
 
-from repro.core import System, SystemMode
+from repro.core import System
+from repro.core.build import build_pair
 from repro.kernel import modes
 from repro.kernel.net.packets import Packet, Protocol
 from repro.kernel.net.socket import AddressFamily, SocketType
@@ -367,8 +368,7 @@ def run_bandwidth(scale: float = 1.0, batches: int = 5) -> BenchResult:
         return op
 
     iterations = max(2, int(20 * scale))
-    linux = System(SystemMode.LINUX)
-    protego = System(SystemMode.PROTEGO)
+    linux, protego = build_pair()
     linux_us, linux_ci = time_per_op(factory(linux), iterations, batches)
     protego_us, protego_ci = time_per_op(factory(protego), iterations, batches)
     name, paper_linux, paper_protego, paper_oh = PAPER_BANDWIDTH

@@ -23,6 +23,7 @@ from __future__ import annotations
 import itertools
 
 from repro.core import System, SystemMode
+from repro.core.build import build_pair
 from repro.userspace.mailserver import EximProgram
 from repro.workloads.harness import BenchResult, time_pair
 
@@ -66,8 +67,9 @@ class PostalDriver:
 
 
 def run_postal(messages_per_batch: int = 200, batches: int = 5) -> BenchResult:
-    linux_driver = PostalDriver(System(SystemMode.LINUX))
-    protego_driver = PostalDriver(System(SystemMode.PROTEGO))
+    linux_system, protego_system = build_pair()
+    linux_driver = PostalDriver(linux_system)
+    protego_driver = PostalDriver(protego_system)
     (linux_us, linux_ci), (protego_us, protego_ci) = time_pair(
         linux_driver.send_message, protego_driver.send_message,
         messages_per_batch, batches)

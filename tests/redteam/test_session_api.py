@@ -1,0 +1,111 @@
+"""The Session facade: one public way to drive a logged-in shell,
+with denial assertions that cannot pass vacuously."""
+
+import pytest
+
+from repro.core.build import build_pair
+from repro.core.session import (
+    DENIAL_ERRNOS,
+    Session,
+    UnexpectedSuccess,
+    VacuousDenial,
+)
+from repro.kernel.errno import Errno
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return build_pair()
+
+
+@pytest.fixture(scope="module")
+def linux(pair):
+    return pair[0]
+
+
+@pytest.fixture(scope="module")
+def protego(pair):
+    return pair[1]
+
+
+class TestFacade:
+    def test_spawn_session_returns_facade(self, protego):
+        session = protego.spawn_session("alice")
+        assert isinstance(session, Session)
+        assert session.username == "alice"
+        assert session.task.cred.euid != 0
+
+    def test_run_program(self, protego):
+        session = protego.spawn_session("alice")
+        status, _ = session.run("/bin/true")
+        assert status == 0
+
+    def test_spawn_exposes_child_credentials(self, protego):
+        session = protego.spawn_session("alice")
+        child, status = session.spawn("/bin/true")
+        assert status == 0
+        assert child.cred.euid == session.task.cred.euid
+
+    def test_sudo_delegates_with_queued_password(self, protego):
+        # alice may lpr as bob (the canonical sudoers): the facade
+        # queues her password for the delegation prompt.
+        session = protego.spawn_session("alice")
+        status, _ = session.sudo("/usr/bin/lpr", "job-1", target="bob")
+        assert status == 0
+
+    def test_su_feeds_target_password(self, pair):
+        for system in pair:
+            session = system.spawn_session("alice")
+            status, _ = session.su("bob")
+            assert status == 0
+
+    def test_file_helpers(self, protego):
+        session = protego.spawn_session("alice")
+        session.mkdir("/tmp/rt-api")
+        session.write("/tmp/rt-api/f", b"payload")
+        assert session.read("/tmp/rt-api/f") == b"payload"
+        assert session.stat("/tmp/rt-api/f").size == 7
+
+    def test_exec_resolves_symlinks(self, protego):
+        # The property the negation-laundering technique leans on:
+        # exec'ing a symlink runs (and validates) the resolved binary.
+        session = protego.spawn_session("alice")
+        session.symlink("/bin/true", "/tmp/rt-link-true")
+        child, status = session.spawn("/tmp/rt-link-true")
+        assert status == 0
+        assert child.cred.euid == session.task.cred.euid
+
+
+class TestExpectDenied:
+    def test_returns_the_denial_errno(self, protego):
+        session = protego.spawn_session("alice")
+        denied = session.expect_denied(session.read, "/etc/shadows/bob")
+        assert denied in DENIAL_ERRNOS
+
+    def test_enoent_is_vacuous_not_a_denial(self, protego):
+        # A typo'd path gets ENOENT — expect_denied must refuse to
+        # count it as an enforcement win.
+        session = protego.spawn_session("alice")
+        with pytest.raises(VacuousDenial) as excinfo:
+            session.expect_denied(session.read, "/etc/shadows/nosuchuser")
+        assert excinfo.value.errno_value is Errno.ENOENT
+
+    def test_legacy_missing_fragment_dir_is_vacuous(self, linux):
+        # The same probe against legacy (no fragment dir at all) is
+        # the non-vacuity control: it must NOT read as "blocked".
+        session = linux.spawn_session("alice")
+        with pytest.raises(VacuousDenial) as excinfo:
+            session.expect_denied(session.read, "/etc/shadows/bob")
+        assert excinfo.value.errno_value is Errno.ENOENT
+
+    def test_success_raises(self, protego):
+        session = protego.spawn_session("alice")
+        with pytest.raises(UnexpectedSuccess):
+            session.expect_denied(session.read, "/etc/fstab")
+
+    def test_custom_errno_set(self, protego):
+        session = protego.spawn_session("alice")
+        denied = session.expect_denied(
+            session.read, "/etc/shadows/bob",
+            errnos=frozenset({Errno.EACCES}))
+        assert denied is Errno.EACCES

@@ -1,0 +1,142 @@
+"""GTFOBins-style per-technique tests: each chain succeeds under the
+legacy build and its Protego twin blocks it with the expected
+mechanism attribution."""
+
+import functools
+
+import pytest
+
+from repro.redteam.battery import redteam_plan, run_scenario_battery
+from repro.redteam.techniques import (
+    MECH_DELEGATION,
+    MECH_MOUNT_POLICY,
+    MECH_PROFILE_DFA,
+    MECH_REFERENCE_MONITOR,
+    applicable_negation_symlink,
+    applicable_sudo_parser,
+    attribute_block,
+)
+from repro.scenarios.generator import generate_scenario
+
+SEED = 0
+
+
+@functools.lru_cache(maxsize=None)
+def battery_for(scenario_id):
+    return run_scenario_battery(SEED, scenario_id)
+
+
+def first_applicable(predicate):
+    for scenario_id in range(80):
+        spec = generate_scenario(SEED, scenario_id)
+        if predicate(spec, redteam_plan(spec)):
+            return scenario_id
+    raise AssertionError("no applicable scenario in the probe range")
+
+
+def row(record, technique):
+    return next(r for r in record["techniques"]
+                if r["technique"] == technique)
+
+
+class TestAttribution:
+    def test_apparmor_layer_is_profile_dfa(self):
+        assert attribute_block("apparmor:file_open") == MECH_PROFILE_DFA
+
+    def test_mount_hooks_win_over_layer(self):
+        assert attribute_block(
+            "capability:sb_mount: mount /dev/sda1") == MECH_MOUNT_POLICY
+
+    def test_setuid_and_exec_hooks_are_delegation(self):
+        assert attribute_block("protego:task_fix_setuid") == MECH_DELEGATION
+        assert attribute_block("protego:bprm_check: x") == MECH_DELEGATION
+        assert attribute_block(
+            "capability:task_fix_setuid") == MECH_DELEGATION
+
+    def test_dac_is_reference_monitor(self):
+        assert attribute_block(
+            "dac:file_open: dac denied mask=2") == MECH_REFERENCE_MONITOR
+
+
+class TestSetuidShellHijack:
+    def test_legacy_plants_root_account_protego_blocks(self):
+        result = row(battery_for(0), "setuid-shell-hijack")
+        assert result["legacy"]["outcome"] == "success"
+        assert "uid-0 account" in result["legacy"]["evidence"]
+        assert result["protego"]["outcome"] == "blocked"
+        assert result["protego"]["errno"] == "EACCES"
+        assert result["protego"]["mechanism"] == MECH_REFERENCE_MONITOR
+
+
+class TestSudoParserHijack:
+    def test_parser_runs_as_root_only_on_legacy(self):
+        scenario_id = first_applicable(applicable_sudo_parser)
+        result = row(battery_for(scenario_id), "sudo-parser-hijack")
+        assert result["applicable"]
+        assert result["legacy"]["outcome"] == "success"
+        assert "euid=0" in result["legacy"]["evidence"]
+        assert result["protego"]["outcome"] == "blocked"
+        assert result["protego"]["mechanism"] == MECH_DELEGATION
+
+    def test_not_applicable_when_root_delegable(self):
+        def delegable(spec, plan):
+            return plan.root_delegable
+        scenario_id = first_applicable(delegable)
+        result = row(battery_for(scenario_id), "sudo-parser-hijack")
+        assert not result["applicable"]
+        assert result["legacy"] is None and result["protego"] is None
+
+
+class TestNegationSymlink:
+    def test_symlink_launders_negated_command_only_on_legacy(self):
+        scenario_id = first_applicable(applicable_negation_symlink)
+        result = row(battery_for(scenario_id), "sudo-negation-symlink")
+        assert result["applicable"]
+        assert result["legacy"]["outcome"] == "success"
+        assert "through symlink" in result["legacy"]["evidence"]
+        assert result["protego"]["outcome"] == "blocked"
+        # The deferred setuid-on-exec path vetoes the resolved binary.
+        assert result["protego"]["mechanism"] == MECH_DELEGATION
+        assert result["protego"]["context"].startswith("protego:")
+
+
+class TestApparmorSymlinkConfusion:
+    def test_literal_path_profile_confused_only_with_euid0(self):
+        result = row(battery_for(0), "apparmor-symlink-confusion")
+        assert result["legacy"]["outcome"] == "success"
+        # The non-vacuity control: the direct open was denied.
+        assert "direct open denied" in result["legacy"]["evidence"]
+        assert result["protego"]["outcome"] == "blocked"
+        assert result["protego"]["mechanism"] == MECH_REFERENCE_MONITOR
+
+
+class TestConfinedProfileEscape:
+    def test_profile_dfa_blocks_both_modes(self):
+        result = row(battery_for(0), "confined-profile-escape")
+        for mode in ("legacy", "protego"):
+            assert result[mode]["outcome"] == "blocked"
+            assert result[mode]["mechanism"] == MECH_PROFILE_DFA
+
+
+class TestMountNonWhitelisted:
+    def test_hijacked_tool_mounts_only_on_legacy(self):
+        result = row(battery_for(0), "mount-nonwhitelisted")
+        assert result["legacy"]["outcome"] == "success"
+        assert "euid=0" in result["legacy"]["evidence"]
+        assert result["protego"]["outcome"] == "blocked"
+        assert result["protego"]["mechanism"] == MECH_MOUNT_POLICY
+
+
+class TestFragmentTrespass:
+    def test_errno_classes_are_distinguished(self):
+        # Legacy has no fragment directory: ENOENT records as
+        # *absent*, never as a block — the errno-class distinction
+        # that keeps the battery honest. Protego's denial is a real
+        # EACCES from plain DAC on the victim-owned fragment.
+        result = row(battery_for(0), "credential-fragment-trespass")
+        assert result["legacy"]["outcome"] == "absent"
+        assert result["legacy"]["errno"] == "ENOENT"
+        assert result["legacy"]["mechanism"] == ""
+        assert result["protego"]["outcome"] == "blocked"
+        assert result["protego"]["errno"] == "EACCES"
+        assert result["protego"]["mechanism"] == MECH_REFERENCE_MONITOR

@@ -76,7 +76,7 @@ def test_fleet_procfs_renders_the_chaos_line():
     # Reuse a chaos-style fleet: the scoreboard line must be readable
     # from inside the system at /proc/protego/fleet.
     from repro.fleet.engine import FleetConfig, FleetEngine
-    from repro.scenarios.build import build_system
+    from repro.core.build import build_system
 
     shards = build_shards(
         SystemMode.PROTEGO, 2, tenants=["t00"],

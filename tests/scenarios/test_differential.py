@@ -11,7 +11,7 @@ than matching nothing.
 import os
 
 from repro.core.system import SystemMode
-from repro.scenarios.build import build_system
+from repro.core.build import build_system
 from repro.scenarios.differ import run_differential, run_space
 from repro.scenarios.generator import generate_scenario
 from repro.scenarios.taxonomy import DIVERGENCE_CLASSES, classify
