@@ -35,6 +35,7 @@ KNOWN_BENCHES = (
     "BENCH_escalation.json",
     "BENCH_fastpath.json",
     "BENCH_fault_overhead.json",
+    "BENCH_parallel.json",
     "BENCH_policy_dfa.json",
     "BENCH_scenarios.json",
     "BENCH_sessions.json",
@@ -88,10 +89,10 @@ def _sessions_rows(name: str, payload: dict) -> list:
         rate = cell.get("sessions_per_sec") or 0
         if not rate:
             continue
-        key = (cell["sessions"], cell["shards"])
+        key = (cell["sessions"], cell["shards"], cell.get("workers", 1))
         per_session.setdefault(key, {})[cell["mode"]] = 1e6 / rate
     rows = []
-    for (sessions, shards), sides in sorted(per_session.items()):
+    for (sessions, shards, workers), sides in sorted(per_session.items()):
         linux_us = sides.get("linux")
         protego_us = sides.get("protego")
         ratio = ""
@@ -99,7 +100,8 @@ def _sessions_rows(name: str, payload: dict) -> list:
             ratio = f"{(protego_us - linux_us) / linux_us * 100:+.2f}%"
         rows.append({
             "benchmark": name,
-            "operation": f"{sessions} sess x {shards} shards",
+            "operation": (f"{sessions} sess x {shards} shards "
+                          f"x {workers}w"),
             "baseline_us": linux_us,
             "current_us": protego_us,
             "ratio": ratio,
@@ -118,7 +120,8 @@ def _sessions_rows(name: str, payload: dict) -> list:
     ablation = payload.get("ablation")
     if ablation and ablation.get("sessions_per_sec"):
         on_rate = per_session.get(
-            (ablation["sessions"], ablation["shards"]), {}).get("protego")
+            (ablation["sessions"], ablation["shards"],
+             ablation.get("workers", 1)), {}).get("protego")
         off_us = 1e6 / ablation["sessions_per_sec"]
         rows.append({
             "benchmark": name,
@@ -173,6 +176,43 @@ def _scenarios_rows(name: str, payload: dict) -> list:
         "baseline_us": None,
         "current_us": None,
         "ratio": str(divergences.get("unclassified", "?")),
+    })
+    return rows
+
+
+def _parallel_rows(name: str, payload: dict) -> list:
+    """Adapter for the multi-core payload: serial vs parallel wall
+    microseconds *per unit of work* (per session for the fleet, per
+    point for the chaos sweep) at the recorded worker count —
+    baseline is the serial pass, current the fanned-out one — plus a
+    row stating whether the speedup bars were enforced (a 1-core host
+    records the honest ~1x and ``bars off``)."""
+    workers = payload.get("workers", 0)
+    rows = []
+    for kind, label in (("fleet", "fleet"), ("sweep", "chaos sweep")):
+        cell = payload.get(kind)
+        if not cell:
+            continue
+        if kind == "fleet":
+            units = cell.get("sessions", 0)
+            size = f"{units} sess x {cell.get('shards', 0)} shards"
+        else:
+            units = cell.get("points", 0)
+            size = f"{units} points"
+        units = units or 1
+        rows.append({
+            "benchmark": name,
+            "operation": f"{label} {size} @{workers}w",
+            "baseline_us": cell.get("serial_s", 0) * 1e6 / units,
+            "current_us": cell.get("parallel_s", 0) * 1e6 / units,
+            "ratio": f"{cell.get('speedup', 0):.2f}x",
+        })
+    rows.append({
+        "benchmark": name,
+        "operation": f"speedup bars ({payload.get('cores', '?')} cores)",
+        "baseline_us": None,
+        "current_us": None,
+        "ratio": "enforced" if payload.get("bars_enforced") else "off",
     })
     return rows
 
@@ -239,6 +279,9 @@ def collect(root: Path = REPO_ROOT) -> list:
             continue
         if name == "escalation":
             rows.extend(_escalation_rows(name, payload))
+            continue
+        if name == "parallel":
+            rows.extend(_parallel_rows(name, payload))
             continue
         ops = payload.get("ops", {})
         for op, row in ops.items():

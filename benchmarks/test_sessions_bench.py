@@ -70,6 +70,10 @@ def _cell_record(stats, fastpath=True):
         "mode": stats.mode,
         "sessions": stats.sessions,
         "shards": stats.shards,
+        # Scheduler worker processes. The grid is the serial oracle
+        # (global schedule, one process); the multi-worker numbers
+        # live in BENCH_parallel.json.
+        "workers": 1,
         "fastpath": fastpath,
         "sessions_per_sec": round(stats.sessions_per_sec, 1),
         "session_p50_us": round(stats.session_p50 / 1000, 1),

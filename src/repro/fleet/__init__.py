@@ -10,8 +10,10 @@ from repro.fleet.clock import HarnessClock, TickClock
 from repro.fleet.engine import (
     FleetConfig,
     FleetEngine,
+    GLOBAL,
     HASH,
     MOD,
+    PER_SHARD,
     RANDOM,
     ROUND_ROBIN,
     run_fleet,
@@ -24,5 +26,5 @@ __all__ = [
     "FleetConfig", "FleetEngine", "FleetStats", "HarnessClock",
     "LatencyLedger", "Shard", "ShardReport", "TickClock",
     "build_shards", "run_fleet", "DEFAULT_MIX", "SCRIPTS",
-    "ROUND_ROBIN", "RANDOM", "MOD", "HASH",
+    "ROUND_ROBIN", "RANDOM", "MOD", "HASH", "GLOBAL", "PER_SHARD",
 ]

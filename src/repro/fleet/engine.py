@@ -20,10 +20,25 @@ Scheduling policies:
 * ``random`` — pick the next session uniformly from the live set with
   the dedicated scheduler RNG.
 
+Schedule modes:
+
+* ``global`` — the original oracle: one round-robin (or random draw)
+  over *every* live session in the fleet, whatever shard it lives on.
+  Maximally interleaved, inherently sequential.
+* ``per-shard`` — the partitionable schedule: each shard's sessions
+  are scheduled independently by :func:`run_shard_group` with a
+  shard-derived scheduler seed, and the per-shard results are folded
+  with :meth:`FleetStats.merge` in shard-id order. Because shards
+  share nothing (pinned by the isolation tests), the fold is the same
+  whether the groups ran back-to-back in this process or concurrently
+  in worker processes — which is exactly how
+  :mod:`repro.parallel.fleet` turns the mode into wall-clock speedup.
+
 Cross-shard bookkeeping is batched: credential-mutating sessions only
 raise their shard's ``needs_sync`` flag, and every
 ``bookkeeping_interval`` steps the engine drains the flags with one
-supervised daemon poll per dirty shard.
+supervised daemon poll per dirty shard (its own shard only, in
+per-shard mode — there is no cross-shard state to drain).
 """
 
 from __future__ import annotations
@@ -31,7 +46,7 @@ from __future__ import annotations
 import dataclasses
 import random
 import zlib
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.system import SystemMode
 from repro.fleet.clock import TickClock
@@ -52,10 +67,25 @@ RANDOM = "random"
 MOD = "mod"
 HASH = "hash"
 
+GLOBAL = "global"
+PER_SHARD = "per-shard"
+
 
 def _derive_seed(*parts: object) -> int:
-    """A stable child seed — CRC32, never ``hash()``."""
-    return zlib.crc32(":".join(str(p) for p in parts).encode())
+    """A stable child seed — CRC32 over *length-prefixed* parts.
+
+    The old ``":".join(...)`` framing let distinct part tuples collide
+    (``("a:b", "c")`` framed identically to ``("a", "b:c")``), so two
+    different derivation sites could accidentally share an RNG stream.
+    Length-prefixing each part makes the framing injective; no pinned
+    test depends on the old digests, so there is no compat shim.
+    """
+    crc = 0
+    for part in parts:
+        data = str(part).encode()
+        crc = zlib.crc32(f"{len(data)}:".encode(), crc)
+        crc = zlib.crc32(data, crc)
+    return crc
 
 
 @dataclasses.dataclass
@@ -85,6 +115,9 @@ class FleetConfig:
     #: (username, password) admin-script sessions run as when a roster
     #: is set; None with a roster = admin sessions draw from it too.
     admin: Optional[Tuple[str, str]] = None
+    #: Schedule mode: GLOBAL (the serial oracle) or PER_SHARD (the
+    #: partitionable schedule the parallel engine shares).
+    schedule: str = GLOBAL
 
 
 class _Session:
@@ -100,6 +133,258 @@ class _Session:
         self.started: Optional[int] = None
 
 
+class Tally:
+    """Live fleet-wide counters (feeds the /proc/protego/fleet header
+    while a run is in flight)."""
+
+    __slots__ = ("live", "completed", "failed", "steps")
+
+    def __init__(self) -> None:
+        self.reset(0)
+
+    def reset(self, live: int) -> None:
+        self.live = live
+        self.completed = 0
+        self.failed = 0
+        self.steps = 0
+
+
+def shard_index_for(assign: str, shard_count: int, tenant_names: List[str],
+                    tenant_index: int) -> int:
+    """Tenant-group placement, as a pure function — the parent and
+    every worker process compute the identical assignment from the
+    config alone."""
+    if assign == HASH:
+        name = tenant_names[tenant_index]
+        return zlib.crc32(name.encode()) % shard_count
+    return tenant_index % shard_count
+
+
+def admit_sessions(config: FleetConfig, shards_by_index: Dict[int, Shard],
+                   tenant_names: List[str],
+                   shard_count: int) -> List[_Session]:
+    """Build session generators for every sid whose shard is present.
+
+    Deterministic and partition-stable: each session's RNG, script,
+    tenant, and shard depend only on ``(config, sid)``, so a worker
+    holding a subset of the shards admits exactly the sessions the
+    full fleet would place there — in the same sid order.
+    """
+    sessions = []
+    for sid in range(config.sessions):
+        rng = random.Random(_derive_seed("session", config.seed, sid))
+        script = pick_script(rng, config.mix or DEFAULT_MIX)
+        tenant_index = sid % config.tenants
+        shard = shards_by_index.get(
+            shard_index_for(config.assign, shard_count, tenant_names,
+                            tenant_index))
+        if shard is None:
+            continue
+        if config.roster:
+            if script == "admin" and config.admin is not None:
+                username, password = config.admin
+            else:
+                username, password = config.roster[sid % len(config.roster)]
+        else:
+            username = user_for(script, sid, config.mode)
+            password = f"{username}-password"
+        ctx = SessionContext(
+            shard.system, sid, tenant_names[tenant_index],
+            username, password, rng, shard=shard)
+        gen = SCRIPTS[script](ctx)
+        sessions.append(_Session(sid, script, gen, shard))
+        shard.sessions += 1
+    return sessions
+
+
+@dataclasses.dataclass
+class GroupResult:
+    """What one scheduled session group produced (shard counters land
+    on the shards themselves; this is the scheduler-side remainder)."""
+
+    completed: int
+    failed: int
+    steps: int
+    session_ledger: LatencyLedger
+    op_ledgers: Dict[str, LatencyLedger]
+    op_counts: Dict[str, int]
+    digest: Optional[int]
+
+
+def run_session_group(live: List[_Session], policy: str,
+                      sched_rng: random.Random, clock: TickClock,
+                      interval: int, bookkeep: Callable[[], None],
+                      record_schedule: bool,
+                      tally: Optional[Tally] = None) -> GroupResult:
+    """The scheduler loop, over one group of sessions.
+
+    This is the single step loop behind every mode: the global engine
+    passes the whole fleet as one group with a drain-all bookkeeper;
+    the per-shard mode (serial or in a worker process) passes one
+    shard's sessions with a sync-this-shard bookkeeper. One op per
+    step; the interleaving is a pure function of (group, policy,
+    sched_rng, fault state).
+    """
+    session_ledger = LatencyLedger()
+    op_ledgers: Dict[str, LatencyLedger] = {}
+    op_counts: Dict[str, int] = {}
+    digest = 0 if record_schedule else None
+    completed = failed_count = steps = 0
+    cursor = 0
+
+    while live:
+        if policy == RANDOM:
+            cursor = sched_rng.randrange(len(live))
+        elif cursor >= len(live):
+            cursor = 0
+        session = live[cursor]
+        if session.started is None:
+            session.started = clock.now()
+        shard = session.shard
+        kernel_before = shard.kernel.now()
+        wall_before = clock.now()
+        finished = failed = False
+        op = None
+        err_name = None
+        faults = shard.kernel.faults
+        injected_before = faults.injected_total() if shard.chaos else 0
+        abort_site = shard.abort_site
+        if abort_site.armed and abort_site.should_fail(session.script):
+            # Injected scheduler-level abort: the session is torn
+            # down mid-flight with a schedule-drawn errno.
+            finished = failed = True
+            err_name = abort_site.pick_errno().name
+            session.gen.close()
+        else:
+            try:
+                op = next(session.gen)
+            except StopIteration:
+                finished = True
+            except SyscallError as exc:
+                finished = failed = True
+                err_name = exc.errno_value.name
+            except PermissionError:
+                finished = failed = True
+                err_name = "EPERM"
+        now = clock.advance()
+        if shard.chaos and faults.injected_total() > injected_before:
+            # Degradation scoreboard: a fault fired during this
+            # step — either the op absorbed it (degraded but
+            # correct) or it killed the session (hard failure).
+            if failed:
+                shard.hard_failures += 1
+            else:
+                shard.degraded_ops += 1
+        if op is not None:
+            steps += 1
+            shard.ops += 1
+            if tally is not None:
+                tally.steps += 1
+            op_counts[op] = op_counts.get(op, 0) + 1
+            # Per-op latency: wall nanoseconds under a harness
+            # clock, simulated kernel ticks under the tick clock —
+            # both deterministic in what they claim to measure.
+            cost = (now - wall_before) if clock.wall \
+                else (shard.kernel.now() - kernel_before)
+            op_ledgers.setdefault(op, LatencyLedger()).record(cost)
+            if digest is not None:
+                digest = zlib.crc32(
+                    f"{session.sid}:{op};".encode(), digest)
+        if finished:
+            if failed:
+                failed_count += 1
+                shard.failed += 1
+                shard.count_abort(err_name or "EPERM")
+                if digest is not None:
+                    digest = zlib.crc32(
+                        f"{session.sid}:FAIL:{err_name};".encode(),
+                        digest)
+            else:
+                completed += 1
+                shard.completed += 1
+            if tally is not None:
+                if failed:
+                    tally.failed += 1
+                else:
+                    tally.completed += 1
+            session_ledger.record(now - session.started)
+            live[cursor] = live[-1]
+            live.pop()
+            if tally is not None:
+                tally.live = len(live)
+        else:
+            cursor += 1
+        if steps % interval == 0:
+            bookkeep()
+
+    return GroupResult(completed, failed_count, steps, session_ledger,
+                       op_ledgers, op_counts, digest)
+
+
+def run_shard_group(shard: Shard, sessions: Sequence[_Session],
+                    config: FleetConfig,
+                    clock: Optional[TickClock] = None,
+                    tally: Optional[Tally] = None) -> FleetStats:
+    """Run one shard's session group under the per-shard schedule and
+    return its single-shard :class:`FleetStats` part.
+
+    The scheduler seed derives from ``(config.seed, shard.index)``, so
+    the group's interleaving — and therefore its schedule CRC and the
+    shard's audit ring — is a pure function of the config, independent
+    of which process runs it or what other shards are doing. Both the
+    serial per-shard engine and the parallel workers call exactly this
+    function; :meth:`FleetStats.merge` folds the parts either way.
+    """
+    clock = clock if clock is not None else TickClock()
+    sched_rng = random.Random(_derive_seed("sched", config.seed, shard.index))
+    interval = max(1, config.bookkeeping_interval)
+
+    def bookkeep() -> None:
+        if shard.needs_sync:
+            shard.sync()
+
+    start = clock.now()
+    result = run_session_group(list(sessions), config.policy, sched_rng,
+                               clock, interval, bookkeep,
+                               config.record_schedule, tally)
+    bookkeep()
+    elapsed = clock.now() - start
+    report = shard.report()
+    report.schedule_crc = result.digest
+
+    if clock.wall:
+        throughput = (result.completed / (elapsed / 1e9)) if elapsed else 0.0
+    else:
+        throughput = (result.completed / (elapsed / 1e6)) if elapsed else 0.0
+    p50, p95, p99 = result.session_ledger.percentiles()
+    return FleetStats(
+        mode=config.mode.value,
+        sessions=report.sessions,
+        shards=1,
+        policy=config.policy,
+        assign=config.assign,
+        seed=config.seed,
+        fastpath=config.fastpath,
+        clock="wall" if clock.wall else "tick",
+        schedule=PER_SHARD,
+        completed=result.completed,
+        failed=result.failed,
+        ops=result.steps,
+        elapsed=float(elapsed),
+        sessions_per_sec=throughput,
+        session_p50=p50, session_p95=p95, session_p99=p99,
+        session_mean=result.session_ledger.mean,
+        session_max=result.session_ledger.max,
+        op_latency={kind: ledger.percentiles()
+                    for kind, ledger in result.op_ledgers.items()},
+        op_counts=result.op_counts,
+        shard_reports=[report],
+        schedule_digest=result.digest,
+        session_ledger=result.session_ledger,
+        op_ledgers=result.op_ledgers,
+    )
+
+
 class FleetEngine:
     """Builds the shard pool, admits sessions, runs the schedule."""
 
@@ -110,152 +395,76 @@ class FleetEngine:
             raise ValueError(f"unknown policy {config.policy!r}")
         if config.assign not in (MOD, HASH):
             raise ValueError(f"unknown assignment {config.assign!r}")
+        if config.schedule not in (GLOBAL, PER_SHARD):
+            raise ValueError(f"unknown schedule {config.schedule!r}")
         self.config = config
         self.clock = clock or TickClock()
         self.tenant_names = [f"t{i:02d}" for i in range(config.tenants)]
         self.shards = shards if shards is not None else build_shards(
             config.mode, config.shards, tenants=self.tenant_names,
             fastpath=config.fastpath)
-        self._live = 0
-        self._completed = 0
-        self._failed = 0
-        self._steps = 0
+        self.tally = Tally()
         for shard in self.shards:
             shard.attach_fleet_render(self._render_live)
 
     # ------------------------------------------------------------------
     def shard_for(self, tenant_index: int) -> Shard:
-        if self.config.assign == HASH:
-            name = self.tenant_names[tenant_index]
-            return self.shards[zlib.crc32(name.encode()) % len(self.shards)]
-        return self.shards[tenant_index % len(self.shards)]
+        return self.shards[shard_index_for(
+            self.config.assign, len(self.shards), self.tenant_names,
+            tenant_index)]
 
     def _admit(self) -> List[_Session]:
         """Build every session's generator (deterministically — each
         session's RNG and script choice depend only on (seed, sid))."""
-        config = self.config
-        sessions = []
-        for sid in range(config.sessions):
-            rng = random.Random(_derive_seed("session", config.seed, sid))
-            script = pick_script(rng, config.mix or DEFAULT_MIX)
-            tenant_index = sid % config.tenants
-            shard = self.shard_for(tenant_index)
-            if config.roster:
-                if script == "admin" and config.admin is not None:
-                    username, password = config.admin
-                else:
-                    username, password = config.roster[sid % len(config.roster)]
-            else:
-                username = user_for(script, sid, config.mode)
-                password = f"{username}-password"
-            ctx = SessionContext(
-                shard.system, sid, self.tenant_names[tenant_index],
-                username, password, rng, shard=shard)
-            gen = SCRIPTS[script](ctx)
-            sessions.append(_Session(sid, script, gen, shard))
-            shard.sessions += 1
-        return sessions
+        by_index = {shard.index: shard for shard in self.shards}
+        return admit_sessions(self.config, by_index, self.tenant_names,
+                              len(self.shards))
 
     # ------------------------------------------------------------------
     def run(self) -> FleetStats:
+        if self.config.schedule == PER_SHARD:
+            return FleetStats.merge(self.run_parts())
+        return self._run_global()
+
+    def _run_global(self) -> FleetStats:
         config = self.config
         clock = self.clock
         sched_rng = random.Random(_derive_seed("sched", config.seed))
-        session_ledger = LatencyLedger()
-        op_ledgers: Dict[str, LatencyLedger] = {}
-        op_counts: Dict[str, int] = {}
-        digest = 0 if config.record_schedule else None
 
         for shard in self.shards:
             shard.begin_run()
         live = self._admit()
-        self._live = len(live)
-        self._completed = self._failed = self._steps = 0
+        self.tally.reset(len(live))
 
         run_start = clock.now()
-        cursor = 0
-        interval = max(1, config.bookkeeping_interval)
-
-        while live:
-            if config.policy == RANDOM:
-                cursor = sched_rng.randrange(len(live))
-            elif cursor >= len(live):
-                cursor = 0
-            session = live[cursor]
-            if session.started is None:
-                session.started = clock.now()
-            shard = session.shard
-            kernel_before = shard.kernel.now()
-            wall_before = clock.now()
-            finished = failed = False
-            op = None
-            err_name = None
-            faults = shard.kernel.faults
-            injected_before = faults.injected_total() if shard.chaos else 0
-            abort_site = shard.abort_site
-            if abort_site.armed and abort_site.should_fail(session.script):
-                # Injected scheduler-level abort: the session is torn
-                # down mid-flight with a schedule-drawn errno.
-                finished = failed = True
-                err_name = abort_site.pick_errno().name
-                session.gen.close()
-            else:
-                try:
-                    op = next(session.gen)
-                except StopIteration:
-                    finished = True
-                except SyscallError as exc:
-                    finished = failed = True
-                    err_name = exc.errno_value.name
-                except PermissionError:
-                    finished = failed = True
-                    err_name = "EPERM"
-            now = clock.advance()
-            if shard.chaos and faults.injected_total() > injected_before:
-                # Degradation scoreboard: a fault fired during this
-                # step — either the op absorbed it (degraded but
-                # correct) or it killed the session (hard failure).
-                if failed:
-                    shard.hard_failures += 1
-                else:
-                    shard.degraded_ops += 1
-            if op is not None:
-                self._steps += 1
-                shard.ops += 1
-                op_counts[op] = op_counts.get(op, 0) + 1
-                # Per-op latency: wall nanoseconds under a harness
-                # clock, simulated kernel ticks under the tick clock —
-                # both deterministic in what they claim to measure.
-                cost = (now - wall_before) if clock.wall \
-                    else (shard.kernel.now() - kernel_before)
-                op_ledgers.setdefault(op, LatencyLedger()).record(cost)
-                if digest is not None:
-                    digest = zlib.crc32(
-                        f"{session.sid}:{op};".encode(), digest)
-            if finished:
-                if failed:
-                    self._failed += 1
-                    shard.failed += 1
-                    shard.count_abort(err_name or "EPERM")
-                    if digest is not None:
-                        digest = zlib.crc32(
-                            f"{session.sid}:FAIL:{err_name};".encode(),
-                            digest)
-                else:
-                    self._completed += 1
-                    shard.completed += 1
-                session_ledger.record(now - session.started)
-                live[cursor] = live[-1]
-                live.pop()
-                self._live = len(live)
-            else:
-                cursor += 1
-            if self._steps % interval == 0:
-                self._bookkeep()
+        result = run_session_group(
+            live, config.policy, sched_rng, clock,
+            max(1, config.bookkeeping_interval), self._bookkeep,
+            config.record_schedule, self.tally)
         self._bookkeep()
         elapsed = clock.now() - run_start
-        return self._stats(elapsed, session_ledger, op_ledgers,
-                           op_counts, digest)
+        return self._stats(elapsed, result)
+
+    def run_parts(self) -> List[FleetStats]:
+        """The serial per-shard run, as its mergeable parts: each
+        shard's group scheduled independently, in shard-id order.
+
+        Exposed (rather than folded straight into :meth:`run`) so the
+        merge tests can regroup the parts, and so the parallel engine
+        has an in-process oracle producing the identical part list."""
+        if self.config.schedule != PER_SHARD:
+            raise ValueError("run_parts requires the per-shard schedule")
+        for shard in self.shards:
+            shard.begin_run()
+        sessions = self._admit()
+        self.tally.reset(len(sessions))
+        groups: Dict[int, List[_Session]] = {}
+        for session in sessions:
+            groups.setdefault(session.shard.index, []).append(session)
+        return [run_shard_group(shard, groups.get(shard.index, []),
+                                self.config, clock=self.clock,
+                                tally=self.tally)
+                for shard in sorted(self.shards, key=lambda s: s.index)]
 
     def _bookkeep(self) -> None:
         for shard in self.shards:
@@ -263,14 +472,14 @@ class FleetEngine:
                 shard.sync()
 
     # ------------------------------------------------------------------
-    def _stats(self, elapsed, session_ledger, op_ledgers, op_counts,
-               digest) -> FleetStats:
+    def _stats(self, elapsed, result: GroupResult) -> FleetStats:
         config = self.config
+        completed = result.completed
         if self.clock.wall:
-            throughput = (self._completed / (elapsed / 1e9)) if elapsed else 0.0
+            throughput = (completed / (elapsed / 1e9)) if elapsed else 0.0
         else:
-            throughput = (self._completed / (elapsed / 1e6)) if elapsed else 0.0
-        p50, p95, p99 = session_ledger.percentiles()
+            throughput = (completed / (elapsed / 1e6)) if elapsed else 0.0
+        p50, p95, p99 = result.session_ledger.percentiles()
         return FleetStats(
             mode=config.mode.value,
             sessions=config.sessions,
@@ -280,34 +489,39 @@ class FleetEngine:
             seed=config.seed,
             fastpath=config.fastpath,
             clock="wall" if self.clock.wall else "tick",
-            completed=self._completed,
-            failed=self._failed,
-            ops=self._steps,
+            schedule=config.schedule,
+            completed=completed,
+            failed=result.failed,
+            ops=result.steps,
             elapsed=float(elapsed),
             sessions_per_sec=throughput,
             session_p50=p50, session_p95=p95, session_p99=p99,
-            session_mean=session_ledger.mean,
-            session_max=session_ledger.max,
+            session_mean=result.session_ledger.mean,
+            session_max=result.session_ledger.max,
             op_latency={kind: ledger.percentiles()
-                        for kind, ledger in op_ledgers.items()},
-            op_counts=op_counts,
+                        for kind, ledger in result.op_ledgers.items()},
+            op_counts=result.op_counts,
             shard_reports=[shard.report() for shard in self.shards],
-            schedule_digest=digest,
+            schedule_digest=result.digest,
+            session_ledger=result.session_ledger,
+            op_ledgers=result.op_ledgers,
         )
 
     def _render_live(self) -> str:
         """The fleet-wide header each shard's /proc/protego/fleet
         prepends to its own report."""
         config = self.config
+        tally = self.tally
         aborted = sum(s.aborted for s in self.shards)
         degraded = sum(s.degraded_ops for s in self.shards)
         hard = sum(s.hard_failures for s in self.shards)
         return (f"fleet: mode={config.mode.value} "
                 f"sessions={config.sessions} shards={len(self.shards)} "
                 f"policy={config.policy} assign={config.assign} "
-                f"seed={config.seed} live={self._live} "
-                f"completed={self._completed} failed={self._failed} "
-                f"steps={self._steps}\n"
+                f"schedule={config.schedule} "
+                f"seed={config.seed} live={tally.live} "
+                f"completed={tally.completed} failed={tally.failed} "
+                f"steps={tally.steps}\n"
                 f"chaos: aborted={aborted} degraded={degraded} "
                 f"hard_failures={hard}\n")
 

@@ -17,7 +17,8 @@ engine talks to shards for three things:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import zlib
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.system import System, SystemMode
 from repro.fleet.stats import ShardReport
@@ -161,6 +162,8 @@ class Shard:
             sync_postponed=self.sync_postponed,
             degraded_ops=self.degraded_ops,
             hard_failures=self.hard_failures,
+            audit_crc=zlib.crc32(
+                self.kernel.security_server.audit.render().encode()),
         )
 
     # ------------------------------------------------------------------
@@ -183,7 +186,8 @@ class Shard:
 def build_shards(mode: SystemMode, count: int,
                  tenants: Optional[List[str]] = None,
                  fastpath: bool = True,
-                 system_factory=None) -> List[Shard]:
+                 system_factory=None,
+                 indices: Optional[Sequence[int]] = None) -> List[Shard]:
     """Provision *count* systems as fleet shards.
 
     Construction leans on the provisioning memos in
@@ -191,9 +195,15 @@ def build_shards(mode: SystemMode, count: int,
     hashes and serialized policy builds are computed once per process
     and reused), so a 16-shard fleet boots in roughly the time two
     cold systems used to take.
+
+    *indices* restricts construction to a subset of the fleet's shard
+    ids (a parallel worker builds only its slice); every shard is
+    built exactly as it would be at its position in the full fleet —
+    same hostname, same namespace dirs — so a worker-built shard is
+    byte-identical to the in-parent one.
     """
     shards = []
-    for index in range(count):
+    for index in (range(count) if indices is None else indices):
         if system_factory is not None:
             # Scenario-generated fleets: the caller provisions the
             # System (generated users/configs) and we do the fleet

@@ -7,12 +7,42 @@ per-op samples is not cheap). The decimation is stride doubling: once
 a reservoir is full, every other retained sample is dropped and only
 every 2^k-th new sample is kept — no RNG, so two runs with the same
 seed keep identical reservoirs.
+
+Both ledgers and whole reports are *mergeable*: the per-shard schedule
+mode (and the process-parallel engine built on it — DESIGN.md §15)
+produces one single-shard :class:`FleetStats` part per shard, and
+:meth:`FleetStats.merge` folds the parts in shard-id order. Every
+merge is order-defined (shard-id order is the canonical fold order)
+and associative — reservoirs concatenate untouched and the cap
+decimation is deferred to the next ``record()`` — so any grouping of
+the parts yields the same report, which is what lets N worker
+processes each merge their own slice.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Tuple
+import zlib
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+def combine_schedule_digests(
+        digests: Iterable[Optional[int]]) -> Optional[int]:
+    """Fold per-shard schedule CRCs into one fleet digest.
+
+    The fold is over the shard-id-ordered sequence (the caller's
+    responsibility — :meth:`FleetStats.merge` sorts its reports), and
+    ``None`` when no shard recorded a schedule. Folding formatted
+    values rather than XOR-ing keeps the combination order-sensitive:
+    swapping two shards' schedules changes the fleet digest.
+    """
+    digests = list(digests)
+    if all(digest is None for digest in digests):
+        return None
+    crc = 0
+    for digest in digests:
+        crc = zlib.crc32(f"{digest};".encode(), crc)
+    return crc
 
 
 def percentile(values: List[float], fraction: float) -> float:
@@ -66,6 +96,43 @@ class LatencyLedger:
                 percentile(self._samples, 0.95),
                 percentile(self._samples, 0.99))
 
+    # -- merging -------------------------------------------------------
+    def merge(self, other: "LatencyLedger") -> "LatencyLedger":
+        """Fold *other* into this ledger (in place; returns self).
+
+        Exact aggregates add; reservoirs concatenate in fold order,
+        *untouched* — no realignment, no decimation. That is what
+        makes the fold associative: decimating a concatenation would
+        shift slice offsets with the left operand's length, so any
+        regrouping would retain different samples; plain concatenation
+        regroups freely. The merged stride is the coarser of the two
+        (it only governs future appends) and the cap decimation is
+        deferred — a merged reservoir may exceed ``cap`` until enough
+        ``record()`` appends shrink it — so a fold sequence produces
+        one reservoir whatever its grouping. Retained samples keep
+        their source ledger's density (a long-running shard's samples
+        are sparser than a short one's); nearest-rank percentiles over
+        the union are an estimate either way, and the serial per-shard
+        engine and the parallel merge compute them from the identical
+        union.
+        """
+        self.count += other.count
+        self.total += other.total
+        if other.max > self.max:
+            self.max = other.max
+        self._samples = self._samples + other._samples
+        self._stride = max(self._stride, other._stride)
+        self._phase = 0
+        return self
+
+    @classmethod
+    def merged(cls, ledgers: Sequence["LatencyLedger"]) -> "LatencyLedger":
+        """A fresh ledger folding *ledgers* left-to-right."""
+        out = cls(cap=ledgers[0].cap if ledgers else 8192)
+        for ledger in ledgers:
+            out.merge(ledger)
+        return out
+
 
 @dataclasses.dataclass
 class ShardReport:
@@ -102,6 +169,14 @@ class ShardReport:
     #: an injected fault and still completed vs. steps a fault killed.
     degraded_ops: int = 0
     hard_failures: int = 0
+    #: CRC32 of the shard's rendered audit ring at report time — the
+    #: per-shard fingerprint the determinism projection compares, and
+    #: what a worker ships back instead of the ring itself.
+    audit_crc: int = 0
+    #: Per-shard (sid, op) schedule CRC — set only by the per-shard
+    #: schedule mode (``None`` under the global oracle schedule, whose
+    #: digest is fleet-wide).
+    schedule_crc: Optional[int] = None
 
     def render(self) -> str:
         errnos = ",".join(f"{name}={count}" for name, count
@@ -122,7 +197,8 @@ class ShardReport:
             f"  aborted={self.aborted} ({errnos}) "
             f"sync_postponed={self.sync_postponed} "
             f"degraded={self.degraded_ops} "
-            f"hard_failures={self.hard_failures}"
+            f"hard_failures={self.hard_failures} "
+            f"audit_crc={self.audit_crc:08x}"
         )
 
 
@@ -139,6 +215,10 @@ class FleetStats:
     seed: int
     fastpath: bool
     clock: str              # "tick" or "wall"
+    #: Schedule mode echo: "global" (the serial oracle round-robin over
+    #: every live session) or "per-shard" (the partitionable schedule
+    #: serial and parallel engines share).
+    schedule: str = "global"
     completed: int = 0
     failed: int = 0
     ops: int = 0
@@ -156,8 +236,17 @@ class FleetStats:
     op_counts: Dict[str, int] = dataclasses.field(default_factory=dict)
     shard_reports: List[ShardReport] = dataclasses.field(default_factory=list)
     #: Rolling CRC over the (sid, op) schedule, when the engine was
-    #: asked to record it — the determinism tests' fingerprint.
+    #: asked to record it — the determinism tests' fingerprint. Under
+    #: the per-shard schedule this is the shard-id-ordered combination
+    #: of the per-shard ``schedule_crc`` values.
     schedule_digest: Optional[int] = None
+    #: The live ledgers behind the percentile fields — attached by the
+    #: engine so reports stay mergeable; excluded from equality and
+    #: the determinism projection (reservoirs are wall-latency data).
+    session_ledger: Optional[LatencyLedger] = \
+        dataclasses.field(default=None, repr=False, compare=False)
+    op_ledgers: Optional[Dict[str, LatencyLedger]] = \
+        dataclasses.field(default=None, repr=False, compare=False)
 
     @property
     def latency_unit(self) -> str:
@@ -181,22 +270,109 @@ class FleetStats:
 
     def comparable(self) -> dict:
         """The deterministic projection: every field two same-seed runs
-        must agree on, wall-time fields excluded."""
+        must agree on, wall-time fields excluded. Keys with unordered
+        sources (op counts) are emitted sorted so the projection is
+        bit-identical — ``repr()`` included — however it was built
+        (one global schedule, a serial per-shard fold, or N worker
+        processes merged)."""
         return {
             "mode": self.mode, "sessions": self.sessions,
             "shards": self.shards, "policy": self.policy,
             "assign": self.assign, "seed": self.seed,
+            "schedule": self.schedule,
             "completed": self.completed, "failed": self.failed,
-            "ops": self.ops, "op_counts": dict(self.op_counts),
+            "ops": self.ops,
+            "op_counts": {op: self.op_counts[op]
+                          for op in sorted(self.op_counts)},
             "schedule_digest": self.schedule_digest,
             "per_shard": [
                 (r.index, r.sessions, r.completed, r.failed, r.ops,
                  r.syncs, r.audit_appended, r.aborted,
                  tuple(sorted(r.abort_errnos.items())),
-                 r.sync_postponed, r.degraded_ops, r.hard_failures)
+                 r.sync_postponed, r.degraded_ops, r.hard_failures,
+                 r.audit_crc, r.schedule_crc)
                 for r in self.shard_reports
             ],
         }
+
+    @classmethod
+    def merge(cls, parts: Sequence["FleetStats"]) -> "FleetStats":
+        """Fold single-shard-group *parts* into one fleet report.
+
+        The canonical fold order is shard-id order — parts are sorted
+        by their first shard index, so the merge is a pure function of
+        the part *set* — and the fold is associative (already-merged
+        sub-groups merge again without changing anything: counters
+        add, reports concatenate, the schedule digest is recomputed
+        from the per-shard CRCs every time). This is the single code
+        path behind both the serial per-shard engine and the parent
+        side of the process-parallel engine, which is what makes their
+        ``comparable()`` projections bit-identical.
+        """
+        if not parts:
+            raise ValueError("nothing to merge")
+        parts = sorted(parts, key=lambda p: p.shard_reports[0].index
+                       if p.shard_reports else -1)
+        first = parts[0]
+        reports = sorted((report for part in parts
+                          for report in part.shard_reports),
+                         key=lambda r: r.index)
+        op_counts: Dict[str, int] = {}
+        for part in parts:
+            for op, count in part.op_counts.items():
+                op_counts[op] = op_counts.get(op, 0) + count
+        op_counts = {op: op_counts[op] for op in sorted(op_counts)}
+
+        session_ledger = None
+        op_ledgers = None
+        if all(part.session_ledger is not None for part in parts):
+            session_ledger = LatencyLedger.merged(
+                [part.session_ledger for part in parts])
+        if all(part.op_ledgers is not None for part in parts):
+            op_ledgers = {
+                op: LatencyLedger.merged(
+                    [part.op_ledgers[op] for part in parts
+                     if op in part.op_ledgers])
+                for op in sorted(op_counts)}
+
+        completed = sum(part.completed for part in parts)
+        elapsed = float(sum(part.elapsed for part in parts))
+        if first.clock == "wall":
+            throughput = completed / (elapsed / 1e9) if elapsed else 0.0
+        else:
+            throughput = completed / (elapsed / 1e6) if elapsed else 0.0
+        if session_ledger is not None:
+            p50, p95, p99 = session_ledger.percentiles()
+            mean, peak = session_ledger.mean, session_ledger.max
+        else:
+            p50 = p95 = p99 = mean = peak = 0.0
+        return cls(
+            mode=first.mode,
+            sessions=sum(part.sessions for part in parts),
+            shards=len(reports),
+            policy=first.policy,
+            assign=first.assign,
+            seed=first.seed,
+            fastpath=first.fastpath,
+            clock=first.clock,
+            schedule=first.schedule,
+            completed=completed,
+            failed=sum(part.failed for part in parts),
+            ops=sum(part.ops for part in parts),
+            elapsed=elapsed,
+            sessions_per_sec=throughput,
+            session_p50=p50, session_p95=p95, session_p99=p99,
+            session_mean=mean, session_max=peak,
+            op_latency={op: ledger.percentiles()
+                        for op, ledger in op_ledgers.items()}
+            if op_ledgers is not None else {},
+            op_counts=op_counts,
+            shard_reports=reports,
+            schedule_digest=combine_schedule_digests(
+                [report.schedule_crc for report in reports]),
+            session_ledger=session_ledger,
+            op_ledgers=op_ledgers,
+        )
 
     def render(self) -> str:
         unit = self.latency_unit

@@ -1,0 +1,110 @@
+"""Deterministic process-pool fan-out: ``parallel_map``.
+
+The contract: ``parallel_map(fn, keys)`` returns exactly
+``[fn(key) for key in keys]`` — same values, same order — whatever
+the worker count. That only holds when *fn* is a pure function of its
+key (no wall clock, no global RNG, no cross-key state), which is
+precisely the invariant the sweep drivers already pin with their
+replay tests; the pool adds wall-clock parallelism without touching
+the records.
+
+Mechanics:
+
+* **chunked dispatch** — keys are split into contiguous chunks (a
+  caller can pin ``chunk_size`` to keep cache-friendly keys — e.g.
+  every fault schedule of one scenario — inside one process, so
+  per-process memos like the chaos oracle still amortize);
+* **ordered merge** — chunks are mapped with ``Pool.map``, which
+  preserves submission order, then flattened, so results land in key
+  order no matter which worker finished first;
+* **serial fallback** — ``workers <= 1``, a single key, or a platform
+  with no usable start method runs the plain comprehension in-process
+  (no pool, no pickling, no surprises under pdb).
+
+Workers are forked where the platform allows (``fork`` keeps warm
+module memos and needs no importability gymnastics) and spawned
+otherwise — *fn* must then be a module-level callable importable by
+its qualified name, which every shipped consumer is.
+
+Worker-count resolution: explicit ``workers=`` wins, else the
+``REPRO_WORKERS`` environment knob, else 1. The knob is documented in
+the README ("Parallel execution").
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from functools import partial
+from typing import Callable, Iterable, List, Optional, Sequence
+
+#: Target chunks per worker when the caller doesn't pin a chunk size:
+#: small enough to level uneven per-key cost, large enough that chunk
+#: dispatch isn't all overhead.
+CHUNKS_PER_WORKER = 4
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Explicit *workers* if given, else ``REPRO_WORKERS``, else 1."""
+    if workers is None:
+        try:
+            workers = int(os.environ.get("REPRO_WORKERS", "1"))
+        except ValueError:
+            workers = 1
+    return max(1, workers)
+
+
+def start_method() -> Optional[str]:
+    """The start method the pool will use: ``fork`` where available
+    (Linux), else ``spawn``, else ``None`` (no multiprocessing — the
+    serial fallback takes over)."""
+    available = multiprocessing.get_all_start_methods()
+    for preferred in ("fork", "spawn"):
+        if preferred in available:
+            return preferred
+    return None
+
+
+def _run_chunk(fn: Callable, chunk: Sequence) -> List:
+    """One worker task: apply *fn* to every key of one chunk."""
+    return [fn(key) for key in chunk]
+
+
+def parallel_map(fn: Callable, keys: Iterable, workers: Optional[int] = None,
+                 chunk_size: Optional[int] = None) -> List:
+    """``[fn(key) for key in keys]`` over a process pool.
+
+    Results come back in key order; with a pure *fn* the output is
+    bit-identical at every worker count (the determinism the sweep
+    tests assert). Exceptions raised by *fn* propagate to the caller,
+    as they would from the serial comprehension.
+    """
+    keys = list(keys)
+    workers = resolve_workers(workers)
+    method = start_method()
+    if workers <= 1 or len(keys) <= 1 or method is None:
+        return [fn(key) for key in keys]
+
+    if chunk_size is None:
+        chunk_size = -(-len(keys) // (workers * CHUNKS_PER_WORKER))
+    chunk_size = max(1, chunk_size)
+    chunks = [keys[start:start + chunk_size]
+              for start in range(0, len(keys), chunk_size)]
+
+    context = multiprocessing.get_context(method)
+    try:
+        pool = context.Pool(processes=min(workers, len(chunks)))
+    except (OSError, ValueError):
+        # Pool creation can fail on fd/process-starved hosts — the
+        # result must not: fall back to the serial comprehension.
+        return [fn(key) for key in keys]
+    try:
+        chunk_results = pool.map(partial(_run_chunk, fn), chunks)
+    finally:
+        pool.close()
+        pool.join()
+    return [result for chunk in chunk_results for result in chunk]
+
+
+__all__ = ["CHUNKS_PER_WORKER", "parallel_map", "resolve_workers",
+           "start_method"]

@@ -32,6 +32,7 @@ from repro.auth.passwords import hash_password
 from repro.config.sudoers import ALL, parse_sudoers
 from repro.core.build import build_pair, config_from_scenario
 from repro.kernel.capabilities import Capability
+from repro.parallel.pool import parallel_map
 from repro.redteam.surface import enumerate_surface
 from repro.redteam.techniques import (
     OUTCOME_BLOCKED,
@@ -194,14 +195,29 @@ def _empty_cell() -> Dict[str, object]:
             "protego": dict(sides)}
 
 
+def _battery_point(key: Tuple[int, int]) -> Dict[str, object]:
+    """One scenario's battery from its key — module-level so a
+    spawned pool worker can import it."""
+    seed, scenario_id = key
+    return run_scenario_battery(seed, scenario_id)
+
+
 def run_battery(seed: int, n_scenarios: int,
-                scenario_ids: Optional[List[int]] = None) -> Dict[str, object]:
+                scenario_ids: Optional[List[int]] = None,
+                workers: Optional[int] = None) -> Dict[str, object]:
     """Sweep *n_scenarios* scenario ids (or an explicit list) and
     aggregate the per-technique matrix, mechanism attribution counts,
-    and block rate."""
+    and block rate.
+
+    Per-scenario batteries are pure functions of ``(seed, sid)``, so
+    the sweep fans out over :func:`repro.parallel.pool.parallel_map`
+    (*workers* explicit, else ``REPRO_WORKERS``, else serial); the
+    aggregation below runs in-process over the id-ordered records, so
+    the battery report is bit-identical at any worker count."""
     ids = list(scenario_ids) if scenario_ids is not None else list(
         range(n_scenarios))
-    scenarios = [run_scenario_battery(seed, sid) for sid in ids]
+    scenarios = parallel_map(_battery_point, [(seed, sid) for sid in ids],
+                             workers=workers)
 
     matrix: Dict[str, Dict[str, object]] = {}
     mechanisms: Dict[str, int] = {}

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import random
 import zlib
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.config.sudoers import ALL, parse_sudoers
 from repro.core.system import SystemMode
@@ -38,6 +38,7 @@ from repro.kernel.errno import SyscallError
 from repro.kernel.fault import CATALOG
 from repro.kernel.net.socket import AddressFamily, SocketType
 from repro.core.build import build_system
+from repro.parallel.pool import parallel_map
 from repro.scenarios.generator import VERSION, ScenarioSpec, generate_scenario
 from repro.userspace.sshkeysign import HOST_KEY_PATH
 
@@ -274,3 +275,35 @@ def run_chaos_point(seed: int, scenario_id: int, schedule_id: int,
         },
         "violations": tuple(violations),
     }
+
+
+def _chaos_key(key: Tuple[int, int, int, int, int, bool]) -> dict:
+    """One sweep point from its flat key — module-level so a spawned
+    pool worker can import it."""
+    seed, scenario_id, schedule_id, sessions, shard_count, armed = key
+    return run_chaos_point(seed, scenario_id, schedule_id,
+                           sessions=sessions, shard_count=shard_count,
+                           armed=armed)
+
+
+def run_chaos_space(seed: int, scenario_ids: Sequence[int],
+                    schedule_ids: Sequence[int],
+                    sessions: int = 16, shard_count: int = 2,
+                    armed: bool = True,
+                    workers: Optional[int] = None) -> List[dict]:
+    """The chaos sweep: every ``(scenario_id, schedule_id)`` pair,
+    scenario-major order.
+
+    Points are pure functions of their seeds (invariant 4), so the
+    sweep fans out over :func:`repro.parallel.pool.parallel_map` —
+    *workers* explicit, else ``REPRO_WORKERS``, else serial — and the
+    records come back in sweep order, bit-identical at any worker
+    count. Chunks are pinned to one scenario's schedule block so the
+    fault-free oracle memo (keyed by scenario, shared by all its
+    schedules) still amortizes inside each worker process.
+    """
+    keys = [(seed, scenario_id, schedule_id, sessions, shard_count, armed)
+            for scenario_id in scenario_ids
+            for schedule_id in schedule_ids]
+    return parallel_map(_chaos_key, keys, workers=workers,
+                        chunk_size=max(1, len(schedule_ids)))

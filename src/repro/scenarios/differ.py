@@ -10,11 +10,12 @@ from __future__ import annotations
 
 import dataclasses
 from itertools import zip_longest
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.system import SystemMode
 from repro.core.build import build_system
 from repro.scenarios.generator import ScenarioSpec, generate_scenario
+from repro.parallel.pool import parallel_map
 from repro.scenarios.taxonomy import classify
 from repro.scenarios.workload import run_session
 
@@ -108,7 +109,23 @@ def run_differential(spec: ScenarioSpec) -> DiffReport:
     return report
 
 
-def run_space(seed: int, count: int) -> List[DiffReport]:
-    """Differential runs over scenario ids ``0..count-1``."""
-    return [run_differential(generate_scenario(seed, scenario_id))
-            for scenario_id in range(count)]
+def _space_point(key: Tuple[int, int]) -> DiffReport:
+    """One scenario of a space sweep — module-level so a spawned pool
+    worker can import it, and a pure function of its key."""
+    seed, scenario_id = key
+    return run_differential(generate_scenario(seed, scenario_id))
+
+
+def run_space(seed: int, count: int,
+              workers: Optional[int] = None) -> List[DiffReport]:
+    """Differential runs over scenario ids ``0..count-1``.
+
+    Scenarios are independent (each builds its own pair of systems),
+    so the sweep fans out over :func:`repro.parallel.pool.parallel_map`
+    — *workers* explicit, else the ``REPRO_WORKERS`` knob, else
+    serial. Reports come back in scenario-id order and are identical
+    at any worker count.
+    """
+    return parallel_map(_space_point,
+                        [(seed, scenario_id) for scenario_id in range(count)],
+                        workers=workers)

@@ -19,6 +19,10 @@ fault-free oracle. The invariants:
 Schedule count and base seed come from ``REPRO_FAULT_SCHEDULES``
 (default 200) and ``REPRO_FAULT_SEED`` (default 1337) so CI can run a
 cheaper pinned smoke while the full sweep stays the local default.
+Schedules are independent, so the sweep precomputes every seed's
+outcome through :func:`repro.parallel.pool.parallel_map` (the
+``REPRO_WORKERS`` knob); the per-seed tests then assert over the
+picklable records.
 """
 
 import os
@@ -31,6 +35,7 @@ from repro.kernel import modes
 from repro.kernel.errno import Errno, SyscallError
 from repro.kernel.fault import CATALOG
 from repro.kernel.net.socket import AddressFamily, SocketType
+from repro.parallel.pool import parallel_map
 
 SCHEDULES = int(os.environ.get("REPRO_FAULT_SCHEDULES", "200"))
 BASE_SEED = int(os.environ.get("REPRO_FAULT_SEED", "1337"))
@@ -166,6 +171,21 @@ def run_schedule(seed):
     return tuple(record), system, alice, bob
 
 
+def schedule_outcome(seed):
+    """One sweep iteration reduced to its picklable verdict — what the
+    invariant assertions need, shippable back from a pool worker
+    (the System itself stays in the worker)."""
+    record, system, alice, bob = run_schedule(seed)
+    return {
+        "record": record,
+        "daemon_alive": system.daemon is not None,
+        "any_stale": system.status_board.any_stale(),
+        "status": system.status_board.render(),
+        "commit": read_commit(system),
+        "matrix": access_matrix(system, alice, bob),
+    }
+
+
 # ----------------------------------------------------------------------
 # The oracle: one fault-free run of the identical session.
 # ----------------------------------------------------------------------
@@ -192,12 +212,21 @@ def oracle():
 # ----------------------------------------------------------------------
 # The sweep
 # ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def outcomes():
+    """Every schedule's verdict, precomputed across REPRO_WORKERS
+    processes (serial by default); per-seed tests stay per-seed for
+    reporting granularity but share this one sweep."""
+    seeds = range(BASE_SEED, BASE_SEED + SCHEDULES)
+    return dict(zip(seeds, parallel_map(schedule_outcome, seeds)))
+
+
 class TestFaultSweep:
     @pytest.mark.parametrize("seed", range(BASE_SEED, BASE_SEED + SCHEDULES))
-    def test_schedule_upholds_invariants(self, seed, oracle):
-        record, system, alice, bob = run_schedule(seed)
+    def test_schedule_upholds_invariants(self, seed, oracle, outcomes):
+        outcome = outcomes[seed]
 
-        for kind, token in record:
+        for kind, token in outcome["record"]:
             # Invariant 1: nothing the oracle denies ever succeeds.
             if kind == "probes":
                 for probe, result in token:
@@ -210,15 +239,14 @@ class TestFaultSweep:
 
         # Invariant 4: the daemon reconverged — alive, nothing stale,
         # and the committed policy equals the fault-free policy.
-        assert system.daemon is not None, seed
-        assert not system.status_board.any_stale(), (
-            seed, system.status_board.render())
-        assert read_commit(system) == oracle["commit"], seed
+        assert outcome["daemon_alive"], seed
+        assert not outcome["any_stale"], (seed, outcome["status"])
+        assert outcome["commit"] == oracle["commit"], seed
 
         # Invariant 3: with every site disarmed and no cache flushed,
         # whatever the faults left in the caches answers exactly like
         # the oracle.
-        assert access_matrix(system, alice, bob) == oracle["matrix"], seed
+        assert outcome["matrix"] == oracle["matrix"], seed
 
     @pytest.mark.parametrize("seed", range(BASE_SEED, BASE_SEED + 3))
     def test_same_seed_replays_identically(self, seed, oracle):

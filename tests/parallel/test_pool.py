@@ -1,0 +1,100 @@
+"""The parallel_map contract: same values, same order, any workers."""
+
+import os
+
+import pytest
+
+from repro.parallel.pool import (
+    CHUNKS_PER_WORKER,
+    parallel_map,
+    resolve_workers,
+    start_method,
+)
+
+
+def square(key):
+    return key * key
+
+
+def tag(key):
+    return (os.getpid(), key)
+
+
+def explode(key):
+    if key == 3:
+        raise ValueError(f"boom on {key}")
+    return key
+
+
+class TestResolveWorkers:
+    def test_explicit_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "7")
+        assert resolve_workers(3) == 3
+
+    def test_env_knob(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "4")
+        assert resolve_workers() == 4
+
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_workers() == 1
+
+    def test_garbage_env_falls_back_to_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        assert resolve_workers() == 1
+
+    def test_floor_is_one(self):
+        assert resolve_workers(0) == 1
+        assert resolve_workers(-3) == 1
+
+
+class TestParallelMap:
+    def test_matches_comprehension_in_order(self):
+        keys = list(range(23))
+        assert parallel_map(square, keys, workers=3) == \
+            [square(key) for key in keys]
+
+    def test_worker_count_does_not_change_results(self):
+        keys = list(range(17))
+        expected = [square(key) for key in keys]
+        for workers in (1, 2, 4, 8):
+            assert parallel_map(square, keys, workers=workers) == expected
+
+    def test_serial_path_stays_in_process(self):
+        results = parallel_map(tag, range(5), workers=1)
+        assert {pid for pid, _ in results} == {os.getpid()}
+
+    def test_single_key_stays_in_process(self):
+        results = parallel_map(tag, [42], workers=8)
+        assert results == [(os.getpid(), 42)]
+
+    def test_multiple_processes_actually_run(self):
+        if start_method() is None:
+            pytest.skip("no multiprocessing start method on this platform")
+        results = parallel_map(tag, range(16), workers=4, chunk_size=1)
+        assert [key for _, key in results] == list(range(16))
+        # Pool workers are separate processes (they may be few if the
+        # pool reuses a fast worker, but never the parent).
+        assert os.getpid() not in {pid for pid, _ in results}
+
+    def test_pinned_chunk_size_keeps_chunk_in_one_process(self):
+        if start_method() is None:
+            pytest.skip("no multiprocessing start method on this platform")
+        results = parallel_map(tag, range(12), workers=4, chunk_size=6)
+        pids = [pid for pid, _ in results]
+        assert len(set(pids[:6])) == 1
+        assert len(set(pids[6:])) == 1
+
+    def test_default_chunking_covers_all_keys(self):
+        keys = list(range(5 * CHUNKS_PER_WORKER + 3))
+        assert parallel_map(square, keys, workers=5) == \
+            [square(key) for key in keys]
+
+    def test_exceptions_propagate(self):
+        with pytest.raises(ValueError, match="boom on 3"):
+            parallel_map(explode, range(6), workers=2)
+        with pytest.raises(ValueError, match="boom on 3"):
+            parallel_map(explode, range(6), workers=1)
+
+    def test_empty_keys(self):
+        assert parallel_map(square, [], workers=4) == []

@@ -1,0 +1,43 @@
+"""Sweep fan-out determinism: records identical at any worker count.
+
+Each sweep driver (differential space, chaos space, redteam battery)
+hands parallel_map a pure function of its seeds; these tests pin that
+the fan-out is invisible in the results — serial and multi-worker
+sweeps produce equal records, in the same order.
+"""
+
+from repro.redteam.battery import run_battery
+from repro.scenarios.chaos import run_chaos_space
+from repro.scenarios.differ import run_space
+
+SEED = 0
+
+
+class TestDifferentialSpace:
+    def test_worker_count_does_not_change_reports(self):
+        serial = run_space(SEED, 4, workers=1)
+        fanned = run_space(SEED, 4, workers=3)
+        assert [r.spec for r in serial] == [r.spec for r in fanned]
+        assert [(r.steps, r.matched, r.classified, r.unclassified)
+                for r in serial] == \
+            [(r.steps, r.matched, r.classified, r.unclassified)
+             for r in fanned]
+
+
+class TestChaosSpace:
+    def test_worker_count_does_not_change_records(self):
+        serial = run_chaos_space(SEED, range(2), range(2), workers=1)
+        fanned = run_chaos_space(SEED, range(2), range(2), workers=4)
+        assert serial == fanned
+
+    def test_sweep_order_is_scenario_major(self):
+        records = run_chaos_space(SEED, range(2), range(2), workers=2)
+        assert [(r["scenario_id"], r["schedule_id"]) for r in records] == \
+            [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+
+class TestRedteamBattery:
+    def test_worker_count_does_not_change_the_report(self):
+        serial = run_battery(SEED, 3, workers=1)
+        fanned = run_battery(SEED, 3, workers=2)
+        assert serial == fanned

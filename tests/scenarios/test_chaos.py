@@ -17,6 +17,7 @@ from repro.scenarios.chaos import (
     _root_delegable,
     fault_schedule,
     run_chaos_point,
+    run_chaos_space,
 )
 from repro.scenarios.generator import generate_scenario
 
@@ -24,8 +25,10 @@ SCENARIOS = int(os.environ.get("REPRO_SCENARIOS", "6"))
 SCHEDULES = int(os.environ.get("REPRO_SCENARIO_SCHEDULES", "2"))
 BASE_SEED = int(os.environ.get("REPRO_SCENARIO_SEED", "0"))
 
-POINTS = [run_chaos_point(BASE_SEED, sid, sch)
-          for sid in range(SCENARIOS) for sch in range(SCHEDULES)]
+# The sweep fans out over REPRO_WORKERS processes (serial default);
+# the records are bit-identical at any worker count, which
+# tests/parallel/test_sweeps.py pins.
+POINTS = run_chaos_space(BASE_SEED, range(SCENARIOS), range(SCHEDULES))
 
 
 def test_no_point_violates_the_chaos_invariants():
@@ -63,7 +66,8 @@ def test_scoreboard_accounts_for_injected_faults():
         assert stats["completed"] + stats["failed"] == stats["sessions"]
         # per_shard rows: (index, sessions, completed, failed, ops,
         # syncs, audit_appended, aborted, abort_errnos, sync_postponed,
-        # degraded_ops, hard_failures) — see FleetStats.comparable().
+        # degraded_ops, hard_failures, audit_crc, schedule_crc) — see
+        # FleetStats.comparable().
         per_shard_aborted = sum(row[7] for row in stats["per_shard"])
         assert per_shard_aborted == point["scoreboard"]["aborted"]
         for row in stats["per_shard"]:
